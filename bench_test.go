@@ -1,0 +1,418 @@
+// Package repro's root benchmark harness: one bench per reproduced
+// table/figure (see DESIGN.md §5 for the experiment index), plus
+// per-iteration microbenchmarks of the moving parts. Full paper-scale
+// outputs come from `go run ./cmd/experiments`; the benches here use
+// reduced budgets so `go test -bench=.` stays in the minutes range.
+package repro
+
+import (
+	"testing"
+
+	"repro/internal/backpressure"
+	"repro/internal/dist"
+	"repro/internal/experiments"
+	"repro/internal/flow"
+	"repro/internal/gradient"
+	"repro/internal/placement"
+	"repro/internal/qsim"
+	"repro/internal/randnet"
+	"repro/internal/refopt"
+	"repro/internal/stream"
+	"repro/internal/transform"
+	"repro/internal/utility"
+)
+
+// paperInstance builds the §6 headline instance (40 nodes, 3
+// commodities, ε = 0.2). Seed 2 is the repo's reference instance: the
+// gradient algorithm reaches 95% of the LP optimum in ≈950 iterations
+// there, matching the paper's "about 1000".
+func paperInstance(b *testing.B) *transform.Extended {
+	b.Helper()
+	p, err := randnet.Generate(randnet.Config{Seed: 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	x, err := transform.Build(p, transform.Options{Epsilon: 0.2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return x
+}
+
+// benchScale trims budgets so a full -bench=. pass stays fast.
+func benchScale() experiments.Scale {
+	return experiments.Scale{GradIters: 2000, BPIters: 20000, Nodes: 24, Commodities: 2}
+}
+
+// --- F4 / T1: Figure 4 convergence (gradient vs back-pressure vs LP) ---
+
+func BenchmarkF4GradientTo95(b *testing.B) {
+	x := paperInstance(b)
+	ref, err := refopt.Solve(x, refopt.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng := gradient.New(x, gradient.Config{Eta: 0.04})
+		_, hit, err := eng.RunToTarget(ref.Utility, 0.95, 20000)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if hit < 0 {
+			b.Fatal("gradient never reached 95% of optimal")
+		}
+		b.ReportMetric(float64(hit), "iters-to-95%")
+	}
+}
+
+func BenchmarkF4BackPressureTo95(b *testing.B) {
+	// Reduced instance: at paper scale back-pressure needs ~1e5
+	// iterations (that is the point of Figure 4), which is too slow for
+	// a default bench pass; cmd/experiments runs the full version.
+	p, err := randnet.Generate(randnet.Config{Seed: 2, Nodes: 24, Commodities: 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	x, err := transform.Build(p, transform.Options{Epsilon: 0.2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ref, err := refopt.Solve(x, refopt.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng := backpressure.New(x, backpressure.Config{})
+		hit := -1
+		for it := 0; it < 120000; it++ {
+			if eng.Step().Cumulative >= 0.95*ref.Utility {
+				hit = it
+				break
+			}
+		}
+		if hit < 0 {
+			b.Fatal("back-pressure never reached 95% of optimal")
+		}
+		b.ReportMetric(float64(hit), "iters-to-95%")
+	}
+}
+
+func BenchmarkF4ReferenceLP(b *testing.B) {
+	x := paperInstance(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := refopt.Solve(x, refopt.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- T2: η sweep ---
+
+func BenchmarkT2EtaSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunT2(42, []float64{0.01, 0.04, 0.16}, benchScale()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- T3: protocol rounds vs depth ---
+
+func BenchmarkT3DepthSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunT3(3, []int{3, 6, 12}, benchScale()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- T4: ε sweep ---
+
+func BenchmarkT4EpsilonSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunT4(42, []float64{0.5, 0.1}, benchScale()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- E5: concave utilities ---
+
+func BenchmarkE5ConcaveUtilities(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunE5(42, benchScale()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- E6: shrinkage ablation ---
+
+func BenchmarkE6ShrinkageAblation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunE6(42, []float64{0, 1}, benchScale()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- E7: dynamic tracking (warm vs cold) ---
+
+func BenchmarkE7WarmStart(b *testing.B) {
+	x := paperInstance(b)
+	base := gradient.New(x, gradient.Config{Eta: 0.04})
+	if _, err := base.Run(3000, nil); err != nil {
+		b.Fatal(err)
+	}
+	warmFrom := base.Routing()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng := gradient.NewFrom(x, warmFrom, gradient.Config{Eta: 0.04})
+		if _, err := eng.Run(500, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE7ColdStart(b *testing.B) {
+	x := paperInstance(b)
+	for i := 0; i < b.N; i++ {
+		eng := gradient.New(x, gradient.Config{Eta: 0.04})
+		if _, err := eng.Run(500, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- DESIGN.md ablation: loop-freedom blocking protocol on/off ---
+
+func BenchmarkBlockingEnabled(b *testing.B) {
+	x := paperInstance(b)
+	for i := 0; i < b.N; i++ {
+		eng := gradient.New(x, gradient.Config{Eta: 0.04})
+		if _, err := eng.Run(500, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBlockingDisabled(b *testing.B) {
+	x := paperInstance(b)
+	for i := 0; i < b.N; i++ {
+		eng := gradient.New(x, gradient.Config{Eta: 0.04, DisableBlocking: true})
+		if _, err := eng.Run(500, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Per-iteration microbenchmarks ---
+
+func BenchmarkGradientIteration(b *testing.B) {
+	x := paperInstance(b)
+	eng := gradient.New(x, gradient.Config{Eta: 0.04})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.Step()
+	}
+}
+
+func BenchmarkDistIteration(b *testing.B) {
+	x := paperInstance(b)
+	rt := dist.New(x, gradient.Config{Eta: 0.04})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := rt.Step(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBackPressureIteration(b *testing.B) {
+	x := paperInstance(b)
+	eng := backpressure.New(x, backpressure.Config{})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.Step()
+	}
+}
+
+func BenchmarkFlowEvaluate(b *testing.B) {
+	x := paperInstance(b)
+	r := flow.NewInitial(x)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		flow.Evaluate(r)
+	}
+}
+
+func BenchmarkMarginalCostWave(b *testing.B) {
+	x := paperInstance(b)
+	u := flow.Evaluate(flow.NewInitial(x))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < x.NumCommodities(); j++ {
+			gradient.ComputeMarginals(u, j)
+		}
+	}
+}
+
+func BenchmarkTransformBuild(b *testing.B) {
+	p, err := randnet.Generate(randnet.Config{Seed: 42})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := transform.Build(p, transform.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRandnetGenerate(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := randnet.Generate(randnet.Config{Seed: int64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure1Solve(b *testing.B) {
+	p, err := stream.Figure1(stream.Figure1Config{
+		ServerCapacity: 10, Bandwidth: 40, MaxRate1: 20, MaxRate2: 20,
+		TaskBeta: map[string]float64{"B": 0.5, "E": 2},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	x, err := transform.Build(p, transform.Options{Epsilon: 0.05})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng := gradient.New(x, gradient.Config{Eta: 0.05})
+		if _, err := eng.Run(1000, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPWLReference(b *testing.B) {
+	p, err := randnet.Generate(randnet.Config{
+		Seed: 42, Nodes: 24, Commodities: 2,
+		Utility: func(int) utility.Function { return utility.Log{Weight: 10, Scale: 1} },
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	x, err := transform.Build(p, transform.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := refopt.Solve(x, refopt.Options{Segments: 64}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- E8: failure recovery across ε ---
+
+func BenchmarkE8FailureRecovery(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunE8(2, []float64{0.2}, benchScale()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Adaptive step-size controller vs fixed η ---
+
+func BenchmarkAdaptiveEngine(b *testing.B) {
+	x := paperInstance(b)
+	for i := 0; i < b.N; i++ {
+		eng := gradient.NewAdaptive(x, gradient.AdaptiveConfig{})
+		eng.Run(500)
+	}
+}
+
+// --- Queue-level validation of the optimized plan ---
+
+func BenchmarkQsimReplay(b *testing.B) {
+	x := paperInstance(b)
+	eng := gradient.New(x, gradient.Config{Eta: 0.04})
+	if _, err := eng.Run(3000, nil); err != nil {
+		b.Fatal(err)
+	}
+	r := eng.Routing()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := qsim.Run(r, qsim.Config{Ticks: 2000, Arrivals: qsim.Poisson, Seed: int64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Path decomposition ---
+
+func BenchmarkDecomposePaths(b *testing.B) {
+	x := paperInstance(b)
+	eng := gradient.New(x, gradient.Config{Eta: 0.04})
+	if _, err := eng.Run(3000, nil); err != nil {
+		b.Fatal(err)
+	}
+	u := eng.Solution()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < x.NumCommodities(); j++ {
+			if _, err := flow.DecomposePaths(u, j); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// --- Operator placement (the §2 assumption, built) ---
+
+func BenchmarkPlacementSearch(b *testing.B) {
+	servers := make([]stream.ServerSpec, 8)
+	for i := range servers {
+		servers[i] = stream.ServerSpec{
+			Name:     string(rune('a' + i)),
+			Capacity: float64(10 + 10*i),
+		}
+	}
+	streams := []stream.StreamSpec{
+		{
+			Name:    "s1",
+			MaxRate: 60,
+			Utility: utility.Linear{Slope: 1},
+			Tasks: []stream.Task{
+				{Name: "A", Beta: 1, Cost: 1},
+				{Name: "B", Beta: 0.5, Cost: 2},
+				{Name: "C", Beta: 1, Cost: 1},
+			},
+		},
+		{
+			Name:    "s2",
+			MaxRate: 40,
+			Utility: utility.Linear{Slope: 1},
+			Tasks: []stream.Task{
+				{Name: "D", Beta: 2, Cost: 1},
+				{Name: "E", Beta: 1, Cost: 1},
+			},
+		},
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := placement.Place(servers, streams, placement.Config{Seed: int64(i), Replication: 2, SwapBudget: 30}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

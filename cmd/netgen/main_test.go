@@ -1,0 +1,42 @@
+package main
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/stream"
+)
+
+func TestRealMainEmitsValidInstance(t *testing.T) {
+	var buf bytes.Buffer
+	if err := realMain(&buf, 7, 16, 2, 4); err != nil {
+		t.Fatal(err)
+	}
+	p, err := stream.ParseProblem(buf.Bytes())
+	if err != nil {
+		t.Fatalf("emitted JSON does not parse: %v", err)
+	}
+	if len(p.Commodities) != 2 {
+		t.Fatalf("commodities = %d, want 2", len(p.Commodities))
+	}
+}
+
+func TestRealMainDeterministic(t *testing.T) {
+	var a, b bytes.Buffer
+	if err := realMain(&a, 3, 12, 2, 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := realMain(&b, 3, 12, 2, 3); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatal("same flags, different output")
+	}
+}
+
+func TestRealMainRejectsBadConfig(t *testing.T) {
+	var buf bytes.Buffer
+	if err := realMain(&buf, 1, 4, 9, 2); err == nil {
+		t.Fatal("too many commodities accepted")
+	}
+}

@@ -1,0 +1,168 @@
+// Command streamopt solves a stream-processing resource-management
+// problem instance (JSON, see internal/stream's schema or cmd/netgen)
+// with the paper's gradient algorithm, the back-pressure baseline, or
+// the LP reference optimum, and prints admission rates, utility, and
+// resource allocations.
+//
+//	go run ./cmd/netgen -seed 42 > instance.json
+//	go run ./cmd/streamopt -in instance.json -alg gradient -ref
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"text/tabwriter"
+
+	"repro/internal/core"
+	"repro/internal/gradient"
+	"repro/internal/qsim"
+	"repro/internal/stream"
+	"repro/internal/transform"
+)
+
+func main() {
+	var (
+		in       = flag.String("in", "", "problem JSON (required)")
+		alg      = flag.String("alg", "gradient", "algorithm: gradient | gradient-adaptive | gradient-dist | backpressure | reference")
+		iters    = flag.Int("iters", 0, "iteration budget (0 = algorithm default)")
+		eta      = flag.Float64("eta", 0.04, "gradient step scale η")
+		eps      = flag.Float64("eps", 0.2, "penalty coefficient ε")
+		ref      = flag.Bool("ref", false, "also compute the LP reference optimum")
+		topN     = flag.Int("top", 10, "show the N most utilized resources")
+		trace    = flag.Bool("trace", false, "print the convergence trace")
+		sample   = flag.Int("sample", 0, "trace sampling stride (0 = default)")
+		validate = flag.Bool("validate", false, "replay the solution in the queue simulator (gradient algorithms only)")
+	)
+	flag.Parse()
+	if err := realMain(*in, *alg, *iters, *eta, *eps, *ref, *topN, *trace, *sample, *validate); err != nil {
+		fmt.Fprintln(os.Stderr, "streamopt:", err)
+		os.Exit(1)
+	}
+}
+
+func realMain(in, alg string, iters int, eta, eps float64, ref bool, topN int, trace bool, sample int, validate bool) error {
+	if in == "" {
+		return fmt.Errorf("-in is required")
+	}
+	data, err := os.ReadFile(in)
+	if err != nil {
+		return err
+	}
+	p, err := stream.ParseProblem(data)
+	if err != nil {
+		return err
+	}
+	res, err := core.Solve(p, core.Options{
+		Algorithm:     core.Algorithm(alg),
+		MaxIters:      iters,
+		Eta:           eta,
+		Epsilon:       eps,
+		WithReference: ref,
+		SampleEvery:   sample,
+	})
+	if err != nil {
+		return err
+	}
+	if validate {
+		if err := replayInQsim(p, alg, iters, eta, eps); err != nil {
+			return err
+		}
+	}
+
+	fmt.Printf("algorithm:  %s\n", res.Algorithm)
+	fmt.Printf("iterations: %d\n", res.Iterations)
+	fmt.Printf("utility:    %.4f\n", res.Utility)
+	if ref && res.ReferenceUtility == res.ReferenceUtility {
+		fmt.Printf("optimal:    %.4f  (achieved %.1f%%)\n",
+			res.ReferenceUtility, 100*res.Utility/res.ReferenceUtility)
+	}
+	if res.Messages > 0 {
+		fmt.Printf("protocol:   %d messages, %d rounds\n", res.Messages, res.Rounds)
+	}
+
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "\ncommodity\tadmitted rate")
+	for j, name := range res.Commodities {
+		fmt.Fprintf(w, "%s\t%.4f\n", name, res.Admitted[j])
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+
+	if len(res.Usage) > 0 && topN > 0 {
+		sort.Slice(res.Usage, func(a, b int) bool {
+			return res.Usage[a].Utilization > res.Usage[b].Utilization
+		})
+		if topN > len(res.Usage) {
+			topN = len(res.Usage)
+		}
+		w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(w, "\nresource\tkind\tcapacity\tusage\tutilization")
+		for _, u := range res.Usage[:topN] {
+			fmt.Fprintf(w, "%s\t%s\t%.2f\t%.2f\t%.1f%%\n",
+				u.Name, u.Kind, u.Capacity, u.Usage, 100*u.Utilization)
+		}
+		if err := w.Flush(); err != nil {
+			return err
+		}
+	}
+
+	if len(res.Prices) > 0 {
+		w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(w, "\nbottleneck\tkind\tshadow price (utility per capacity unit)")
+		limit := topN
+		if limit <= 0 || limit > len(res.Prices) {
+			limit = len(res.Prices)
+		}
+		for _, pr := range res.Prices[:limit] {
+			fmt.Fprintf(w, "%s\t%s\t%.4f\n", pr.Name, pr.Kind, pr.Price)
+		}
+		if err := w.Flush(); err != nil {
+			return err
+		}
+	}
+
+	if trace {
+		w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(w, "\niter\tutility\tcost")
+		for _, tp := range res.Trace {
+			fmt.Fprintf(w, "%d\t%.4f\t%.4f\n", tp.Iteration, tp.Utility, tp.Cost)
+		}
+		return w.Flush()
+	}
+	return nil
+}
+
+// replayInQsim re-solves with the gradient engine (the queue simulator
+// needs the routing variables, which core.Solve does not expose) and
+// replays the plan under Poisson arrivals.
+func replayInQsim(p *stream.Problem, alg string, iters int, eta, eps float64) error {
+	if alg != string(core.Gradient) && alg != string(core.GradientAdaptive) {
+		return fmt.Errorf("-validate supports the gradient algorithms, not %q", alg)
+	}
+	x, err := transform.Build(p, transform.Options{Epsilon: eps})
+	if err != nil {
+		return err
+	}
+	if iters <= 0 {
+		iters = 5000
+	}
+	eng := gradient.New(x, gradient.Config{Eta: eta})
+	if _, err := eng.Run(iters, nil); err != nil {
+		return err
+	}
+	res, err := qsim.Run(eng.Routing(), qsim.Config{Ticks: 6000, Arrivals: qsim.Poisson, Seed: 1})
+	if err != nil {
+		return err
+	}
+	fmt.Println("\nqueue-simulator replay (Poisson arrivals, 6000 ticks):")
+	for j := range x.Commodities {
+		fmt.Printf("  %s: delivered %.3f/tick, dropped %.3f/tick\n",
+			x.Commodities[j].Name, res.Delivered[j], res.Dropped[j])
+	}
+	fmt.Printf("  queues: avg %.1f, peak %.1f; mean sojourn %.1f ticks\n",
+		res.AvgQueue, res.PeakQueue, res.AvgDelayTicks)
+	return nil
+}

@@ -1,0 +1,71 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/randnet"
+)
+
+func writeInstance(t *testing.T) string {
+	t.Helper()
+	p, err := randnet.Generate(randnet.Config{Seed: 5, Nodes: 12, Commodities: 2, Layers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := p.MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "instance.json")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRealMainGradient(t *testing.T) {
+	path := writeInstance(t)
+	if err := realMain(path, "gradient", 200, 0.04, 0.2, true, 3, false, 0, false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRealMainReference(t *testing.T) {
+	path := writeInstance(t)
+	if err := realMain(path, "reference", 0, 0.04, 0.2, false, 0, false, 0, false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRealMainBackPressure(t *testing.T) {
+	path := writeInstance(t)
+	if err := realMain(path, "backpressure", 500, 0.04, 0.2, false, 0, true, 100, false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRealMainErrors(t *testing.T) {
+	if err := realMain("", "gradient", 0, 0.04, 0.2, false, 0, false, 0, false); err == nil {
+		t.Fatal("missing -in accepted")
+	}
+	if err := realMain("/nonexistent.json", "gradient", 0, 0.04, 0.2, false, 0, false, 0, false); err == nil {
+		t.Fatal("missing file accepted")
+	}
+	path := writeInstance(t)
+	if err := realMain(path, "quantum", 10, 0.04, 0.2, false, 0, false, 0, false); err == nil {
+		t.Fatal("unknown algorithm accepted")
+	}
+}
+
+func TestRealMainValidate(t *testing.T) {
+	path := writeInstance(t)
+	if err := realMain(path, "gradient", 500, 0.04, 0.2, false, 0, false, 0, true); err != nil {
+		t.Fatal(err)
+	}
+	// -validate is gradient-only.
+	if err := realMain(path, "backpressure", 100, 0.04, 0.2, false, 0, false, 0, true); err == nil {
+		t.Fatal("-validate accepted for backpressure")
+	}
+}

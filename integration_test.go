@@ -1,0 +1,191 @@
+// End-to-end cross-validation on the repo's reference instance (§6
+// configuration, randnet seed 2): every solver and substrate must tell
+// one consistent story. These tests take a few seconds each and tie the
+// whole pipeline together — model → transform → optimize (three ways) →
+// reference LP → path decomposition → queue-level replay.
+package repro
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/backpressure"
+	"repro/internal/dist"
+	"repro/internal/flow"
+	"repro/internal/gradient"
+	"repro/internal/qsim"
+	"repro/internal/randnet"
+	"repro/internal/refopt"
+	"repro/internal/stream"
+	"repro/internal/transform"
+	"repro/internal/utility"
+)
+
+func referenceInstance(t testing.TB) *transform.Extended {
+	t.Helper()
+	p, err := randnet.Generate(randnet.Config{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, err := transform.Build(p, transform.Options{Epsilon: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return x
+}
+
+func TestEndToEndAllSolversAgree(t *testing.T) {
+	x := referenceInstance(t)
+	ref, err := refopt.Solve(x, refopt.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ref.Utility < 40 || ref.Utility > 60 {
+		t.Fatalf("reference optimum %g outside the expected band for seed 2", ref.Utility)
+	}
+
+	// Gradient (fixed η), adaptive, and the actor runtime must all land
+	// in the same neighborhood below the LP optimum.
+	eng := gradient.New(x, gradient.Config{Eta: 0.04})
+	if _, err := eng.Run(5000, nil); err != nil {
+		t.Fatal(err)
+	}
+	fixed := eng.Solution().Utility()
+
+	ad := gradient.NewAdaptive(x, gradient.AdaptiveConfig{})
+	ad.Run(5000)
+	adaptive := ad.Solution().Utility()
+
+	rt := dist.New(x, gradient.Config{Eta: 0.04})
+	var distInfo gradient.StepInfo
+	for i := 0; i < 5000; i++ {
+		info, err := rt.Step()
+		if err != nil {
+			t.Fatal(err)
+		}
+		distInfo = info
+	}
+
+	for name, u := range map[string]float64{
+		"gradient": fixed, "adaptive": adaptive, "dist": distInfo.Utility,
+	} {
+		if u > ref.Utility+1e-6 {
+			t.Fatalf("%s utility %g exceeds the LP optimum %g", name, u, ref.Utility)
+		}
+		if u < 0.93*ref.Utility {
+			t.Fatalf("%s utility %g below 93%% of the optimum %g", name, u, ref.Utility)
+		}
+	}
+	if math.Abs(fixed-distInfo.Utility) > 1e-3*(1+fixed) {
+		t.Fatalf("engine (%g) and actor runtime (%g) disagree", fixed, distInfo.Utility)
+	}
+
+	// Back-pressure's long-run cumulative utility approaches the same
+	// optimum from below.
+	bp := backpressure.New(x, backpressure.Config{})
+	var cum float64
+	for i := 0; i < 40000; i++ {
+		cum = bp.Step().Cumulative
+	}
+	if cum > ref.Utility+1e-6 {
+		t.Fatalf("back-pressure cumulative %g exceeds the optimum %g", cum, ref.Utility)
+	}
+	if cum < 0.8*ref.Utility {
+		t.Fatalf("back-pressure cumulative %g below 80%% after 40k iterations", cum)
+	}
+}
+
+func TestEndToEndPlanSurvivesQueueReplay(t *testing.T) {
+	x := referenceInstance(t)
+	eng := gradient.New(x, gradient.Config{Eta: 0.04})
+	if _, err := eng.Run(5000, nil); err != nil {
+		t.Fatal(err)
+	}
+	sol := eng.Solution()
+
+	// Decomposition covers the full offered rate.
+	for j := range x.Commodities {
+		paths, err := flow.DecomposePaths(sol, j)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total := 0.0
+		for _, p := range paths {
+			total += p.Rate
+		}
+		if lambda := x.Commodities[j].MaxRate; math.Abs(total-lambda) > 1e-6*(1+lambda) {
+			t.Fatalf("commodity %d: decomposition covers %g of λ = %g", j, total, lambda)
+		}
+	}
+
+	// The queue replay delivers the plan.
+	res, err := qsim.Run(eng.Routing(), qsim.Config{Ticks: 6000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := range x.Commodities {
+		want := sol.AdmittedRate(j)
+		if math.Abs(res.Delivered[j]-want) > 0.05*(1+want) {
+			t.Fatalf("commodity %d: queue replay delivered %g, plan admitted %g",
+				j, res.Delivered[j], want)
+		}
+	}
+}
+
+func TestEndToEndPenaltyFamiliesAgree(t *testing.T) {
+	// DESIGN.md ablation: the barrier family changes the path to the
+	// optimum but not the neighborhood it lands in (both are convex
+	// barriers with the same pole).
+	p, err := randnet.Generate(randnet.Config{Seed: 2, Nodes: 20, Commodities: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	results := make(map[string]float64, 2)
+	for _, pen := range []utility.Penalty{utility.Reciprocal{}, utility.LogBarrier{}} {
+		x, err := transform.Build(p, transform.Options{Epsilon: 0.2, Penalty: pen})
+		if err != nil {
+			t.Fatal(err)
+		}
+		eng := gradient.NewAdaptive(x, gradient.AdaptiveConfig{})
+		last := eng.Run(8000)
+		if !last.Feasible {
+			t.Fatalf("%s: infeasible fixed point", pen.Name())
+		}
+		results[pen.Name()] = last.Utility
+	}
+	a, b := results["reciprocal"], results["log"]
+	if math.Abs(a-b) > 0.15*(1+math.Max(a, b)) {
+		t.Fatalf("penalty families land far apart: reciprocal %g, log %g", a, b)
+	}
+}
+
+func TestEndToEndJSONRoundTripPreservesSolution(t *testing.T) {
+	// Serialize the instance, parse it back, and verify the solvers see
+	// the identical problem (same LP optimum to machine precision).
+	p, err := randnet.Generate(randnet.Config{Seed: 2, Nodes: 16, Commodities: 2, Layers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := p.MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := stream.ParseProblem(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	solve := func(pr *stream.Problem) float64 {
+		x, err := transform.Build(pr, transform.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref, err := refopt.Solve(x, refopt.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ref.Utility
+	}
+	if a, b := solve(p), solve(q); math.Abs(a-b) > 1e-9*(1+a) {
+		t.Fatalf("round trip changed the optimum: %g vs %g", a, b)
+	}
+}

@@ -1,0 +1,222 @@
+package backpressure
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/refopt"
+	"repro/internal/stream"
+	"repro/internal/transform"
+	"repro/internal/utility"
+)
+
+// chain builds dummy → src → bw → sink with the given parameters.
+func chain(t *testing.T, srcCap, bw, lambda, beta, cost float64) *transform.Extended {
+	t.Helper()
+	net := stream.NewNetwork()
+	src, _ := net.AddServer("src", srcCap)
+	sink, _ := net.AddSink("sink")
+	e, _ := net.AddLink(src, sink, bw)
+	p := stream.NewProblem(net)
+	c, err := p.AddCommodity("S", src, sink, lambda, utility.Linear{Slope: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.SetEdge(c, e, stream.EdgeParams{Beta: beta, Cost: cost}); err != nil {
+		t.Fatal(err)
+	}
+	x, err := transform.Build(p, transform.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return x
+}
+
+func TestDeliversUnconstrainedRate(t *testing.T) {
+	// Capacity far above λ: the long-run delivered rate must approach λ.
+	x := chain(t, 1000, 1000, 5, 1, 1)
+	e := New(x, Config{Damping: 0.5, BufferCap: 100})
+	e.Run(4000, 0)
+	if got := e.AverageRate(0); math.Abs(got-5) > 0.3 {
+		t.Fatalf("average delivered rate = %g, want ≈ 5", got)
+	}
+}
+
+func TestAdmissionControlUnderOverload(t *testing.T) {
+	// λ = 50 into capacity 10 (cost 1): sustained delivery can never
+	// exceed 10; the source buffer cap sheds the rest.
+	// Sustaining rate r over the 3-hop extended chain with damping d
+	// needs a source buffer of ~2·3·r/d, so cap 400 supports up to ~33.
+	x := chain(t, 10, 1000, 50, 1, 1)
+	e := New(x, Config{Damping: 0.5, BufferCap: 400})
+	e.Run(8000, 0)
+	rate := e.AverageRate(0)
+	if rate > 10+1e-6 {
+		t.Fatalf("delivered %g exceeds capacity 10", rate)
+	}
+	if rate < 8.5 {
+		t.Fatalf("delivered %g, want close to capacity 10", rate)
+	}
+}
+
+func TestShrinkageConversionToSourceUnits(t *testing.T) {
+	// β = 2 on the processing edge: 1 source unit arrives at the sink
+	// as 2 sink units. AverageRate reports source units, so it is
+	// bounded by λ = 3 and approaches it.
+	x := chain(t, 1000, 1000, 3, 2, 1)
+	e := New(x, Config{Damping: 0.5, BufferCap: 100})
+	e.Run(5000, 0)
+	rate := e.AverageRate(0)
+	if rate > 3+1e-6 {
+		t.Fatalf("source-unit rate %g exceeds λ = 3 (g_sink conversion broken)", rate)
+	}
+	if rate < 2.5 {
+		t.Fatalf("rate = %g, want ≈ 3", rate)
+	}
+}
+
+func TestBuffersStayNonNegativeAndBounded(t *testing.T) {
+	x := chain(t, 10, 8, 50, 1, 1)
+	e := New(x, Config{Damping: 0.5, BufferCap: 60})
+	for i := 0; i < 2000; i++ {
+		e.Step()
+	}
+	for _, q := range e.Buffers(0) {
+		if q < -1e-9 {
+			t.Fatalf("negative buffer %g", q)
+		}
+		if q > 1e6 {
+			t.Fatalf("buffer %g blew up", q)
+		}
+	}
+}
+
+func TestCumulativeUtilityMonotoneAfterWarmup(t *testing.T) {
+	// The paper's Figure 4 shows the cumulative utility increasing
+	// monotonically; verify after a short warmup (before any delivery
+	// the ratio is 0 and flat).
+	x := chain(t, 20, 20, 50, 1, 1)
+	e := New(x, Config{Damping: 0.25, BufferCap: 200})
+	trace := e.Run(3000, 0)
+	prev := -1.0
+	for _, info := range trace[100:] {
+		if info.Cumulative < prev-0.15 {
+			t.Fatalf("cumulative utility dropped at iter %d: %g -> %g",
+				info.Iteration, prev, info.Cumulative)
+		}
+		if info.Cumulative > prev {
+			prev = info.Cumulative
+		}
+	}
+}
+
+func TestMessagesPerIterationConstant(t *testing.T) {
+	// O(1) message exchanges per iteration: the count is the same every
+	// iteration (buffer levels of every member edge's head).
+	x := chain(t, 10, 10, 5, 1, 1)
+	e := New(x, Config{})
+	first := e.Step().Messages
+	for i := 0; i < 10; i++ {
+		if got := e.Step().Messages; got != first {
+			t.Fatalf("message count varies: %d vs %d", got, first)
+		}
+	}
+	if first == 0 {
+		t.Fatal("no messages counted")
+	}
+	if e.TotalMessages() != 11*first {
+		t.Fatalf("TotalMessages = %d, want %d", e.TotalMessages(), 11*first)
+	}
+}
+
+// multiPath builds src -> {a,b} -> sink where path a is far cheaper.
+func multiPath(t *testing.T) *transform.Extended {
+	t.Helper()
+	net := stream.NewNetwork()
+	src, _ := net.AddServer("src", 1000)
+	a, _ := net.AddServer("a", 100)
+	b, _ := net.AddServer("b", 100)
+	sink, _ := net.AddSink("sink")
+	e1, _ := net.AddLink(src, a, 1000)
+	e2, _ := net.AddLink(src, b, 1000)
+	e3, _ := net.AddLink(a, sink, 1000)
+	e4, _ := net.AddLink(b, sink, 1000)
+	p := stream.NewProblem(net)
+	c, err := p.AddCommodity("S", src, sink, 30, utility.Linear{Slope: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for e, cost := range map[graph.EdgeID]float64{e1: 1, e2: 1, e3: 1, e4: 10} {
+		if err := p.SetEdge(c, e, stream.EdgeParams{Beta: 1, Cost: cost}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	x, err := transform.Build(p, transform.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return x
+}
+
+func TestApproachesLPOptimum(t *testing.T) {
+	x := multiPath(t)
+	ref, err := refopt.Solve(x, refopt.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The 5-hop extended path sustains rate d·cap/(2·hops); cap 1500
+	// with d = 0.5 supports 75 ≫ the LP optimum 30.
+	e := New(x, Config{Damping: 0.5, BufferCap: 1500})
+	var last StepInfo
+	for i := 0; i < 20000; i++ {
+		last = e.Step()
+	}
+	if last.Cumulative < 0.9*ref.Utility {
+		t.Fatalf("cumulative = %g, want ≥ 90%% of LP optimum %g", last.Cumulative, ref.Utility)
+	}
+	if last.Cumulative > ref.Utility+1e-6 {
+		t.Fatalf("cumulative = %g exceeds the optimum %g", last.Cumulative, ref.Utility)
+	}
+}
+
+func TestDampingSlowsConvergence(t *testing.T) {
+	// The §6 shape hinges on this: smaller damping (the provable AL
+	// regime) needs more iterations to the same cumulative utility.
+	x := multiPath(t)
+	fast := New(x, Config{Damping: 0.5, BufferCap: 300})
+	slow := New(x, Config{Damping: 0.05, BufferCap: 300})
+	var fastCum, slowCum float64
+	for i := 0; i < 4000; i++ {
+		fastCum = fast.Step().Cumulative
+		slowCum = slow.Step().Cumulative
+	}
+	if slowCum >= fastCum {
+		t.Fatalf("damped run (%g) not slower than undamped (%g)", slowCum, fastCum)
+	}
+}
+
+func TestRunSampling(t *testing.T) {
+	x := chain(t, 10, 10, 5, 1, 1)
+	e := New(x, Config{})
+	trace := e.Run(100, 10)
+	if len(trace) != 11 { // 0,10,...,90 plus final 99
+		t.Fatalf("trace length = %d, want 11", len(trace))
+	}
+	if trace[len(trace)-1].Iteration != 99 {
+		t.Fatalf("final sample iteration = %d, want 99", trace[len(trace)-1].Iteration)
+	}
+}
+
+func TestDefaultsScaleWithDepth(t *testing.T) {
+	x := chain(t, 10, 10, 5, 1, 1)
+	cfg := Config{}
+	cfg.setDefaults(x)
+	// Extended chain depth: dummy→src→bw→sink = 3 edges.
+	if cfg.Damping != 1.0/6 {
+		t.Fatalf("default damping = %g, want 1/6", cfg.Damping)
+	}
+	if cfg.BufferCap != 4800 {
+		t.Fatalf("default buffer cap = %g, want 4800", cfg.BufferCap)
+	}
+}

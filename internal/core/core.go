@@ -1,0 +1,403 @@
+// Package core is the public face of the library: it joins the model
+// (internal/stream), the §3 transformation (internal/transform), the
+// paper's gradient algorithm (internal/gradient, and its message-
+// passing twin internal/dist), the back-pressure baseline
+// (internal/backpressure) and the LP reference optimum
+// (internal/refopt) behind one Solve call that returns admitted rates,
+// per-node allocations on the original network, and a convergence
+// trace.
+//
+// Quick start:
+//
+//	problem, _ := stream.Figure1(stream.Figure1Config{...})
+//	result, err := core.Solve(problem, core.Options{})
+//	fmt.Println(result.Utility, result.Admitted)
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/backpressure"
+	"repro/internal/dist"
+	"repro/internal/flow"
+	"repro/internal/gradient"
+	"repro/internal/graph"
+	"repro/internal/refopt"
+	"repro/internal/stream"
+	"repro/internal/transform"
+	"repro/internal/utility"
+)
+
+// Algorithm selects the solver.
+type Algorithm string
+
+// Available algorithms.
+const (
+	// Gradient is the paper's §5 distributed gradient-based algorithm
+	// (synchronous engine).
+	Gradient Algorithm = "gradient"
+	// GradientDistributed runs the same algorithm as message-passing
+	// actors on the simulated network, with measured protocol costs.
+	GradientDistributed Algorithm = "gradient-dist"
+	// GradientAdaptive runs the gradient algorithm under backtracking
+	// step-size control (no η tuning required; cost is monotone).
+	GradientAdaptive Algorithm = "gradient-adaptive"
+	// BackPressure is the §6 baseline from the authors' earlier work.
+	BackPressure Algorithm = "backpressure"
+	// Reference solves the exact optimum by linear programming (PWL
+	// approximation for concave utilities).
+	Reference Algorithm = "reference"
+)
+
+// Options configures Solve. The zero value reproduces the paper's §6
+// settings (gradient algorithm, ε = 0.2, η = 0.04).
+type Options struct {
+	Algorithm Algorithm // default Gradient
+
+	// Shared transformation knobs (§3).
+	Epsilon float64         // penalty coefficient ε; default 0.2
+	Penalty utility.Penalty // barrier family; default reciprocal
+
+	// Iteration budget; default 5000 for gradient, 200000 for
+	// back-pressure (the §6 scale difference).
+	MaxIters int
+	// SampleEvery keeps every k-th trace point (and always the last);
+	// default keeps all for gradient, every 100th for back-pressure.
+	SampleEvery int
+	// StopAtFraction, when positive, computes the reference optimum and
+	// stops as soon as utility reaches the fraction (e.g. 0.95).
+	StopAtFraction float64
+	// StationaryTol, when positive, stops the gradient algorithms once
+	// Theorem 2's necessary optimality condition holds within the
+	// tolerance (gradient.CheckStationarity's MaxUsedGap), checked
+	// every 50 iterations. Grounded convergence detection without a
+	// reference solve.
+	StationaryTol float64
+
+	// Gradient knobs (§5).
+	Eta             float64 // step scale η; default 0.04
+	DisableBlocking bool
+
+	// Back-pressure knobs ([6]).
+	BufferCap float64
+	Damping   float64
+
+	// Reference knobs.
+	Segments int
+
+	// WithReference also computes the LP optimum for comparison even
+	// when not needed for stopping.
+	WithReference bool
+}
+
+// TracePoint is one sample of the convergence curve (Figure 4).
+type TracePoint struct {
+	Iteration int
+	Utility   float64
+	Cost      float64 // A = Y + εD; zero for algorithms without it
+}
+
+// NodeUsage reports one original-network element's allocation.
+type NodeUsage struct {
+	Name        string
+	Kind        string // "server" or "link"
+	Capacity    float64
+	Usage       float64
+	Utilization float64 // Usage/Capacity
+}
+
+// ResourcePrice is the shadow price of one original-network resource at
+// the LP optimum: the marginal total-utility value of one extra unit of
+// its capacity (Kelly-style congestion price).
+type ResourcePrice struct {
+	Name  string
+	Kind  string // "server" or "link"
+	Price float64
+}
+
+// Result is the outcome of Solve.
+type Result struct {
+	Algorithm Algorithm
+	// Utility is Σ_j U_j(a_j) at the returned operating point.
+	Utility float64
+	// Admitted is the admission rate a_j per commodity (source units).
+	Admitted []float64
+	// Commodity names aligned with Admitted.
+	Commodities []string
+	// Iterations actually executed.
+	Iterations int
+	// ReferenceUtility is the LP optimum when computed (else NaN).
+	ReferenceUtility float64
+	// ReachedTargetAt is the first iteration whose utility reached
+	// StopAtFraction×reference (-1 when not applicable or never).
+	ReachedTargetAt int
+	// Trace samples the convergence curve.
+	Trace []TracePoint
+	// Usage reports per-server and per-link allocations on the
+	// original network (not populated for Reference/BackPressure).
+	Usage []NodeUsage
+	// Messages and Rounds are protocol costs (gradient accounting or
+	// simnet measurements; back-pressure buffer exchanges).
+	Messages int
+	Rounds   int
+	// Prices lists resources with positive shadow price at the LP
+	// optimum (populated whenever the reference optimum is computed),
+	// sorted by price descending.
+	Prices []ResourcePrice
+}
+
+// ErrUnknownAlgorithm is returned for an unrecognized Options.Algorithm.
+var ErrUnknownAlgorithm = errors.New("core: unknown algorithm")
+
+// Solve validates and transforms the problem, runs the selected
+// algorithm, and assembles the report.
+func Solve(p *stream.Problem, opts Options) (*Result, error) {
+	x, err := transform.Build(p, transform.Options{
+		Penalty: opts.Penalty,
+		Epsilon: opts.Epsilon,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return SolveExtended(p, x, opts)
+}
+
+// SolveExtended runs on an already-built extended problem; callers that
+// sweep algorithm parameters over one instance use this to avoid
+// rebuilding (and re-validating) the transformation.
+func SolveExtended(p *stream.Problem, x *transform.Extended, opts Options) (*Result, error) {
+	if opts.Algorithm == "" {
+		opts.Algorithm = Gradient
+	}
+
+	res := &Result{
+		Algorithm:        opts.Algorithm,
+		ReferenceUtility: math.NaN(),
+		ReachedTargetAt:  -1,
+	}
+	for _, c := range x.Commodities {
+		res.Commodities = append(res.Commodities, c.Name)
+	}
+
+	target := math.Inf(1)
+	if opts.StopAtFraction > 0 || opts.WithReference || opts.Algorithm == Reference {
+		ref, err := refopt.Solve(x, refopt.Options{Segments: opts.Segments})
+		if err != nil {
+			return nil, err
+		}
+		res.ReferenceUtility = ref.Utility
+		res.Prices = collectPrices(p, x, ref)
+		if opts.StopAtFraction > 0 {
+			target = opts.StopAtFraction * ref.Utility
+		}
+		if opts.Algorithm == Reference {
+			res.Utility = ref.Utility
+			res.Admitted = ref.Admitted
+			return res, nil
+		}
+	}
+
+	switch opts.Algorithm {
+	case Gradient:
+		return res, solveGradient(p, x, opts, target, res)
+	case GradientAdaptive:
+		return res, solveAdaptive(p, x, opts, target, res)
+	case GradientDistributed:
+		return res, solveDistributed(p, x, opts, target, res)
+	case BackPressure:
+		return res, solveBackPressure(x, opts, target, res)
+	default:
+		return nil, fmt.Errorf("%w: %q", ErrUnknownAlgorithm, opts.Algorithm)
+	}
+}
+
+func gradientDefaults(opts *Options) {
+	if opts.MaxIters <= 0 {
+		opts.MaxIters = 5000
+	}
+	if opts.SampleEvery <= 0 {
+		opts.SampleEvery = 1
+	}
+}
+
+func solveGradient(p *stream.Problem, x *transform.Extended, opts Options, target float64, res *Result) error {
+	gradientDefaults(&opts)
+	eng := gradient.New(x, gradient.Config{Eta: opts.Eta, DisableBlocking: opts.DisableBlocking})
+	var det gradient.DivergenceDetector
+	for i := 0; i < opts.MaxIters; i++ {
+		info := eng.Step()
+		recordTrace(res, opts, i, opts.MaxIters, TracePoint{
+			Iteration: info.Iteration, Utility: info.Utility, Cost: info.Cost,
+		})
+		if err := det.Observe(info); err != nil {
+			return err
+		}
+		if res.ReachedTargetAt < 0 && info.Utility >= target {
+			res.ReachedTargetAt = info.Iteration
+			break
+		}
+		if opts.StationaryTol > 0 && i%50 == 49 {
+			rep := gradient.CheckStationarity(flow.Evaluate(eng.Routing()))
+			if rep.MaxUsedGap <= opts.StationaryTol {
+				break
+			}
+		}
+	}
+	st := eng.Stats()
+	res.Iterations = st.Iterations
+	res.Messages = st.Messages
+	res.Rounds = st.Rounds
+	finishFromUsage(p, x, eng.Solution(), res)
+	return nil
+}
+
+func solveAdaptive(p *stream.Problem, x *transform.Extended, opts Options, target float64, res *Result) error {
+	gradientDefaults(&opts)
+	eng := gradient.NewAdaptive(x, gradient.AdaptiveConfig{
+		InitialEta:      opts.Eta,
+		DisableBlocking: opts.DisableBlocking,
+	})
+	for i := 0; i < opts.MaxIters; i++ {
+		info := eng.Step()
+		recordTrace(res, opts, i, opts.MaxIters, TracePoint{
+			Iteration: info.Iteration, Utility: info.Utility, Cost: info.Cost,
+		})
+		res.Iterations++
+		if res.ReachedTargetAt < 0 && info.Utility >= target {
+			res.ReachedTargetAt = info.Iteration
+			break
+		}
+	}
+	finishFromUsage(p, x, eng.Solution(), res)
+	return nil
+}
+
+func solveDistributed(p *stream.Problem, x *transform.Extended, opts Options, target float64, res *Result) error {
+	gradientDefaults(&opts)
+	rt := dist.New(x, gradient.Config{Eta: opts.Eta, DisableBlocking: opts.DisableBlocking})
+	var det gradient.DivergenceDetector
+	for i := 0; i < opts.MaxIters; i++ {
+		info, err := rt.Step()
+		if err != nil {
+			return err
+		}
+		res.Messages += rt.LastMessages
+		res.Rounds += rt.LastRounds
+		res.Iterations++
+		recordTrace(res, opts, i, opts.MaxIters, TracePoint{
+			Iteration: info.Iteration, Utility: info.Utility, Cost: info.Cost,
+		})
+		if err := det.Observe(info); err != nil {
+			return err
+		}
+		if res.ReachedTargetAt < 0 && info.Utility >= target {
+			res.ReachedTargetAt = info.Iteration
+			break
+		}
+	}
+	finishFromUsage(p, x, flow.Evaluate(rt.Routing()), res)
+	return nil
+}
+
+func solveBackPressure(x *transform.Extended, opts Options, target float64, res *Result) error {
+	if opts.MaxIters <= 0 {
+		opts.MaxIters = 200000
+	}
+	if opts.SampleEvery <= 0 {
+		opts.SampleEvery = 100
+	}
+	eng := backpressure.New(x, backpressure.Config{
+		BufferCap: opts.BufferCap,
+		Damping:   opts.Damping,
+	})
+	var last backpressure.StepInfo
+	for i := 0; i < opts.MaxIters; i++ {
+		last = eng.Step()
+		res.Iterations++
+		recordTrace(res, opts, i, opts.MaxIters, TracePoint{
+			Iteration: last.Iteration, Utility: last.Cumulative,
+		})
+		if res.ReachedTargetAt < 0 && last.Cumulative >= target {
+			res.ReachedTargetAt = last.Iteration
+			break
+		}
+	}
+	res.Utility = last.Cumulative
+	res.Admitted = make([]float64, x.NumCommodities())
+	for j := range res.Admitted {
+		res.Admitted[j] = eng.AverageRate(j)
+	}
+	res.Messages = eng.TotalMessages()
+	res.Rounds = res.Iterations // O(1) exchange rounds per iteration
+	return nil
+}
+
+// recordTrace appends a sample obeying SampleEvery, always keeping the
+// final iteration.
+func recordTrace(res *Result, opts Options, i, maxIters int, tp TracePoint) {
+	if i%opts.SampleEvery == 0 || i == maxIters-1 {
+		res.Trace = append(res.Trace, tp)
+	}
+}
+
+// finishFromUsage fills utility, admitted rates and the original-graph
+// usage report from a final flow evaluation.
+func finishFromUsage(p *stream.Problem, x *transform.Extended, u *flow.Usage, res *Result) {
+	res.Utility = u.Utility()
+	res.Admitted = make([]float64, x.NumCommodities())
+	for j := range res.Admitted {
+		res.Admitted[j] = u.AdmittedRate(j)
+	}
+	for n := 0; n < x.G.NumNodes(); n++ {
+		node := graph.NodeID(n)
+		switch x.Kinds[n] {
+		case transform.Proc:
+			res.Usage = append(res.Usage, NodeUsage{
+				Name:        x.Names[n],
+				Kind:        "server",
+				Capacity:    x.Capacity[n],
+				Usage:       u.FNode[n],
+				Utilization: u.FNode[n] / x.Capacity[n],
+			})
+		case transform.Bandwidth:
+			orig := x.OrigEdge[x.G.Out(node)[0]]
+			edge := p.Net.G.Edge(orig)
+			res.Usage = append(res.Usage, NodeUsage{
+				Name:        p.Net.Names[edge.From] + "->" + p.Net.Names[edge.To],
+				Kind:        "link",
+				Capacity:    x.Capacity[n],
+				Usage:       u.FNode[n],
+				Utilization: u.FNode[n] / x.Capacity[n],
+			})
+		}
+	}
+}
+
+// collectPrices maps the reference optimum's positive shadow prices
+// back onto original servers and links, sorted by price descending.
+func collectPrices(p *stream.Problem, x *transform.Extended, ref *refopt.Result) []ResourcePrice {
+	var prices []ResourcePrice
+	for n, price := range ref.ShadowPrice {
+		if price <= 1e-9 {
+			continue
+		}
+		node := graph.NodeID(n)
+		switch x.Kinds[n] {
+		case transform.Proc:
+			prices = append(prices, ResourcePrice{Name: x.Names[n], Kind: "server", Price: price})
+		case transform.Bandwidth:
+			orig := x.OrigEdge[x.G.Out(node)[0]]
+			edge := p.Net.G.Edge(orig)
+			prices = append(prices, ResourcePrice{
+				Name:  p.Net.Names[edge.From] + "->" + p.Net.Names[edge.To],
+				Kind:  "link",
+				Price: price,
+			})
+		}
+	}
+	sort.Slice(prices, func(a, b int) bool { return prices[a].Price > prices[b].Price })
+	return prices
+}

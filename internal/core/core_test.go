@@ -1,0 +1,248 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/randnet"
+	"repro/internal/stream"
+)
+
+func figure1(t *testing.T) *stream.Problem {
+	t.Helper()
+	p, err := stream.Figure1(stream.Figure1Config{
+		ServerCapacity: 10,
+		Bandwidth:      100,
+		MaxRate1:       30,
+		MaxRate2:       30,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestSolveDefaultsToGradient(t *testing.T) {
+	res, err := Solve(figure1(t), Options{MaxIters: 2000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Algorithm != Gradient {
+		t.Fatalf("algorithm = %q, want gradient", res.Algorithm)
+	}
+	if res.Utility <= 0 {
+		t.Fatalf("utility = %g, want > 0", res.Utility)
+	}
+	if len(res.Admitted) != 2 || len(res.Commodities) != 2 {
+		t.Fatalf("admitted/commodities = %v/%v", res.Admitted, res.Commodities)
+	}
+	if res.Iterations != 2000 {
+		t.Fatalf("iterations = %d, want 2000", res.Iterations)
+	}
+	if len(res.Trace) == 0 {
+		t.Fatal("no trace")
+	}
+}
+
+func TestSolveReference(t *testing.T) {
+	res, err := Solve(figure1(t), Options{Algorithm: Reference})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsNaN(res.ReferenceUtility) || res.Utility != res.ReferenceUtility {
+		t.Fatalf("reference utility mismatch: %g vs %g", res.Utility, res.ReferenceUtility)
+	}
+}
+
+func TestGradientNeverBeatsReference(t *testing.T) {
+	ref, err := Solve(figure1(t), Options{Algorithm: Reference})
+	if err != nil {
+		t.Fatal(err)
+	}
+	grad, err := Solve(figure1(t), Options{MaxIters: 4000, Eta: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if grad.Utility > ref.Utility+1e-6 {
+		t.Fatalf("gradient %g exceeds reference %g", grad.Utility, ref.Utility)
+	}
+	if grad.Utility < 0.85*ref.Utility {
+		t.Fatalf("gradient %g below 85%% of reference %g", grad.Utility, ref.Utility)
+	}
+}
+
+func TestStopAtFraction(t *testing.T) {
+	res, err := Solve(figure1(t), Options{
+		MaxIters:       20000,
+		Eta:            0.2,
+		StopAtFraction: 0.9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ReachedTargetAt < 0 {
+		t.Fatal("target never reached")
+	}
+	if res.Iterations >= 20000 {
+		t.Fatal("did not stop early")
+	}
+	if math.IsNaN(res.ReferenceUtility) {
+		t.Fatal("reference not recorded")
+	}
+}
+
+func TestSolveBackPressure(t *testing.T) {
+	res, err := Solve(figure1(t), Options{
+		Algorithm: BackPressure,
+		MaxIters:  20000,
+		Damping:   0.25,
+		BufferCap: 2000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Utility <= 0 {
+		t.Fatalf("utility = %g", res.Utility)
+	}
+	if res.Rounds != res.Iterations {
+		t.Fatalf("back-pressure rounds %d != iterations %d (O(1) claim)", res.Rounds, res.Iterations)
+	}
+	if res.Messages == 0 {
+		t.Fatal("no messages counted")
+	}
+}
+
+func TestSolveDistributedMatchesGradient(t *testing.T) {
+	p, err := randnet.Generate(randnet.Config{Seed: 4, Nodes: 16, Layers: 4, Commodities: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := Solve(p, Options{MaxIters: 300, Eta: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Solve(p, Options{Algorithm: GradientDistributed, MaxIters: 300, Eta: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(a.Utility-b.Utility) > 1e-6*(1+a.Utility) {
+		t.Fatalf("engine %g vs actors %g", a.Utility, b.Utility)
+	}
+	if a.Messages != b.Messages {
+		t.Fatalf("message accounting %d vs measured %d", a.Messages, b.Messages)
+	}
+}
+
+func TestUsageReport(t *testing.T) {
+	res, err := Solve(figure1(t), Options{MaxIters: 3000, Eta: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	servers, links := 0, 0
+	for _, u := range res.Usage {
+		switch u.Kind {
+		case "server":
+			servers++
+		case "link":
+			links++
+		}
+		if u.Utilization > 1+1e-9 {
+			t.Fatalf("%s over capacity: %g", u.Name, u.Utilization)
+		}
+		if u.Utilization < 0 {
+			t.Fatalf("%s negative utilization", u.Name)
+		}
+	}
+	if servers != 8 {
+		t.Fatalf("servers in report = %d, want 8", servers)
+	}
+	if links == 0 {
+		t.Fatal("no links in report")
+	}
+}
+
+func TestSolveAdaptive(t *testing.T) {
+	res, err := Solve(figure1(t), Options{
+		Algorithm:     GradientAdaptive,
+		MaxIters:      3000,
+		WithReference: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Utility <= 0 || res.Utility > res.ReferenceUtility+1e-6 {
+		t.Fatalf("adaptive utility %g vs reference %g", res.Utility, res.ReferenceUtility)
+	}
+	// Monotone cost by construction.
+	for i := 1; i < len(res.Trace); i++ {
+		if res.Trace[i].Cost > res.Trace[i-1].Cost+1e-9 {
+			t.Fatalf("adaptive cost rose at trace index %d", i)
+		}
+	}
+}
+
+func TestUnknownAlgorithm(t *testing.T) {
+	_, err := Solve(figure1(t), Options{Algorithm: "simulated-annealing"})
+	if !errors.Is(err, ErrUnknownAlgorithm) {
+		t.Fatalf("err = %v, want ErrUnknownAlgorithm", err)
+	}
+}
+
+func TestSampleEvery(t *testing.T) {
+	res, err := Solve(figure1(t), Options{MaxIters: 1000, SampleEvery: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Trace) != 11 {
+		t.Fatalf("trace samples = %d, want 11", len(res.Trace))
+	}
+	if res.Trace[len(res.Trace)-1].Iteration != 999 {
+		t.Fatal("final iteration not sampled")
+	}
+}
+
+func TestInvalidProblemRejected(t *testing.T) {
+	p := stream.NewProblem(stream.NewNetwork())
+	if _, err := Solve(p, Options{}); err == nil {
+		t.Fatal("invalid problem accepted")
+	}
+}
+
+func TestPricesReportedWithReference(t *testing.T) {
+	res, err := Solve(figure1(t), Options{Algorithm: Reference})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Prices) == 0 {
+		t.Fatal("no shadow prices on an overloaded instance")
+	}
+	for i, pr := range res.Prices {
+		if pr.Price <= 0 {
+			t.Fatalf("non-positive price %g reported", pr.Price)
+		}
+		if i > 0 && pr.Price > res.Prices[i-1].Price {
+			t.Fatal("prices not sorted descending")
+		}
+		if pr.Kind != "server" && pr.Kind != "link" {
+			t.Fatalf("unknown kind %q", pr.Kind)
+		}
+	}
+}
+
+func TestStationaryTolStopsEarly(t *testing.T) {
+	res, err := Solve(figure1(t), Options{
+		MaxIters:      50000,
+		Eta:           0.2,
+		StationaryTol: 0.05,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Iterations >= 50000 {
+		t.Fatal("stationarity detection never fired")
+	}
+	if res.Utility <= 0 {
+		t.Fatalf("stopped at utility %g", res.Utility)
+	}
+}

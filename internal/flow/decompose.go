@@ -1,0 +1,125 @@
+package flow
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/graph"
+)
+
+// PathFlow is one path of a flow decomposition, with the rate it
+// carries expressed in source units (the rate leaving the dummy node
+// along this path). The rate arriving at the path's last node is
+// Rate times the β product along the path.
+type PathFlow struct {
+	Nodes []graph.NodeID
+	// Rate in source units.
+	Rate float64
+	// DeliveredRate at the path's end (Rate × Π β).
+	DeliveredRate float64
+	// ViaDiffLink marks the rejection path (dummy → sink directly).
+	ViaDiffLink bool
+}
+
+// decomposeEps is the rate below which residual flow is considered
+// numerical noise and dropped during decomposition.
+const decomposeEps = 1e-9
+
+// DecomposePaths performs a flow decomposition of commodity j's
+// evaluated flow into at most |E| source→sink paths. Shrinkage is
+// handled by measuring every edge's residual in *source units*: edge e
+// with tail potential g_tail carries y_e = t·φ input units, which is
+// y_e/g_tail source units. The decomposition greedily extracts the
+// widest-first path until everything is assigned; on a DAG this always
+// terminates with each edge's flow fully covered.
+//
+// The rejected share (dummy → sink over the difference link) comes out
+// as one path with ViaDiffLink set, so the returned rates always sum to
+// λ_j.
+func DecomposePaths(u *Usage, j int) ([]PathFlow, error) {
+	x := u.R.X
+	c := &x.Commodities[j]
+	member := x.Member[j]
+
+	// Residual per edge, in source units. g is the potential (β path
+	// product from the dummy), well defined by Property 1.
+	g := make([]float64, x.G.NumNodes())
+	g[c.Dummy] = 1
+	for _, n := range x.Topo[j] {
+		if g[n] == 0 {
+			continue
+		}
+		for _, e := range x.G.Out(n) {
+			if !member[e] || e == c.DiffLink {
+				continue
+			}
+			head := x.G.Edge(e).To
+			if g[head] == 0 {
+				g[head] = g[n] * x.Beta[j][e]
+			}
+		}
+	}
+	residual := make([]float64, x.G.NumEdges())
+	for e := 0; e < x.G.NumEdges(); e++ {
+		if !member[e] {
+			continue
+		}
+		tail := x.G.Edge(graph.EdgeID(e)).From
+		inputRate := u.T[j][tail] * u.R.Phi[j][graph.EdgeID(e)]
+		if g[tail] > 0 {
+			residual[e] = inputRate / g[tail]
+		}
+	}
+
+	var paths []PathFlow
+	for iter := 0; iter <= x.G.NumEdges(); iter++ {
+		// Follow the widest positive-residual edge from the dummy.
+		var (
+			nodes  = []graph.NodeID{c.Dummy}
+			edges  []graph.EdgeID
+			rate   = math.Inf(1)
+			viaDif = false
+		)
+		node := c.Dummy
+		for node != c.Sink {
+			best := graph.EdgeID(graph.Invalid)
+			width := decomposeEps
+			for _, e := range x.G.Out(node) {
+				if member[e] && residual[e] > width {
+					width = residual[e]
+					best = e
+				}
+			}
+			if best == graph.Invalid {
+				if node == c.Dummy {
+					// All flow decomposed.
+					return paths, nil
+				}
+				return nil, fmt.Errorf("flow: decompose: stranded at node %d (flow balance violated?)", node)
+			}
+			if residual[best] < rate {
+				rate = residual[best]
+			}
+			if best == c.DiffLink {
+				viaDif = true
+			}
+			edges = append(edges, best)
+			node = x.G.Edge(best).To
+			nodes = append(nodes, node)
+		}
+		for _, e := range edges {
+			residual[e] -= rate
+		}
+		delivered := rate
+		for _, e := range edges {
+			delivered *= x.Beta[j][e]
+		}
+		paths = append(paths, PathFlow{
+			Nodes:         nodes,
+			Rate:          rate,
+			DeliveredRate: delivered,
+			ViaDiffLink:   viaDif,
+		})
+	}
+	return nil, fmt.Errorf("flow: decompose: did not terminate in %d paths", x.G.NumEdges())
+}

@@ -1,0 +1,240 @@
+package flow
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+	"repro/internal/randnet"
+	"repro/internal/transform"
+)
+
+// randomInstance builds a random extended problem.
+func randomInstance(t testing.TB, seed int64) *transform.Extended {
+	t.Helper()
+	r := rand.New(rand.NewSource(seed))
+	nodes := 10 + r.Intn(20)
+	layers := 3 + r.Intn(3)
+	maxCom := nodes / layers
+	if maxCom > 3 {
+		maxCom = 3
+	}
+	p, err := randnet.Generate(randnet.Config{
+		Seed:        seed,
+		Nodes:       nodes,
+		Commodities: 1 + r.Intn(maxCom),
+		Layers:      layers,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, err := transform.Build(p, transform.Options{Epsilon: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return x
+}
+
+// randomRouting draws a random valid routing set: at every node with
+// member out-edges, random positive fractions normalized to one.
+func randomRouting(x *transform.Extended, r *rand.Rand) *Routing {
+	rt := NewZero(x)
+	for j := range x.Commodities {
+		member := x.Member[j]
+		sink := x.Commodities[j].Sink
+		for n := 0; n < x.G.NumNodes(); n++ {
+			node := graph.NodeID(n)
+			if node == sink {
+				continue
+			}
+			var outs []graph.EdgeID
+			for _, e := range x.G.Out(node) {
+				if member[e] {
+					outs = append(outs, e)
+				}
+			}
+			if len(outs) == 0 {
+				continue
+			}
+			total := 0.0
+			weights := make([]float64, len(outs))
+			for i := range outs {
+				weights[i] = 0.05 + r.Float64()
+				total += weights[i]
+			}
+			for i, e := range outs {
+				rt.Phi[j][e] = weights[i] / total
+			}
+		}
+	}
+	return rt
+}
+
+// TestQuickFlowConservation verifies eq. (7) on random instances and
+// routings: for every non-sink node n and commodity j,
+// Σ_out t_n·φ_e − Σ_in β_e·t_tail·φ_e = r_n(j).
+func TestQuickFlowConservation(t *testing.T) {
+	f := func(seed int64) bool {
+		x := randomInstance(t, seed)
+		r := rand.New(rand.NewSource(seed ^ 0x5eed))
+		rt := randomRouting(x, r)
+		if err := rt.Validate(); err != nil {
+			t.Logf("routing invalid: %v", err)
+			return false
+		}
+		u := Evaluate(rt)
+		for j := range x.Commodities {
+			c := &x.Commodities[j]
+			member := x.Member[j]
+			for n := 0; n < x.G.NumNodes(); n++ {
+				node := graph.NodeID(n)
+				if node == c.Sink {
+					continue
+				}
+				out := 0.0
+				for _, e := range x.G.Out(node) {
+					if member[e] {
+						out += u.T[j][n] * rt.Phi[j][e]
+					}
+				}
+				in := 0.0
+				for _, e := range x.G.In(node) {
+					if member[e] {
+						in += u.Arrive[j][e]
+					}
+				}
+				want := 0.0
+				if node == c.Dummy {
+					want = c.MaxRate
+				}
+				if math.Abs(out-in-want) > 1e-6*(1+math.Abs(out)) {
+					t.Logf("seed %d commodity %d node %d: out %g in %g r %g", seed, j, n, out, in, want)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickDeliveredMatchesPotential verifies the Property-1
+// consequence that sink arrivals equal g_sink(j) times the admitted
+// rate, for ANY routing (path-independence of the shrinkage product).
+func TestQuickDeliveredMatchesPotential(t *testing.T) {
+	f := func(seed int64) bool {
+		x := randomInstance(t, seed)
+		r := rand.New(rand.NewSource(seed ^ 0xfeed))
+		rt := randomRouting(x, r)
+		u := Evaluate(rt)
+		for j := range x.Commodities {
+			c := &x.Commodities[j]
+			// g_sink from the member subgraph, dummy links excluded.
+			g := potentials(x, j)
+			want := g[c.Sink] * u.AdmittedRate(j)
+			got := u.DeliveredRate(j)
+			if math.Abs(got-want) > 1e-6*(1+math.Abs(want)) {
+				t.Logf("seed %d commodity %d: delivered %g, g·a %g", seed, j, got, want)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// potentials recomputes g over member edges (dummy difference link
+// excluded so the real network's path product is measured).
+func potentials(x *transform.Extended, j int) []float64 {
+	c := &x.Commodities[j]
+	g := make([]float64, x.G.NumNodes())
+	g[c.Dummy] = 1
+	member := x.Member[j]
+	for _, n := range x.Topo[j] {
+		if g[n] == 0 {
+			continue
+		}
+		for _, e := range x.G.Out(n) {
+			if !member[e] || e == c.DiffLink {
+				continue
+			}
+			head := x.G.Edge(e).To
+			if g[head] == 0 {
+				g[head] = g[n] * x.Beta[j][e]
+			}
+		}
+	}
+	return g
+}
+
+// TestQuickUtilityLossComplement verifies U(a) + Y(λ−a) = U(λ) under
+// arbitrary admission splits on random instances.
+func TestQuickUtilityLossComplement(t *testing.T) {
+	f := func(seed int64) bool {
+		x := randomInstance(t, seed)
+		r := rand.New(rand.NewSource(seed ^ 0xab))
+		rt := randomRouting(x, r)
+		u := Evaluate(rt)
+		want := 0.0
+		for j := range x.Commodities {
+			c := &x.Commodities[j]
+			want += c.Utility.Value(c.MaxRate)
+		}
+		got := u.Utility() + u.UtilityLoss()
+		return math.Abs(got-want) <= 1e-6*(1+math.Abs(want))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickFNodeAggregation verifies eq. (5): FNode is exactly the sum
+// of per-commodity per-edge usage grouped by tail.
+func TestQuickFNodeAggregation(t *testing.T) {
+	f := func(seed int64) bool {
+		x := randomInstance(t, seed)
+		r := rand.New(rand.NewSource(seed ^ 0xcc))
+		rt := randomRouting(x, r)
+		u := Evaluate(rt)
+		sum := make([]float64, x.G.NumNodes())
+		for j := range x.Commodities {
+			for e := 0; e < x.G.NumEdges(); e++ {
+				sum[x.G.Edge(graph.EdgeID(e)).From] += u.FEdge[j][e]
+			}
+		}
+		for n := range sum {
+			if math.Abs(sum[n]-u.FNode[n]) > 1e-9*(1+sum[n]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickEvaluateDeterministic: same routing evaluates identically.
+func TestQuickEvaluateDeterministic(t *testing.T) {
+	f := func(seed int64) bool {
+		x := randomInstance(t, seed)
+		r := rand.New(rand.NewSource(seed))
+		rt := randomRouting(x, r)
+		a, b := Evaluate(rt), Evaluate(rt)
+		for n := range a.FNode {
+			if a.FNode[n] != b.FNode[n] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}

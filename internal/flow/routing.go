@@ -1,0 +1,126 @@
+// Package flow implements §4's distributed problem formulation: routing
+// fractions φ as control variables, the flow-balance equations with
+// shrinkage (eq. 3), resource usage rates (eqs. 4–5), and the cost
+// decomposition A = Σ_i A_i (eq. 8).
+package flow
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/graph"
+	"repro/internal/transform"
+)
+
+// Routing is a per-commodity routing-variable set φ: Phi[j][e] is the
+// fraction of commodity j's traffic at the tail of extended edge e that
+// is processed over e. Fractions are positive only on member edges, and
+// sum to one over the member out-edges of every node that can carry
+// commodity-j traffic.
+type Routing struct {
+	X   *transform.Extended
+	Phi [][]float64
+}
+
+// NewZero returns an all-zero routing-variable set.
+func NewZero(x *transform.Extended) *Routing {
+	phi := make([][]float64, x.NumCommodities())
+	for j := range phi {
+		phi[j] = make([]float64, x.G.NumEdges())
+	}
+	return &Routing{X: x, Phi: phi}
+}
+
+// NewInitial returns the paper-faithful starting point (DESIGN.md §6):
+// each dummy node routes everything to its difference link (admitted
+// rate 0, so utility climbs monotonically from zero as in Figure 4),
+// and every other node splits uniformly across its member out-edges.
+func NewInitial(x *transform.Extended) *Routing {
+	r := NewZero(x)
+	for j := range x.Commodities {
+		c := &x.Commodities[j]
+		member := x.Member[j]
+		for n := 0; n < x.G.NumNodes(); n++ {
+			node := graph.NodeID(n)
+			if node == c.Sink {
+				continue
+			}
+			if node == c.Dummy {
+				r.Phi[j][c.DiffLink] = 1
+				continue
+			}
+			var outs []graph.EdgeID
+			for _, e := range x.G.Out(node) {
+				if member[e] {
+					outs = append(outs, e)
+				}
+			}
+			for _, e := range outs {
+				r.Phi[j][e] = 1 / float64(len(outs))
+			}
+		}
+	}
+	return r
+}
+
+// Clone deep-copies the routing set.
+func (r *Routing) Clone() *Routing {
+	c := NewZero(r.X)
+	for j := range r.Phi {
+		copy(c.Phi[j], r.Phi[j])
+	}
+	return c
+}
+
+// Rebind deep-copies the routing set onto another extended problem with
+// the same topology (same node/edge/commodity layout). This is how a
+// converged routing warm-starts the optimizer after problem parameters
+// (offered rates, capacities) change: the φ values carry over, the
+// evaluation context does not.
+func (r *Routing) Rebind(x *transform.Extended) (*Routing, error) {
+	if x.G.NumEdges() != r.X.G.NumEdges() || x.NumCommodities() != r.X.NumCommodities() {
+		return nil, fmt.Errorf("flow: rebind target has %d edges/%d commodities, routing has %d/%d",
+			x.G.NumEdges(), x.NumCommodities(), r.X.G.NumEdges(), r.X.NumCommodities())
+	}
+	c := NewZero(x)
+	for j := range r.Phi {
+		copy(c.Phi[j], r.Phi[j])
+	}
+	return c, nil
+}
+
+// Validate checks the §4 routing-decision conditions: φ ≥ 0, φ = 0 off
+// the member subgraph, and Σ_k φ_ik(j) = 1 at every non-sink node with
+// member out-edges.
+func (r *Routing) Validate() error {
+	x := r.X
+	const tol = 1e-9
+	for j := range x.Commodities {
+		member := x.Member[j]
+		for e, v := range r.Phi[j] {
+			if v < -tol || math.IsNaN(v) {
+				return fmt.Errorf("flow: commodity %d edge %d: phi = %g", j, e, v)
+			}
+			if !member[e] && v > tol {
+				return fmt.Errorf("flow: commodity %d edge %d: phi = %g on non-member edge", j, e, v)
+			}
+		}
+		for n := 0; n < x.G.NumNodes(); n++ {
+			node := graph.NodeID(n)
+			if node == x.Commodities[j].Sink {
+				continue
+			}
+			sum, hasMember := 0.0, false
+			for _, e := range x.G.Out(node) {
+				if member[e] {
+					hasMember = true
+					sum += r.Phi[j][e]
+				}
+			}
+			if hasMember && math.Abs(sum-1) > 1e-6 {
+				return fmt.Errorf("flow: commodity %d node %q: phi sums to %g", j, x.Names[n], sum)
+			}
+		}
+	}
+	return nil
+}

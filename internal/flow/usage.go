@@ -1,0 +1,158 @@
+package flow
+
+import (
+	"math"
+
+	"repro/internal/graph"
+)
+
+// Usage is the traffic and resource state induced by a routing set:
+// the unique solution of the flow-balance equations (eq. 3) plus the
+// resource usage rates of eqs. (4)–(5).
+type Usage struct {
+	R *Routing
+	// T[j][n] is t_n(j): the expected commodity-j traffic rate at node
+	// n, in node-local input units.
+	T [][]float64
+	// FEdge[j][e] is node-resource usage from the tail of e by
+	// commodity j: t_i(j)·φ_e(j)·c_e(j) (eq. 4 per commodity).
+	FEdge [][]float64
+	// Arrive[j][e] is the flow delivered to the head of e:
+	// t_i(j)·φ_e(j)·β_e(j).
+	Arrive [][]float64
+	// FNode[n] is f_n = Σ_e Σ_j FEdge[j][e] over e ∈ out(n) (eq. 5).
+	FNode []float64
+}
+
+// Evaluate solves the flow-balance equations by a forward sweep in
+// topological order of each commodity's member DAG (the routing set is
+// loop-free by construction, so eq. 3 has a unique solution computable
+// in one pass).
+func Evaluate(r *Routing) *Usage {
+	x := r.X
+	nn, ne, nc := x.G.NumNodes(), x.G.NumEdges(), x.NumCommodities()
+	u := &Usage{
+		R:      r,
+		T:      make([][]float64, nc),
+		FEdge:  make([][]float64, nc),
+		Arrive: make([][]float64, nc),
+		FNode:  make([]float64, nn),
+	}
+	for j := 0; j < nc; j++ {
+		t := make([]float64, nn)
+		fe := make([]float64, ne)
+		ar := make([]float64, ne)
+		c := &x.Commodities[j]
+		member := x.Member[j]
+		t[c.Dummy] = c.MaxRate // r_i(j) of eq. 2
+		for _, n := range x.Topo[j] {
+			if t[n] == 0 || n == c.Sink {
+				continue
+			}
+			for _, e := range x.G.Out(n) {
+				if !member[e] {
+					continue
+				}
+				phi := r.Phi[j][e]
+				if phi == 0 {
+					continue
+				}
+				fe[e] = t[n] * phi * x.Cost[j][e]
+				ar[e] = t[n] * phi * x.Beta[j][e]
+				t[x.G.Edge(e).To] += ar[e]
+			}
+		}
+		u.T[j] = t
+		u.FEdge[j] = fe
+		u.Arrive[j] = ar
+		for e := 0; e < ne; e++ {
+			u.FNode[x.G.Edge(graph.EdgeID(e)).From] += fe[e]
+		}
+	}
+	return u
+}
+
+// AdmittedRate returns a_j: the rate the dummy node sends into the real
+// network over the input link.
+func (u *Usage) AdmittedRate(j int) float64 {
+	c := &u.R.X.Commodities[j]
+	return c.MaxRate * u.R.Phi[j][c.InputLink]
+}
+
+// RejectedRate returns λ_j − a_j, the flow on the difference link.
+func (u *Usage) RejectedRate(j int) float64 {
+	c := &u.R.X.Commodities[j]
+	return c.MaxRate * u.R.Phi[j][c.DiffLink]
+}
+
+// Utility returns Σ_j U_j(a_j), the quantity the paper maximizes.
+func (u *Usage) Utility() float64 {
+	total := 0.0
+	for j := range u.R.X.Commodities {
+		total += u.R.X.Commodities[j].Utility.Value(u.AdmittedRate(j))
+	}
+	return total
+}
+
+// UtilityLoss returns Y = Σ_j Y_j(λ_j − a_j).
+func (u *Usage) UtilityLoss() float64 {
+	x := u.R.X
+	total := 0.0
+	for j := range x.Commodities {
+		c := &x.Commodities[j]
+		total += x.LossValue(j, c.DiffLink, u.FEdge[j][c.DiffLink])
+	}
+	return total
+}
+
+// PenaltyCost returns ε·D = Σ_i ε·D_i(f_i).
+func (u *Usage) PenaltyCost() float64 {
+	total := 0.0
+	for n, f := range u.FNode {
+		total += u.R.X.PenaltyValue(graph.NodeID(n), f)
+	}
+	return total
+}
+
+// TotalCost returns A = Y + ε·D, the objective the routing problem
+// minimizes (§3).
+func (u *Usage) TotalCost() float64 {
+	return u.UtilityLoss() + u.PenaltyCost()
+}
+
+// Feasible reports whether every capacitated node satisfies f_i ≤ C_i
+// (eq. 6), with slack reporting the minimum remaining headroom ratio
+// min_i (C_i − f_i)/C_i over capacitated nodes.
+func (u *Usage) Feasible() (ok bool, slack float64) {
+	ok, slack = true, 1.0
+	for n, f := range u.FNode {
+		c := u.R.X.Capacity[n]
+		if math.IsInf(c, 1) {
+			continue
+		}
+		s := (c - f) / c
+		if s < slack {
+			slack = s
+		}
+		if f > c+1e-9 {
+			ok = false
+		}
+	}
+	return ok, slack
+}
+
+// DeliveredRate returns the flow arriving at commodity j's sink through
+// the real network (excluding the difference link), in sink units: this
+// is g_sink(j)·a_j when Property 1 holds.
+func (u *Usage) DeliveredRate(j int) float64 {
+	x := u.R.X
+	c := &x.Commodities[j]
+	total := 0.0
+	for _, e := range x.G.In(c.Sink) {
+		if e == c.DiffLink {
+			continue
+		}
+		total += u.Arrive[j][e]
+	}
+	return total
+}

@@ -1,0 +1,72 @@
+package gradient
+
+import (
+	"repro/internal/flow"
+)
+
+// ComputeTags runs the §5 loop-freedom tagging protocol for commodity
+// j: node l attaches a tag to its rho broadcast when it has a
+// downstream link (l,m) (φ_lm(j) > 0) that is *improper*
+// (∂A/∂r_l ≤ ∂A/∂r_m) and will not be emptied this iteration
+// (condition 18), or when any downstream neighbor's broadcast was
+// already tagged. The update Γ then refuses to raise φ_ik(j) from zero
+// toward any tagged node k (the blocked set B_i(j)).
+//
+// One deliberate deviation from the text (documented in DESIGN.md §6):
+// the paper prints the improper-link test as ∂A/∂r_l ≤ ∂A/∂r_m,
+// verbatim from Gallager's conservation setting. Marginal input costs
+// are *per local unit*, so under shrinkage (β_lm < 1) the raw
+// comparison fires at perfectly proper links — rho_l ≈ c + β·rho_m can
+// sit below rho_m forever — and the resulting permanent tags fence
+// whole subgraphs off from the update, pinning the iteration at badly
+// suboptimal points (≈60% of optimal on deep instances; see
+// TestBlockingScaleCorrectness). Comparing costs per *source* unit,
+// g_l·rho_l ≤ g_m·rho_m ⇔ rho_l ≤ β_lm·rho_m, restores Gallager's
+// meaning and reduces to his condition exactly when β = 1.
+//
+// In this system every commodity's member subgraph is a DAG, so loops
+// cannot form even without blocking; the protocol is implemented
+// faithfully anyway, and Config.DisableBlocking ablates it (bench
+// BenchmarkBlockingAblation).
+func ComputeTags(u *flow.Usage, j int, m *Marginals, eta float64) []bool {
+	x := u.R.X
+	member := x.Member[j]
+	tagged := make([]bool, x.G.NumNodes())
+	order := x.Topo[j]
+	sink := x.Commodities[j].Sink
+	for idx := len(order) - 1; idx >= 0; idx-- {
+		l := order[idx]
+		if l == sink {
+			continue
+		}
+		t := u.T[j][l]
+		for _, e := range x.G.Out(l) {
+			if !member[e] || u.R.Phi[j][e] <= 0 {
+				continue
+			}
+			head := x.G.Edge(e).To
+			if tagged[head] {
+				tagged[l] = true
+				break
+			}
+			// Improper link: routing positive fraction toward a node
+			// whose marginal cost per source unit is no better than
+			// ours (the β factor converts both sides to source units;
+			// see the doc comment above).
+			if m.Rho[l] > x.Beta[j][e]*m.Rho[head] {
+				continue
+			}
+			// Condition (18): the improper link survives this
+			// iteration's update. With t = 0 the update empties every
+			// non-best link outright, so nothing survives.
+			if t == 0 {
+				continue
+			}
+			if u.R.Phi[j][e] >= eta/t*(m.LinkD[e]-m.Rho[l]) {
+				tagged[l] = true
+				break
+			}
+		}
+	}
+	return tagged
+}

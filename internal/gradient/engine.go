@@ -1,0 +1,208 @@
+package gradient
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/flow"
+	"repro/internal/transform"
+)
+
+// Config tunes the algorithm.
+type Config struct {
+	// Eta is the scale factor η of Γ (eq. 16). §6 uses 0.04 for the
+	// headline experiment; larger values converge faster but may
+	// oscillate. Zero or negative means 0.04.
+	Eta float64
+	// DisableBlocking turns the loop-freedom tagging protocol off.
+	// Safe here because member subgraphs are DAGs; exists for the
+	// ablation benches.
+	DisableBlocking bool
+}
+
+func (c *Config) setDefaults() {
+	if c.Eta <= 0 {
+		c.Eta = 0.04
+	}
+}
+
+// Stats accumulates the distributed-protocol accounting across
+// iterations: the paper's §6 comparison of per-iteration message
+// exchanges (gradient needs O(L) sequential rounds per iteration,
+// back-pressure O(1)).
+type Stats struct {
+	Iterations int
+	// Messages counts protocol messages: one rho broadcast per member
+	// edge in the marginal-cost wave plus one forecast message per
+	// member edge in the flow-forecast wave, per commodity.
+	Messages int
+	// Rounds counts sequential message-exchange steps: per iteration
+	// the deepest commodity DAG bounds the wave latency.
+	Rounds int
+}
+
+// StepInfo reports the state measured at the start of an iteration
+// (before the routing update), so a trace of StepInfo values is the
+// utility-versus-iteration curve of Figure 4.
+type StepInfo struct {
+	Iteration int
+	Utility   float64   // Σ_j U_j(a_j)
+	Cost      float64   // A = Y + εD
+	Admitted  []float64 // a_j per commodity
+	Feasible  bool      // f_i ≤ C_i at every node
+}
+
+// Engine runs the gradient-based algorithm synchronously.
+type Engine struct {
+	X   *transform.Extended
+	R   *flow.Routing
+	cfg Config
+
+	stats Stats
+	iter  int
+}
+
+// New prepares an engine from the paper-faithful initial routing
+// (everything rejected; see flow.NewInitial).
+func New(x *transform.Extended, cfg Config) *Engine {
+	cfg.setDefaults()
+	return &Engine{X: x, R: flow.NewInitial(x), cfg: cfg}
+}
+
+// NewFrom starts from an explicit routing set (used for warm starts in
+// the dynamic-tracking experiment E7). The routing is rebound to x, so
+// a routing converged under old parameters (offered rates, capacities)
+// is evaluated against the new ones; x must share the topology of the
+// routing's original problem or NewFrom panics.
+func NewFrom(x *transform.Extended, r *flow.Routing, cfg Config) *Engine {
+	cfg.setDefaults()
+	bound, err := r.Rebind(x)
+	if err != nil {
+		panic(err) // topology mismatch is a programming error
+	}
+	return &Engine{X: x, R: bound, cfg: cfg}
+}
+
+// Stats returns protocol accounting accumulated so far.
+func (e *Engine) Stats() Stats { return e.stats }
+
+// Routing exposes the current routing variables (not a copy).
+func (e *Engine) Routing() *flow.Routing { return e.R }
+
+// Step executes one full iteration — forecast, marginal-cost wave,
+// tagging, routing update — and returns the pre-update measurements.
+func (e *Engine) Step() StepInfo {
+	u := flow.Evaluate(e.R)
+	info := e.measure(u)
+
+	next := e.R.Clone()
+	maxRounds := 0
+	for j := range e.X.Commodities {
+		m := ComputeMarginals(u, j)
+		var tagged []bool
+		if !e.cfg.DisableBlocking {
+			tagged = ComputeTags(u, j, m, e.cfg.Eta)
+		}
+		ApplyGamma(u, j, m, tagged, e.cfg.Eta, next)
+		// Forecast wave mirrors the marginal wave downstream: same
+		// message count, same depth.
+		e.stats.Messages += 2 * m.Messages
+		if m.Rounds > maxRounds {
+			maxRounds = m.Rounds
+		}
+	}
+	e.R = next
+	e.stats.Rounds += 2 * maxRounds
+	e.stats.Iterations++
+	e.iter++
+	return info
+}
+
+func (e *Engine) measure(u *flow.Usage) StepInfo {
+	admitted := make([]float64, e.X.NumCommodities())
+	for j := range admitted {
+		admitted[j] = u.AdmittedRate(j)
+	}
+	feasible, _ := u.Feasible()
+	return StepInfo{
+		Iteration: e.iter,
+		Utility:   u.Utility(),
+		Cost:      u.TotalCost(),
+		Admitted:  admitted,
+		Feasible:  feasible,
+	}
+}
+
+// ErrDiverged is returned by Run when the iteration has genuinely
+// diverged — η too large for the instance (§5's "danger of no
+// convergence").
+var ErrDiverged = errors.New("gradient: iteration diverged; reduce eta")
+
+// DivergenceDetector distinguishes real divergence from the transient
+// capacity overshoots the barrier recovers from. A single iteration
+// with f_i ≥ C_i makes the cost +Inf, but the clamped barrier
+// derivative (DESIGN.md §6) immediately pushes the flow back out;
+// only a *sustained* non-finite cost, or NaN anywhere, is divergence.
+type DivergenceDetector struct {
+	nonFinite int
+}
+
+// nonFiniteLimit is how many consecutive +Inf-cost iterations count as
+// divergence rather than a recoverable overshoot.
+const nonFiniteLimit = 100
+
+// Observe inspects one StepInfo and reports ErrDiverged when the
+// trajectory is beyond recovery.
+func (d *DivergenceDetector) Observe(info StepInfo) error {
+	if math.IsNaN(info.Cost) || math.IsNaN(info.Utility) {
+		return fmt.Errorf("%w: NaN at iteration %d", ErrDiverged, info.Iteration)
+	}
+	if math.IsInf(info.Cost, 0) {
+		d.nonFinite++
+		if d.nonFinite >= nonFiniteLimit {
+			return fmt.Errorf("%w: cost non-finite for %d iterations (at %d)",
+				ErrDiverged, d.nonFinite, info.Iteration)
+		}
+		return nil
+	}
+	d.nonFinite = 0
+	return nil
+}
+
+// Run executes up to maxIters iterations, appending one StepInfo per
+// iteration to the returned trace. It stops early when stop (if
+// non-nil) returns true for the latest StepInfo.
+func (e *Engine) Run(maxIters int, stop func(StepInfo) bool) ([]StepInfo, error) {
+	trace := make([]StepInfo, 0, maxIters)
+	var det DivergenceDetector
+	for i := 0; i < maxIters; i++ {
+		info := e.Step()
+		trace = append(trace, info)
+		if err := det.Observe(info); err != nil {
+			return trace, err
+		}
+		if stop != nil && stop(info) {
+			break
+		}
+	}
+	return trace, nil
+}
+
+// RunToTarget iterates until the measured utility reaches the given
+// fraction of target (e.g. 0.95 × the LP optimum, the paper's
+// convergence criterion in §6), or maxIters. It returns the trace and
+// the first iteration index reaching the target (-1 if never).
+func (e *Engine) RunToTarget(target, fraction float64, maxIters int) ([]StepInfo, int, error) {
+	hit := -1
+	trace, err := e.Run(maxIters, func(info StepInfo) bool {
+		if hit < 0 && info.Utility >= fraction*target {
+			hit = info.Iteration
+		}
+		return hit >= 0
+	})
+	return trace, hit, err
+}
+
+// Solution evaluates the current routing set.
+func (e *Engine) Solution() *flow.Usage { return flow.Evaluate(e.R) }

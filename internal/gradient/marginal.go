@@ -1,0 +1,103 @@
+// Package gradient implements the paper's §5 distributed algorithm for
+// joint routing optimization and resource allocation, generalizing
+// Gallager's minimum-delay routing (ref. [10]) to stream processing
+// with shrinkage factors and per-node resource penalties.
+//
+// Each iteration performs the three protocol phases of §5 on a
+// synchronous schedule:
+//
+//  1. flow forecast: solve the flow-balance equations under the current
+//     routing set (internal/flow.Evaluate);
+//  2. marginal-cost wave: compute ∂A/∂r_i(j) from the sinks upstream
+//     (eq. 9) together with the per-link marginals of eq. 10/13 and
+//     the loop-freedom tags of eq. 18;
+//  3. routing update Γ: shift routing fraction from expensive links to
+//     each node's best unblocked link (eqs. 14–17).
+//
+// The synchronous engine is deterministic and exactly equivalent to
+// the message-passing execution in internal/dist (tests in that
+// package assert trajectory equality); it also accounts for the
+// messages and rounds the distributed protocol would need, supporting
+// the paper's O(L)-vs-O(1) message-cost discussion in §6.
+package gradient
+
+import (
+	"repro/internal/flow"
+	"repro/internal/graph"
+)
+
+// Marginals holds the first-order information of one iteration for one
+// commodity.
+type Marginals struct {
+	// Rho[n] is ∂A/∂r_n(j): the marginal cost of injecting one more
+	// unit of commodity-j traffic at node n (eq. 9); zero at the sink.
+	Rho []float64
+	// LinkD[e] is the per-link marginal of eqs. (10) and (13):
+	// ∂A_i/∂f_e·c_e(j) + β_e(j)·Rho[head(e)], defined on member edges.
+	LinkD []float64
+	// Rounds is the number of sequential message-exchange steps the
+	// upstream wave needs: the depth of the member DAG below each node,
+	// maximized — the L in the paper's O(L) analysis.
+	Rounds int
+	// Messages counts the rho broadcasts the wave sends (one per member
+	// edge, tail <- head).
+	Messages int
+}
+
+// ComputeMarginals runs the marginal-cost wave for commodity j on the
+// evaluated usage u. Nodes are processed in reverse topological order
+// of the member DAG, which is exactly the order in which the
+// distributed protocol's "wait for all downstream values" rule fires.
+func ComputeMarginals(u *flow.Usage, j int) *Marginals {
+	x := u.R.X
+	nn, ne := x.G.NumNodes(), x.G.NumEdges()
+	m := &Marginals{
+		Rho:   make([]float64, nn),
+		LinkD: make([]float64, ne),
+	}
+	member := x.Member[j]
+	sink := x.Commodities[j].Sink
+	depth := make([]int, nn) // wave rounds below each node
+	order := x.Topo[j]
+	for idx := len(order) - 1; idx >= 0; idx-- {
+		n := order[idx]
+		if n == sink {
+			m.Rho[n] = 0 // convention ∂A/∂r_j(j) = 0
+			continue
+		}
+		var (
+			rho    float64
+			rounds int
+		)
+		for _, e := range x.G.Out(n) {
+			if !member[e] {
+				continue
+			}
+			head := x.G.Edge(e).To
+			d := marginalCostPerUnit(u, j, n, e) + x.Beta[j][e]*m.Rho[head]
+			m.LinkD[e] = d
+			rho += u.R.Phi[j][e] * d
+			m.Messages++ // head broadcasts rho to this tail
+			if depth[head]+1 > rounds {
+				rounds = depth[head] + 1
+			}
+		}
+		m.Rho[n] = rho
+		depth[n] = rounds
+		if rounds > m.Rounds {
+			m.Rounds = rounds
+		}
+	}
+	return m
+}
+
+// marginalCostPerUnit is ∂A_i/∂f_e·c_e(j): the direct cost of pushing
+// one more unit of commodity j over edge e at its tail i. From eq. 11,
+// ∂A_i/∂f_e is the barrier derivative ε·D'_i(f_i) everywhere except on
+// a difference link, where it is the utility-loss derivative
+// U'_j(λ_j − f_e).
+func marginalCostPerUnit(u *flow.Usage, j int, i graph.NodeID, e graph.EdgeID) float64 {
+	x := u.R.X
+	dAdf := x.PenaltyDeriv(i, u.FNode[i]) + x.LossDeriv(j, e, u.FEdge[j][e])
+	return dAdf * x.Cost[j][e]
+}

@@ -1,0 +1,82 @@
+package gradient
+
+import (
+	"math"
+
+	"repro/internal/flow"
+	"repro/internal/graph"
+)
+
+// StationarityReport quantifies how far a routing set is from
+// satisfying Theorem 2's optimality conditions, as a convergence
+// diagnostic: at an optimal routing every used link's marginal equals
+// the node's minimum marginal (eq. 12), and every link — used or not —
+// satisfies the sufficient condition d_e ≥ ρ_i (eq. 13).
+type StationarityReport struct {
+	// MaxUsedGap is the largest (d_e − min_d)/(1+min_d) over links with
+	// φ_e > MinPhi at nodes with t_i > MinTraffic: the necessary
+	// condition's residual. Zero at a stationary point.
+	MaxUsedGap float64
+	// MaxSufficientViolation is the largest (ρ_i − d_e)/(1+ρ_i) over
+	// ALL member links at traffic-carrying nodes: positive values mean
+	// eq. 13 fails somewhere, i.e. the point may not be globally
+	// optimal even if stationary.
+	MaxSufficientViolation float64
+	// WorstNode locates MaxUsedGap.
+	WorstNode graph.NodeID
+	// WorstCommodity locates MaxUsedGap.
+	WorstCommodity int
+}
+
+// Thresholds below which traffic and routing fractions are treated as
+// zero by CheckStationarity.
+const (
+	MinTraffic = 1e-6
+	MinPhi     = 1e-6
+)
+
+// CheckStationarity evaluates Theorem 2's conditions on the current
+// flows. Engines can call it periodically to implement convergence
+// detection that is grounded in the paper's optimality theory rather
+// than in utility deltas.
+func CheckStationarity(u *flow.Usage) StationarityReport {
+	x := u.R.X
+	rep := StationarityReport{WorstNode: graph.Invalid, WorstCommodity: -1}
+	for j := range x.Commodities {
+		m := ComputeMarginals(u, j)
+		member := x.Member[j]
+		sink := x.Commodities[j].Sink
+		for n := 0; n < x.G.NumNodes(); n++ {
+			node := graph.NodeID(n)
+			if node == sink || u.T[j][n] <= MinTraffic {
+				continue
+			}
+			minD := math.Inf(1)
+			for _, e := range x.G.Out(node) {
+				if member[e] && m.LinkD[e] < minD {
+					minD = m.LinkD[e]
+				}
+			}
+			if math.IsInf(minD, 1) {
+				continue
+			}
+			for _, e := range x.G.Out(node) {
+				if !member[e] {
+					continue
+				}
+				if u.R.Phi[j][e] > MinPhi {
+					gap := (m.LinkD[e] - minD) / (1 + minD)
+					if gap > rep.MaxUsedGap {
+						rep.MaxUsedGap = gap
+						rep.WorstNode = node
+						rep.WorstCommodity = j
+					}
+				}
+				if viol := (m.Rho[n] - m.LinkD[e]) / (1 + m.Rho[n]); viol > rep.MaxSufficientViolation {
+					rep.MaxSufficientViolation = viol
+				}
+			}
+		}
+	}
+	return rep
+}

@@ -1,0 +1,88 @@
+package gradient
+
+import (
+	"math"
+
+	"repro/internal/flow"
+	"repro/internal/graph"
+)
+
+// ApplyGamma performs the §5 routing update Γ (eqs. 14–17) for
+// commodity j, writing the new routing variables into next (which may
+// alias u's routing for in-place update only if callers do not need the
+// old values; the engine always passes a clone).
+//
+// At each node the fraction routed over every non-best unblocked link
+// decreases by Δ = min(φ, η·a/t) where a is the link's marginal excess
+// over the best link (eq. 15–16), and the total removed mass moves to
+// the best link (eq. 17). When t_i(j) = 0 the step η·a/t is unbounded
+// and the update shifts the full fraction — the limit Gallager's
+// analysis prescribes (DESIGN.md §6).
+func ApplyGamma(u *flow.Usage, j int, m *Marginals, tagged []bool, eta float64, next *flow.Routing) {
+	x := u.R.X
+	sink := x.Commodities[j].Sink
+	for _, n := range x.Topo[j] {
+		if n == sink {
+			continue
+		}
+		updateNode(u, j, m, tagged, eta, next, n)
+	}
+}
+
+func updateNode(u *flow.Usage, j int, m *Marginals, tagged []bool, eta float64, next *flow.Routing, n graph.NodeID) {
+	x := u.R.X
+	member := x.Member[j]
+	phi := u.R.Phi[j]
+
+	// Find the best (minimum-marginal) unblocked out-link; ties break
+	// toward the lowest edge ID for determinism. A node k is blocked
+	// (k ∈ B_i(j)) when φ_ik = 0 and k's broadcast was tagged.
+	best := graph.EdgeID(graph.Invalid)
+	bestD := math.Inf(1)
+	for _, e := range x.G.Out(n) {
+		if !member[e] {
+			continue
+		}
+		if blocked(u, j, tagged, e) {
+			continue
+		}
+		if d := m.LinkD[e]; d < bestD {
+			bestD = d
+			best = e
+		}
+	}
+	if best == graph.Invalid {
+		return // node carries no commodity-j traffic options
+	}
+
+	t := u.T[j][n]
+	moved := 0.0
+	for _, e := range x.G.Out(n) {
+		if !member[e] || e == best {
+			continue
+		}
+		if blocked(u, j, tagged, e) {
+			next.Phi[j][e] = 0 // eq. 14
+			continue
+		}
+		a := m.LinkD[e] - bestD // eq. 15
+		var delta float64
+		if t > 0 {
+			delta = math.Min(phi[e], eta*a/t) // eq. 16
+		} else {
+			delta = phi[e] // t → 0 limit: empty every non-best link
+		}
+		next.Phi[j][e] = phi[e] - delta
+		moved += delta
+	}
+	next.Phi[j][best] = phi[best] + moved // eq. 17
+}
+
+// blocked reports whether edge e's head is in the tail's blocked set:
+// zero routing fraction and a tagged broadcast.
+func blocked(u *flow.Usage, j int, tagged []bool, e graph.EdgeID) bool {
+	if tagged == nil {
+		return false
+	}
+	return u.R.Phi[j][e] == 0 && tagged[u.R.X.G.Edge(e).To]
+}

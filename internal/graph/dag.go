@@ -1,0 +1,142 @@
+package graph
+
+import "errors"
+
+// ErrCycle is returned when a topological order is requested on a graph
+// (or subgraph) that contains a directed cycle.
+var ErrCycle = errors.New("graph: cycle detected")
+
+// TopoSort returns a topological order of all nodes, or ErrCycle.
+func (g *Graph) TopoSort() ([]NodeID, error) {
+	keep := func(EdgeID) bool { return true }
+	return g.TopoSortFiltered(keep)
+}
+
+// TopoSortFiltered returns a topological order of all nodes considering
+// only edges for which keep(e) is true. It returns ErrCycle when the
+// kept subgraph is cyclic. Kahn's algorithm; ties broken by node ID so
+// the order is deterministic.
+func (g *Graph) TopoSortFiltered(keep func(EdgeID) bool) ([]NodeID, error) {
+	n := g.NumNodes()
+	indeg := make([]int, n)
+	for e, edge := range g.edges {
+		if keep(EdgeID(e)) {
+			indeg[edge.To]++
+		}
+	}
+	// Min-ID-first frontier for determinism. A simple sorted insertion
+	// queue is fine at the graph sizes the simulator uses.
+	frontier := make([]NodeID, 0, n)
+	for i := 0; i < n; i++ {
+		if indeg[i] == 0 {
+			frontier = append(frontier, NodeID(i))
+		}
+	}
+	order := make([]NodeID, 0, n)
+	for len(frontier) > 0 {
+		// Pop the smallest ID.
+		minAt := 0
+		for i, v := range frontier {
+			if v < frontier[minAt] {
+				minAt = i
+			}
+		}
+		u := frontier[minAt]
+		frontier[minAt] = frontier[len(frontier)-1]
+		frontier = frontier[:len(frontier)-1]
+		order = append(order, u)
+		for _, e := range g.out[u] {
+			if !keep(e) {
+				continue
+			}
+			v := g.edges[e].To
+			indeg[v]--
+			if indeg[v] == 0 {
+				frontier = append(frontier, v)
+			}
+		}
+	}
+	if len(order) != n {
+		return nil, ErrCycle
+	}
+	return order, nil
+}
+
+// IsAcyclic reports whether the kept subgraph has no directed cycle.
+func (g *Graph) IsAcyclic(keep func(EdgeID) bool) bool {
+	_, err := g.TopoSortFiltered(keep)
+	return err == nil
+}
+
+// ReachableFrom returns the set of nodes reachable from src (inclusive)
+// following edges for which keep is true.
+func (g *Graph) ReachableFrom(src NodeID, keep func(EdgeID) bool) []bool {
+	seen := make([]bool, g.NumNodes())
+	stack := []NodeID{src}
+	seen[src] = true
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, e := range g.out[u] {
+			if !keep(e) {
+				continue
+			}
+			v := g.edges[e].To
+			if !seen[v] {
+				seen[v] = true
+				stack = append(stack, v)
+			}
+		}
+	}
+	return seen
+}
+
+// CoReachableTo returns the set of nodes from which dst is reachable
+// (inclusive) following edges for which keep is true.
+func (g *Graph) CoReachableTo(dst NodeID, keep func(EdgeID) bool) []bool {
+	seen := make([]bool, g.NumNodes())
+	stack := []NodeID{dst}
+	seen[dst] = true
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, e := range g.in[u] {
+			if !keep(e) {
+				continue
+			}
+			v := g.edges[e].From
+			if !seen[v] {
+				seen[v] = true
+				stack = append(stack, v)
+			}
+		}
+	}
+	return seen
+}
+
+// LongestPathLen returns the number of edges on the longest path in the
+// kept subgraph, which must be acyclic (ErrCycle otherwise). This is
+// the quantity L in the paper's O(L) message-round analysis (§6).
+func (g *Graph) LongestPathLen(keep func(EdgeID) bool) (int, error) {
+	order, err := g.TopoSortFiltered(keep)
+	if err != nil {
+		return 0, err
+	}
+	depth := make([]int, g.NumNodes())
+	best := 0
+	for _, u := range order {
+		for _, e := range g.out[u] {
+			if !keep(e) {
+				continue
+			}
+			v := g.edges[e].To
+			if d := depth[u] + 1; d > depth[v] {
+				depth[v] = d
+				if d > best {
+					best = d
+				}
+			}
+		}
+	}
+	return best, nil
+}

@@ -1,0 +1,407 @@
+package graph
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func mustEdge(t *testing.T, g *Graph, from, to NodeID) EdgeID {
+	t.Helper()
+	e, err := g.AddEdge(from, to)
+	if err != nil {
+		t.Fatalf("AddEdge(%d,%d): %v", from, to, err)
+	}
+	return e
+}
+
+// diamond builds 0 -> {1,2} -> 3.
+func diamond(t *testing.T) *Graph {
+	t.Helper()
+	g := New(4, 4)
+	g.AddNodes(4)
+	mustEdge(t, g, 0, 1)
+	mustEdge(t, g, 0, 2)
+	mustEdge(t, g, 1, 3)
+	mustEdge(t, g, 2, 3)
+	return g
+}
+
+func TestAddNodeAssignsDenseIDs(t *testing.T) {
+	g := New(0, 0)
+	for want := 0; want < 5; want++ {
+		if got := g.AddNode(); got != NodeID(want) {
+			t.Fatalf("AddNode = %d, want %d", got, want)
+		}
+	}
+	if g.NumNodes() != 5 {
+		t.Fatalf("NumNodes = %d, want 5", g.NumNodes())
+	}
+}
+
+func TestAddNodesReturnsFirstID(t *testing.T) {
+	g := New(0, 0)
+	g.AddNode()
+	first := g.AddNodes(3)
+	if first != 1 {
+		t.Fatalf("AddNodes first = %d, want 1", first)
+	}
+	if g.NumNodes() != 4 {
+		t.Fatalf("NumNodes = %d, want 4", g.NumNodes())
+	}
+}
+
+func TestAddEdgeRejectsDuplicates(t *testing.T) {
+	g := New(2, 1)
+	g.AddNodes(2)
+	mustEdge(t, g, 0, 1)
+	if _, err := g.AddEdge(0, 1); !errors.Is(err, ErrDuplicateEdge) {
+		t.Fatalf("duplicate AddEdge err = %v, want ErrDuplicateEdge", err)
+	}
+}
+
+func TestAddEdgeRejectsSelfLoop(t *testing.T) {
+	g := New(1, 0)
+	g.AddNode()
+	if _, err := g.AddEdge(0, 0); err == nil {
+		t.Fatal("self-loop accepted")
+	}
+}
+
+func TestAddEdgeRejectsUnknownNodes(t *testing.T) {
+	g := New(1, 0)
+	g.AddNode()
+	if _, err := g.AddEdge(0, 7); !errors.Is(err, ErrNoSuchNode) {
+		t.Fatalf("err = %v, want ErrNoSuchNode", err)
+	}
+	if _, err := g.AddEdge(-1, 0); !errors.Is(err, ErrNoSuchNode) {
+		t.Fatalf("err = %v, want ErrNoSuchNode", err)
+	}
+}
+
+func TestEdgeBetween(t *testing.T) {
+	g := diamond(t)
+	if e := g.EdgeBetween(0, 1); e == Invalid {
+		t.Fatal("EdgeBetween(0,1) = Invalid, want an edge")
+	}
+	if e := g.EdgeBetween(1, 0); e != Invalid {
+		t.Fatalf("EdgeBetween(1,0) = %d, want Invalid", e)
+	}
+	if e := g.EdgeBetween(0, 3); e != Invalid {
+		t.Fatalf("EdgeBetween(0,3) = %d, want Invalid", e)
+	}
+}
+
+func TestDegreesAndAdjacency(t *testing.T) {
+	g := diamond(t)
+	if got := g.OutDegree(0); got != 2 {
+		t.Fatalf("OutDegree(0) = %d, want 2", got)
+	}
+	if got := g.InDegree(3); got != 2 {
+		t.Fatalf("InDegree(3) = %d, want 2", got)
+	}
+	if got := g.OutDegree(3); got != 0 {
+		t.Fatalf("OutDegree(3) = %d, want 0", got)
+	}
+	for _, e := range g.Out(0) {
+		if g.Edge(e).From != 0 {
+			t.Fatalf("edge %d in Out(0) has From=%d", e, g.Edge(e).From)
+		}
+	}
+	for _, e := range g.In(3) {
+		if g.Edge(e).To != 3 {
+			t.Fatalf("edge %d in In(3) has To=%d", e, g.Edge(e).To)
+		}
+	}
+}
+
+func TestTopoSortDiamond(t *testing.T) {
+	g := diamond(t)
+	order, err := g.TopoSort()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos := make(map[NodeID]int, len(order))
+	for i, n := range order {
+		pos[n] = i
+	}
+	for e := 0; e < g.NumEdges(); e++ {
+		edge := g.Edge(EdgeID(e))
+		if pos[edge.From] >= pos[edge.To] {
+			t.Fatalf("edge (%d,%d) violates topological order %v", edge.From, edge.To, order)
+		}
+	}
+}
+
+func TestTopoSortDetectsCycle(t *testing.T) {
+	g := New(3, 3)
+	g.AddNodes(3)
+	mustEdge(t, g, 0, 1)
+	mustEdge(t, g, 1, 2)
+	mustEdge(t, g, 2, 0)
+	if _, err := g.TopoSort(); !errors.Is(err, ErrCycle) {
+		t.Fatalf("err = %v, want ErrCycle", err)
+	}
+}
+
+func TestTopoSortFilteredBreaksCycle(t *testing.T) {
+	g := New(3, 3)
+	g.AddNodes(3)
+	mustEdge(t, g, 0, 1)
+	mustEdge(t, g, 1, 2)
+	back := mustEdge(t, g, 2, 0)
+	order, err := g.TopoSortFiltered(func(e EdgeID) bool { return e != back })
+	if err != nil {
+		t.Fatalf("filtered sort: %v", err)
+	}
+	if len(order) != 3 {
+		t.Fatalf("order has %d nodes, want 3", len(order))
+	}
+}
+
+func TestTopoSortDeterministic(t *testing.T) {
+	g := diamond(t)
+	first, err := g.TopoSort()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		again, err := g.TopoSort()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := range first {
+			if first[j] != again[j] {
+				t.Fatalf("run %d: order %v != %v", i, again, first)
+			}
+		}
+	}
+}
+
+func TestIsAcyclic(t *testing.T) {
+	g := diamond(t)
+	all := func(EdgeID) bool { return true }
+	if !g.IsAcyclic(all) {
+		t.Fatal("diamond reported cyclic")
+	}
+	mustEdge(t, g, 3, 0)
+	if g.IsAcyclic(all) {
+		t.Fatal("cycle not detected")
+	}
+}
+
+func TestReachability(t *testing.T) {
+	g := diamond(t)
+	extra := g.AddNode() // disconnected node 4
+	all := func(EdgeID) bool { return true }
+	fromZero := g.ReachableFrom(0, all)
+	for n := NodeID(0); n <= 3; n++ {
+		if !fromZero[n] {
+			t.Fatalf("node %d not reachable from 0", n)
+		}
+	}
+	if fromZero[extra] {
+		t.Fatal("disconnected node reported reachable")
+	}
+	toSink := g.CoReachableTo(3, all)
+	for n := NodeID(0); n <= 3; n++ {
+		if !toSink[n] {
+			t.Fatalf("node %d not co-reachable to 3", n)
+		}
+	}
+	if toSink[extra] {
+		t.Fatal("disconnected node reported co-reachable")
+	}
+}
+
+func TestReachabilityRespectsFilter(t *testing.T) {
+	g := diamond(t)
+	// Drop both edges into node 3.
+	keep := func(e EdgeID) bool { return g.Edge(e).To != 3 }
+	r := g.ReachableFrom(0, keep)
+	if r[3] {
+		t.Fatal("node 3 reachable despite filtered edges")
+	}
+	if !r[1] || !r[2] {
+		t.Fatal("nodes 1,2 should stay reachable")
+	}
+}
+
+func TestLongestPathLen(t *testing.T) {
+	g := New(5, 5)
+	g.AddNodes(5)
+	mustEdge(t, g, 0, 1)
+	mustEdge(t, g, 1, 2)
+	mustEdge(t, g, 2, 3)
+	mustEdge(t, g, 0, 4)
+	mustEdge(t, g, 4, 3)
+	all := func(EdgeID) bool { return true }
+	l, err := g.LongestPathLen(all)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l != 3 {
+		t.Fatalf("LongestPathLen = %d, want 3", l)
+	}
+}
+
+func TestLongestPathLenCycle(t *testing.T) {
+	g := New(2, 2)
+	g.AddNodes(2)
+	mustEdge(t, g, 0, 1)
+	mustEdge(t, g, 1, 0)
+	all := func(EdgeID) bool { return true }
+	if _, err := g.LongestPathLen(all); !errors.Is(err, ErrCycle) {
+		t.Fatalf("err = %v, want ErrCycle", err)
+	}
+}
+
+func TestEnumeratePathsDiamond(t *testing.T) {
+	g := diamond(t)
+	all := func(EdgeID) bool { return true }
+	paths := g.EnumeratePaths(0, 3, all, 0)
+	if len(paths) != 2 {
+		t.Fatalf("got %d paths, want 2: %v", len(paths), paths)
+	}
+	for _, p := range paths {
+		if p[0] != 0 || p[len(p)-1] != 3 {
+			t.Fatalf("path %v does not go 0->3", p)
+		}
+		if _, ok := g.PathEdges(p); !ok {
+			t.Fatalf("path %v not edge-connected", p)
+		}
+	}
+}
+
+func TestEnumeratePathsLimit(t *testing.T) {
+	g := diamond(t)
+	all := func(EdgeID) bool { return true }
+	paths := g.EnumeratePaths(0, 3, all, 1)
+	if len(paths) != 1 {
+		t.Fatalf("got %d paths, want 1 (limit)", len(paths))
+	}
+}
+
+func TestEnumeratePathsNoPath(t *testing.T) {
+	g := diamond(t)
+	all := func(EdgeID) bool { return true }
+	if paths := g.EnumeratePaths(3, 0, all, 0); len(paths) != 0 {
+		t.Fatalf("got %d paths from 3 to 0, want 0", len(paths))
+	}
+}
+
+func TestPathEdgesRejectsBrokenPath(t *testing.T) {
+	g := diamond(t)
+	if _, ok := g.PathEdges(Path{0, 3}); ok {
+		t.Fatal("PathEdges accepted a non-adjacent pair")
+	}
+	if _, ok := g.PathEdges(Path{2}); !ok {
+		t.Fatal("single-node path should be valid")
+	}
+}
+
+func TestClone(t *testing.T) {
+	g := diamond(t)
+	c := g.Clone()
+	if c.NumNodes() != g.NumNodes() || c.NumEdges() != g.NumEdges() {
+		t.Fatal("clone size mismatch")
+	}
+	// Mutating the clone must not affect the original.
+	c.AddNode()
+	mustEdge(t, c, 3, 4)
+	if g.NumNodes() != 4 || g.NumEdges() != 4 {
+		t.Fatal("mutating clone affected original")
+	}
+	for e := 0; e < g.NumEdges(); e++ {
+		if g.Edge(EdgeID(e)) != c.Edge(EdgeID(e)) {
+			t.Fatalf("edge %d differs after clone", e)
+		}
+	}
+}
+
+// randomDAG builds a random DAG by only adding forward edges in a
+// random permutation, so TopoSort must always succeed on it.
+func randomDAG(r *rand.Rand, n int, p float64) *Graph {
+	g := New(n, n*n/4)
+	g.AddNodes(n)
+	perm := r.Perm(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if r.Float64() < p {
+				// Ignore error: duplicates cannot occur here.
+				_, _ = g.AddEdge(NodeID(perm[i]), NodeID(perm[j]))
+			}
+		}
+	}
+	return g
+}
+
+func TestQuickTopoSortValidOnRandomDAGs(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		g := randomDAG(r, 2+r.Intn(30), 0.3)
+		order, err := g.TopoSort()
+		if err != nil {
+			return false
+		}
+		pos := make(map[NodeID]int, len(order))
+		for i, n := range order {
+			pos[n] = i
+		}
+		if len(pos) != g.NumNodes() {
+			return false
+		}
+		for e := 0; e < g.NumEdges(); e++ {
+			edge := g.Edge(EdgeID(e))
+			if pos[edge.From] >= pos[edge.To] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickReachabilityAgreesWithPaths(t *testing.T) {
+	all := func(EdgeID) bool { return true }
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		g := randomDAG(r, 2+r.Intn(10), 0.35)
+		src := NodeID(r.Intn(g.NumNodes()))
+		reach := g.ReachableFrom(src, all)
+		for n := 0; n < g.NumNodes(); n++ {
+			paths := g.EnumeratePaths(src, NodeID(n), all, 1)
+			hasPath := len(paths) > 0 || NodeID(n) == src
+			if reach[n] != hasPath {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickCoReachableIsReverseReachable(t *testing.T) {
+	all := func(EdgeID) bool { return true }
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		g := randomDAG(r, 2+r.Intn(20), 0.3)
+		dst := NodeID(r.Intn(g.NumNodes()))
+		co := g.CoReachableTo(dst, all)
+		for n := 0; n < g.NumNodes(); n++ {
+			fwd := g.ReachableFrom(NodeID(n), all)
+			if co[n] != fwd[dst] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,64 @@
+package graph
+
+// Path is a sequence of node IDs connected by edges.
+type Path []NodeID
+
+// EnumeratePaths returns every simple path from src to dst using edges
+// for which keep is true, up to the given limit (0 = no limit). Paths
+// are produced in deterministic (lexicographic-by-edge-order) order.
+// Intended for tests and for Property-1 validation on small graphs;
+// the number of paths can be exponential in general.
+func (g *Graph) EnumeratePaths(src, dst NodeID, keep func(EdgeID) bool, limit int) []Path {
+	var (
+		paths   []Path
+		current = Path{src}
+		onPath  = make([]bool, g.NumNodes())
+	)
+	onPath[src] = true
+	var rec func(u NodeID) bool // returns false when limit reached
+	rec = func(u NodeID) bool {
+		if u == dst {
+			cp := make(Path, len(current))
+			copy(cp, current)
+			paths = append(paths, cp)
+			return limit == 0 || len(paths) < limit
+		}
+		for _, e := range g.out[u] {
+			if !keep(e) {
+				continue
+			}
+			v := g.edges[e].To
+			if onPath[v] {
+				continue
+			}
+			onPath[v] = true
+			current = append(current, v)
+			ok := rec(v)
+			current = current[:len(current)-1]
+			onPath[v] = false
+			if !ok {
+				return false
+			}
+		}
+		return true
+	}
+	rec(src)
+	return paths
+}
+
+// PathEdges converts a path into its edge IDs; it returns ok=false if
+// some consecutive pair is not connected.
+func (g *Graph) PathEdges(p Path) ([]EdgeID, bool) {
+	if len(p) < 2 {
+		return nil, true
+	}
+	edges := make([]EdgeID, 0, len(p)-1)
+	for i := 0; i+1 < len(p); i++ {
+		e := g.EdgeBetween(p[i], p[i+1])
+		if e == Invalid {
+			return nil, false
+		}
+		edges = append(edges, e)
+	}
+	return edges, true
+}

@@ -1,0 +1,211 @@
+// Package placement tackles the problem §2 assumes away: "Effective
+// placement of various tasks onto the physical network itself is an
+// interesting problem ... Here, we assume the task to server assignment
+// is given" (the paper defers to ref. [14]). This package produces that
+// assignment: given servers with capacities and streams as ordered task
+// chains, it builds a task→server mapping — greedy construction plus
+// utility-guided local search, scoring candidates with the exact LP
+// reference optimum (internal/refopt) of the resulting instance.
+package placement
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/refopt"
+	"repro/internal/stream"
+	"repro/internal/transform"
+)
+
+// Config tunes the search.
+type Config struct {
+	// Replication is how many servers may host each non-source task
+	// (the paper's Figure 1 hosts tasks B and C twice); default 1.
+	// The first task of each stream is always placed on exactly one
+	// server (the paper requires a unique source).
+	Replication int
+	// SwapBudget bounds the local-search moves evaluated; default 60.
+	SwapBudget int
+	// Seed drives move selection.
+	Seed int64
+	// Bandwidth assigns link bandwidths in the assembled problem;
+	// default 1e9 (uncapacitated links — placement then optimizes CPU
+	// contention only).
+	Bandwidth float64
+}
+
+func (c *Config) setDefaults() {
+	if c.Replication <= 0 {
+		c.Replication = 1
+	}
+	if c.SwapBudget <= 0 {
+		c.SwapBudget = 60
+	}
+	if c.Bandwidth <= 0 {
+		c.Bandwidth = 1e9
+	}
+}
+
+// Result is a placement and its quality.
+type Result struct {
+	// Assignment[serverName] lists the task names hosted there.
+	Assignment map[string][]string
+	// Spec is the assembled problem specification (feed to
+	// stream.Assemble, or use Problem directly).
+	Spec stream.AssemblySpec
+	// Problem is the assembled, validated instance.
+	Problem *stream.Problem
+	// Optimum is the LP reference optimum of the placed instance — the
+	// objective the search maximized.
+	Optimum float64
+	// Evaluations counts LP solves spent.
+	Evaluations int
+}
+
+// Place searches for a task→server assignment maximizing the placed
+// instance's max-utility optimum. Servers come with capacities only
+// (their Tasks lists are ignored); streams define the task chains.
+func Place(servers []stream.ServerSpec, streams []stream.StreamSpec, cfg Config) (*Result, error) {
+	cfg.setDefaults()
+	if len(servers) == 0 || len(streams) == 0 {
+		return nil, fmt.Errorf("placement: need servers and streams")
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	// assignment[streamIdx][stage] = server indices hosting that task.
+	assignment := make([][][]int, len(streams))
+
+	// Greedy construction: heaviest streams first; each stage goes to
+	// the servers with the most remaining capacity score, never reusing
+	// a server within one stream (the paper allows at most one task per
+	// commodity per server).
+	order := make([]int, len(streams))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		return streams[order[a]].MaxRate > streams[order[b]].MaxRate
+	})
+	load := make([]float64, len(servers)) // crude expected-load score
+	for _, si := range order {
+		st := streams[si]
+		assignment[si] = make([][]int, len(st.Tasks))
+		used := make(map[int]bool, len(st.Tasks))
+		for stage, task := range st.Tasks {
+			want := cfg.Replication
+			if stage == 0 {
+				want = 1 // unique source
+			}
+			type cand struct {
+				idx   int
+				score float64
+			}
+			cands := make([]cand, 0, len(servers))
+			for i, sv := range servers {
+				if used[i] {
+					continue
+				}
+				cands = append(cands, cand{idx: i, score: sv.Capacity - load[i]})
+			}
+			if len(cands) < want {
+				return nil, fmt.Errorf("placement: stream %q stage %d needs %d free servers, have %d",
+					st.Name, stage, want, len(cands))
+			}
+			sort.Slice(cands, func(a, b int) bool { return cands[a].score > cands[b].score })
+			for k := 0; k < want; k++ {
+				i := cands[k].idx
+				assignment[si][stage] = append(assignment[si][stage], i)
+				used[i] = true
+				// Expected per-replica load if the stream split evenly.
+				load[i] += st.MaxRate * task.Cost / float64(want)
+			}
+		}
+	}
+
+	res := &Result{}
+	best, prob, spec, err := evaluate(servers, streams, assignment, cfg)
+	if err != nil {
+		return nil, err
+	}
+	res.Evaluations++
+
+	// Local search: move one replica of one stage to a random unused
+	// server; keep improvements.
+	for move := 0; move < cfg.SwapBudget; move++ {
+		si := rng.Intn(len(streams))
+		stage := rng.Intn(len(streams[si].Tasks))
+		slot := rng.Intn(len(assignment[si][stage]))
+		inStream := make(map[int]bool)
+		for _, hosts := range assignment[si] {
+			for _, h := range hosts {
+				inStream[h] = true
+			}
+		}
+		var free []int
+		for i := range servers {
+			if !inStream[i] {
+				free = append(free, i)
+			}
+		}
+		if len(free) == 0 {
+			break
+		}
+		oldHost := assignment[si][stage][slot]
+		assignment[si][stage][slot] = free[rng.Intn(len(free))]
+
+		cand, candProb, candSpec, err := evaluate(servers, streams, assignment, cfg)
+		res.Evaluations++
+		if err != nil || cand <= best {
+			assignment[si][stage][slot] = oldHost // revert
+			continue
+		}
+		best, prob, spec = cand, candProb, candSpec
+	}
+
+	res.Optimum = best
+	res.Problem = prob
+	res.Spec = spec
+	res.Assignment = make(map[string][]string, len(servers))
+	for _, sv := range spec.Servers {
+		if len(sv.Tasks) > 0 {
+			res.Assignment[sv.Name] = sv.Tasks
+		}
+	}
+	return res, nil
+}
+
+// evaluate assembles the instance for an assignment and returns its LP
+// optimum.
+func evaluate(servers []stream.ServerSpec, streams []stream.StreamSpec, assignment [][][]int, cfg Config) (float64, *stream.Problem, stream.AssemblySpec, error) {
+	spec := stream.AssemblySpec{DefaultBandwidth: cfg.Bandwidth}
+	tasksOf := make([][]string, len(servers))
+	for si, st := range streams {
+		for stage, hosts := range assignment[si] {
+			for _, h := range hosts {
+				tasksOf[h] = append(tasksOf[h], st.Tasks[stage].Name)
+			}
+		}
+	}
+	for i, sv := range servers {
+		spec.Servers = append(spec.Servers, stream.ServerSpec{
+			Name:     sv.Name,
+			Capacity: sv.Capacity,
+			Tasks:    tasksOf[i],
+		})
+	}
+	spec.Streams = streams
+	prob, err := stream.Assemble(spec)
+	if err != nil {
+		return 0, nil, spec, err
+	}
+	x, err := transform.Build(prob, transform.Options{})
+	if err != nil {
+		return 0, nil, spec, err
+	}
+	ref, err := refopt.Solve(x, refopt.Options{})
+	if err != nil {
+		return 0, nil, spec, err
+	}
+	return ref.Utility, prob, spec, nil
+}

@@ -1,0 +1,170 @@
+package placement
+
+import (
+	"testing"
+
+	"repro/internal/stream"
+	"repro/internal/utility"
+)
+
+func servers(caps ...float64) []stream.ServerSpec {
+	out := make([]stream.ServerSpec, len(caps))
+	for i, c := range caps {
+		out[i] = stream.ServerSpec{Name: name(i), Capacity: c}
+	}
+	return out
+}
+
+func name(i int) string { return string(rune('a' + i)) }
+
+func chain(streamName string, lambda float64, tasks ...string) stream.StreamSpec {
+	st := stream.StreamSpec{Name: streamName, MaxRate: lambda, Utility: utility.Linear{Slope: 1}}
+	for _, t := range tasks {
+		st.Tasks = append(st.Tasks, stream.Task{Name: t, Beta: 1, Cost: 1})
+	}
+	return st
+}
+
+func TestPlaceSingleStream(t *testing.T) {
+	res, err := Place(
+		servers(10, 50, 50),
+		[]stream.StreamSpec{chain("s", 100, "A", "B")},
+		Config{Seed: 1},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two unit-cost tasks; best pair of servers is the two 50s:
+	// optimum = 50 (each stage on its own 50-capacity server).
+	if res.Optimum < 50-1e-6 {
+		t.Fatalf("optimum %g, want 50 (both big servers used)", res.Optimum)
+	}
+	if err := res.Problem.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Assignment) != 2 {
+		t.Fatalf("assignment uses %d servers, want 2", len(res.Assignment))
+	}
+	if _, usedSmall := res.Assignment["a"]; usedSmall {
+		t.Fatal("placed a task on the capacity-10 server")
+	}
+}
+
+func TestPlaceRespectsOneTaskPerStreamPerServer(t *testing.T) {
+	res, err := Place(
+		servers(100, 100, 100, 100),
+		[]stream.StreamSpec{chain("s", 10, "A", "B", "C")},
+		Config{Seed: 2},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for server, tasks := range res.Assignment {
+		if len(tasks) > 1 {
+			t.Fatalf("server %s hosts %v: more than one task of the same stream", server, tasks)
+		}
+	}
+}
+
+func TestPlaceTwoStreamsShareServers(t *testing.T) {
+	// 3 servers, two 2-task streams: servers must be shared across
+	// streams (4 task instances > 3 servers) but never within one.
+	res, err := Place(
+		servers(40, 40, 40),
+		[]stream.StreamSpec{
+			chain("s1", 30, "A", "B"),
+			chain("s2", 30, "C", "D"),
+		},
+		Config{Seed: 3},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Problem.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if res.Optimum <= 0 {
+		t.Fatalf("optimum %g", res.Optimum)
+	}
+}
+
+func TestPlaceReplication(t *testing.T) {
+	res, err := Place(
+		servers(30, 30, 30, 30, 30),
+		[]stream.StreamSpec{chain("s", 100, "A", "B")},
+		Config{Seed: 4, Replication: 2},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Stage B is hosted twice: total capacity behind B is 60, source A
+	// capped at 30 — optimum 30 (source-bound), and B's replicas exist.
+	hostsOfB := 0
+	for _, tasks := range res.Assignment {
+		for _, task := range tasks {
+			if task == "B" {
+				hostsOfB++
+			}
+		}
+	}
+	if hostsOfB != 2 {
+		t.Fatalf("task B hosted %d times, want 2", hostsOfB)
+	}
+	if res.Optimum < 30-1e-6 {
+		t.Fatalf("optimum %g, want 30", res.Optimum)
+	}
+}
+
+func TestPlaceBeatsWorstCase(t *testing.T) {
+	// Heterogeneous capacities: the searched placement must beat the
+	// deliberately bad one (everything on the tiny servers).
+	svs := servers(100, 100, 2, 2)
+	sts := []stream.StreamSpec{chain("s", 100, "A", "B")}
+	res, err := Place(svs, sts, Config{Seed: 5, SwapBudget: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := [][][]int{{{2}, {3}}} // both tasks on the capacity-2 servers
+	badOpt, _, _, err := evaluate(svs, sts, bad, Config{Replication: 1, Bandwidth: 1e9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Optimum <= badOpt {
+		t.Fatalf("search (%g) did not beat the worst case (%g)", res.Optimum, badOpt)
+	}
+	if res.Optimum < 100-1e-6 {
+		t.Fatalf("optimum %g, want 100 on the two big servers", res.Optimum)
+	}
+}
+
+func TestPlaceErrors(t *testing.T) {
+	if _, err := Place(nil, nil, Config{}); err == nil {
+		t.Fatal("empty inputs accepted")
+	}
+	// More task instances per stream than servers.
+	_, err := Place(
+		servers(10),
+		[]stream.StreamSpec{chain("s", 1, "A", "B")},
+		Config{Seed: 1},
+	)
+	if err == nil {
+		t.Fatal("impossible placement accepted")
+	}
+}
+
+func TestPlaceDeterministic(t *testing.T) {
+	run := func() float64 {
+		res, err := Place(
+			servers(40, 30, 20, 10),
+			[]stream.StreamSpec{chain("s1", 50, "A", "B"), chain("s2", 50, "C", "D")},
+			Config{Seed: 7},
+		)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Optimum
+	}
+	if run() != run() {
+		t.Fatal("same seed, different placement quality")
+	}
+}

@@ -1,0 +1,282 @@
+// Package qsim is a discrete-time queueing simulator for the stream
+// processing network: it takes a routing decision (typically the
+// gradient algorithm's fixed point) and simulates the actual queue
+// dynamics — stochastic arrivals, per-tick processor sharing under the
+// node capacities, shrinkage at every hop — to validate that the
+// optimizer's *rates* are achievable by a real system with bounded
+// queues. The paper works entirely at the fluid (rate) level; this
+// substrate is the testbed its evaluation implies: a feasible operating
+// point with barrier headroom must yield stable queues, and an
+// overloaded one must not (§2's motivation: "a load that exceeds the
+// system capacity during times of stress").
+package qsim
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/flow"
+	"repro/internal/graph"
+	"repro/internal/transform"
+)
+
+// Arrivals selects the source arrival process.
+type Arrivals int
+
+// Arrival processes.
+const (
+	// Deterministic injects exactly λ_j per tick.
+	Deterministic Arrivals = iota + 1
+	// Poisson injects a Poisson(λ_j) amount per tick (bursty).
+	Poisson
+)
+
+// Config tunes a simulation run.
+type Config struct {
+	// Ticks is the simulated horizon; default 2000.
+	Ticks int
+	// Warmup ticks are excluded from averaged statistics; default 10%
+	// of Ticks.
+	Warmup int
+	// Arrivals selects the arrival process; default Deterministic.
+	Arrivals Arrivals
+	// Seed drives the arrival randomness (Poisson only).
+	Seed int64
+}
+
+func (c *Config) setDefaults() {
+	if c.Ticks <= 0 {
+		c.Ticks = 2000
+	}
+	if c.Warmup <= 0 {
+		c.Warmup = c.Ticks / 10
+	}
+	if c.Arrivals == 0 {
+		c.Arrivals = Deterministic
+	}
+}
+
+// Result aggregates a run.
+type Result struct {
+	// Delivered[j] is the average delivered rate at commodity j's sink
+	// (source units per tick, post warmup).
+	Delivered []float64
+	// Dropped[j] is the average rate rejected at the dummy node.
+	Dropped []float64
+	// AvgQueue / PeakQueue are total buffered work across all node
+	// queues (input units), averaged / maximized post warmup.
+	AvgQueue  float64
+	PeakQueue float64
+	// AvgDelayTicks estimates end-to-end sojourn time by Little's law:
+	// average total queue divided by total delivered rate (in delivered
+	// units).
+	AvgDelayTicks float64
+	// QueueTrace samples total queued work every SampleEvery ticks.
+	QueueTrace []float64
+}
+
+// Run simulates the network under the given routing decision.
+//
+// Per tick: arrivals enter each dummy node; the dummy immediately
+// splits them by its routing fractions (the difference-link share is
+// dropped — that is admission control); every capacitated node then
+// serves its queues with processor sharing — each queued commodity
+// wants to forward its backlog split by φ, every unit forwarded over
+// edge e costs c_e(j) resource, and when total demand exceeds the
+// capacity all transfers scale down proportionally; forwarded work
+// arrives at the head queue multiplied by β_e(j); sinks absorb.
+func Run(r *flow.Routing, cfg Config) (*Result, error) {
+	cfg.setDefaults()
+	x := r.X
+	if err := r.Validate(); err != nil {
+		return nil, fmt.Errorf("qsim: %w", err)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	nn := x.G.NumNodes()
+	nc := x.NumCommodities()
+	q := make([][]float64, nc)
+	for j := range q {
+		q[j] = make([]float64, nn)
+	}
+	res := &Result{
+		Delivered: make([]float64, nc),
+		Dropped:   make([]float64, nc),
+	}
+	measured := 0
+
+	for tick := 0; tick < cfg.Ticks; tick++ {
+		// Arrivals + admission at the dummies.
+		for j := 0; j < nc; j++ {
+			c := &x.Commodities[j]
+			amount := c.MaxRate
+			if cfg.Arrivals == Poisson {
+				amount = poisson(rng, c.MaxRate)
+			}
+			admitted := amount * r.Phi[j][c.InputLink]
+			dropped := amount - admitted
+			q[j][c.Source] += admitted
+			if tick >= cfg.Warmup {
+				res.Dropped[j] += dropped
+			}
+		}
+
+		// Service: snapshot queues so every node serves this tick's
+		// backlog simultaneously (like the synchronous protocols).
+		arrivals := make([][]float64, nc)
+		for j := range arrivals {
+			arrivals[j] = make([]float64, nn)
+		}
+		for n := 0; n < nn; n++ {
+			node := graph.NodeID(n)
+			if x.G.OutDegree(node) == 0 {
+				continue
+			}
+			// Demand if every queue were fully forwarded this tick.
+			demand := 0.0
+			for j := 0; j < nc; j++ {
+				if q[j][n] <= 0 {
+					continue
+				}
+				for _, e := range x.G.Out(node) {
+					if x.Member[j][e] {
+						demand += q[j][n] * r.Phi[j][e] * x.Cost[j][e]
+					}
+				}
+			}
+			if demand == 0 {
+				continue
+			}
+			share := 1.0
+			if capn := x.Capacity[n]; !math.IsInf(capn, 1) && demand > capn {
+				share = capn / demand
+			}
+			for j := 0; j < nc; j++ {
+				if q[j][n] <= 0 {
+					continue
+				}
+				sink := x.Commodities[j].Sink
+				served := 0.0
+				for _, e := range x.G.Out(node) {
+					if !x.Member[j][e] {
+						continue
+					}
+					xfer := q[j][n] * r.Phi[j][e] * share
+					served += xfer
+					head := x.G.Edge(e).To
+					out := xfer * x.Beta[j][e]
+					if head == sink {
+						if tick >= cfg.Warmup {
+							res.Delivered[j] += out
+						}
+					} else {
+						arrivals[j][head] += out
+					}
+				}
+				q[j][n] -= served
+			}
+		}
+		for j := 0; j < nc; j++ {
+			for n := 0; n < nn; n++ {
+				q[j][n] += arrivals[j][n]
+			}
+		}
+
+		if tick >= cfg.Warmup {
+			total := 0.0
+			for j := 0; j < nc; j++ {
+				for n := 0; n < nn; n++ {
+					total += q[j][n]
+				}
+			}
+			res.AvgQueue += total
+			if total > res.PeakQueue {
+				res.PeakQueue = total
+			}
+			measured++
+			if sampleEvery := cfg.Ticks / 100; sampleEvery == 0 || tick%max(1, sampleEvery) == 0 {
+				res.QueueTrace = append(res.QueueTrace, total)
+			}
+		}
+	}
+
+	if measured > 0 {
+		res.AvgQueue /= float64(measured)
+		deliveredTotal := 0.0
+		for j := 0; j < nc; j++ {
+			res.Delivered[j] /= float64(measured)
+			res.Dropped[j] /= float64(measured)
+			deliveredTotal += res.Delivered[j]
+		}
+		if deliveredTotal > 0 {
+			res.AvgDelayTicks = res.AvgQueue / deliveredTotal
+		}
+		// Delivered is counted in sink units; convert to source units
+		// with the potentials so it is comparable to admitted rates.
+		for j := 0; j < nc; j++ {
+			if g := sinkPotential(x, j); g > 0 {
+				res.Delivered[j] /= g
+			}
+		}
+	}
+	return res, nil
+}
+
+// sinkPotential is the β path product from dummy to sink (Property 1).
+func sinkPotential(x *transform.Extended, j int) float64 {
+	c := &x.Commodities[j]
+	g := make([]float64, x.G.NumNodes())
+	g[c.Dummy] = 1
+	member := x.Member[j]
+	for _, n := range x.Topo[j] {
+		if g[n] == 0 {
+			continue
+		}
+		for _, e := range x.G.Out(n) {
+			if !member[e] || e == c.DiffLink {
+				continue
+			}
+			head := x.G.Edge(e).To
+			if g[head] == 0 {
+				g[head] = g[n] * x.Beta[j][e]
+			}
+		}
+	}
+	if g[c.Sink] == 0 {
+		return 1
+	}
+	return g[c.Sink]
+}
+
+// poisson draws a Poisson(mean) sample. For large means it uses the
+// normal approximation, which is plenty for load modeling.
+func poisson(rng *rand.Rand, mean float64) float64 {
+	if mean <= 0 {
+		return 0
+	}
+	if mean > 30 {
+		v := mean + math.Sqrt(mean)*rng.NormFloat64()
+		if v < 0 {
+			return 0
+		}
+		return v
+	}
+	// Knuth's method.
+	l := math.Exp(-mean)
+	k, p := 0, 1.0
+	for {
+		p *= rng.Float64()
+		if p <= l {
+			return float64(k)
+		}
+		k++
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,227 @@
+// Package refopt computes the reference optimum the paper draws as the
+// horizontal "optimal total throughput" line in Figure 4. For linear
+// utilities the joint admission/routing/allocation problem is exactly a
+// linear program (the §2 formulation with flow-balance, node-capacity
+// and admission constraints); for concave utilities the objective is
+// replaced by a piecewise-linear inner approximation whose error
+// vanishes with the segment count (concavity makes the approximation a
+// true lower bound that the LP fills greedily in slope order).
+//
+// The LP is formulated on the extended graph of internal/transform so
+// node capacities and link bandwidths are a single uniform constraint
+// family, exactly as §3 argues.
+package refopt
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/graph"
+	"repro/internal/lp"
+	"repro/internal/transform"
+	"repro/internal/utility"
+)
+
+// Result is the reference optimum.
+type Result struct {
+	// Utility is Σ_j U_j(a_j) at the optimum (for PWL objectives this
+	// evaluates the true U at the optimal admitted rates, not the PWL
+	// surrogate).
+	Utility float64
+	// Admitted is a_j per commodity.
+	Admitted []float64
+	// EdgeInput[j][e] is the optimal input rate processed over extended
+	// edge e for commodity j (the y variables).
+	EdgeInput [][]float64
+	// ShadowPrice[n] is the dual value of node n's capacity constraint:
+	// the marginal utility of one more unit of capacity there (Kelly's
+	// shadow prices, ref. [13]). Zero for uncapacitated and non-binding
+	// nodes.
+	ShadowPrice []float64
+}
+
+// DefaultSegments is the PWL segment count used when Options.Segments
+// is zero; at 64 segments the approximation error of a concave utility
+// is far below the convergence tolerances used anywhere in this repo.
+const DefaultSegments = 64
+
+// Options tunes the reference solve.
+type Options struct {
+	// Segments is the piecewise-linear segment count per concave
+	// utility. Linear utilities always use a single exact segment.
+	Segments int
+}
+
+// Solve computes the reference optimum for the instance.
+func Solve(x *transform.Extended, opts Options) (*Result, error) {
+	if opts.Segments <= 0 {
+		opts.Segments = DefaultSegments
+	}
+
+	ne := x.G.NumEdges()
+	nc := x.NumCommodities()
+
+	// Variable layout: per commodity, one y variable per member edge,
+	// then PWL segment variables per commodity.
+	varOf := make([][]int, nc) // varOf[j][e] = LP variable or -1
+	numVars := 0
+	for j := 0; j < nc; j++ {
+		varOf[j] = make([]int, ne)
+		for e := 0; e < ne; e++ {
+			varOf[j][e] = -1
+			if x.Member[j][e] {
+				varOf[j][e] = numVars
+				numVars++
+			}
+		}
+	}
+	type segment struct {
+		v     int
+		slope float64
+		width float64
+	}
+	segs := make([][]segment, nc)
+	for j := 0; j < nc; j++ {
+		c := &x.Commodities[j]
+		n := opts.Segments
+		if _, linear := c.Utility.(utility.Linear); linear {
+			n = 1
+		}
+		width := c.MaxRate / float64(n)
+		for k := 0; k < n; k++ {
+			lo, hi := width*float64(k), width*float64(k+1)
+			segs[j] = append(segs[j], segment{
+				v:     numVars,
+				slope: (c.Utility.Value(hi) - c.Utility.Value(lo)) / width,
+				width: width,
+			})
+			numVars++
+		}
+	}
+
+	p := lp.NewProblem(numVars)
+	for j := 0; j < nc; j++ {
+		for _, s := range segs[j] {
+			if err := p.SetObjective(s.v, s.slope); err != nil {
+				return nil, err
+			}
+			if err := p.AddConstraint(map[int]float64{s.v: 1}, lp.LE, s.width); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	// Admission coupling: Σ_k s_jk = a_j = y on the input link.
+	for j := 0; j < nc; j++ {
+		c := &x.Commodities[j]
+		coeffs := map[int]float64{varOf[j][c.InputLink]: 1}
+		for _, s := range segs[j] {
+			coeffs[s.v] -= 1
+			if coeffs[s.v] == 0 {
+				delete(coeffs, s.v)
+			}
+		}
+		if err := p.AddConstraint(coeffs, lp.EQ, 0); err != nil {
+			return nil, err
+		}
+	}
+
+	// Flow balance with shrinkage (eq. 7) per commodity per node:
+	// Σ_out y_e − Σ_in β_e·y_e = r (λ_j at the dummy, 0 elsewhere,
+	// unconstrained at the sink).
+	for j := 0; j < nc; j++ {
+		c := &x.Commodities[j]
+		for n := 0; n < x.G.NumNodes(); n++ {
+			node := graph.NodeID(n)
+			if node == c.Sink {
+				continue
+			}
+			coeffs := make(map[int]float64)
+			for _, e := range x.G.Out(node) {
+				if v := varOf[j][e]; v >= 0 {
+					coeffs[v] += 1
+				}
+			}
+			for _, e := range x.G.In(node) {
+				if v := varOf[j][e]; v >= 0 {
+					coeffs[v] -= x.Beta[j][e]
+				}
+			}
+			rhs := 0.0
+			if node == c.Dummy {
+				rhs = c.MaxRate
+			}
+			if len(coeffs) == 0 {
+				if rhs != 0 {
+					return nil, fmt.Errorf("refopt: commodity %q: dummy node has no member edges", c.Name)
+				}
+				continue
+			}
+			if err := p.AddConstraint(coeffs, lp.EQ, rhs); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	// Capacity (eq. 6): Σ_j Σ_{e ∈ out(n)} c_e(j)·y_e(j) ≤ C_n for
+	// every capacitated node (bandwidth nodes carry B_ik here).
+	// capRow[n] records each capacity constraint's LP row so the dual
+	// values can be read back as per-node shadow prices.
+	capRow := make([]int, x.G.NumNodes())
+	nRows := countRows(p)
+	for n := 0; n < x.G.NumNodes(); n++ {
+		capRow[n] = -1
+		capn := x.Capacity[n]
+		if math.IsInf(capn, 1) {
+			continue
+		}
+		coeffs := make(map[int]float64)
+		for j := 0; j < nc; j++ {
+			for _, e := range x.G.Out(graph.NodeID(n)) {
+				if v := varOf[j][e]; v >= 0 {
+					coeffs[v] += x.Cost[j][e]
+				}
+			}
+		}
+		if len(coeffs) == 0 {
+			continue
+		}
+		if err := p.AddConstraint(coeffs, lp.LE, capn); err != nil {
+			return nil, err
+		}
+		capRow[n] = nRows
+		nRows++
+	}
+
+	sol, err := lp.Solve(p)
+	if err != nil {
+		return nil, fmt.Errorf("refopt: %w", err)
+	}
+
+	res := &Result{
+		Admitted:    make([]float64, nc),
+		EdgeInput:   make([][]float64, nc),
+		ShadowPrice: make([]float64, x.G.NumNodes()),
+	}
+	for n, row := range capRow {
+		if row >= 0 {
+			res.ShadowPrice[n] = sol.Duals[row]
+		}
+	}
+	for j := 0; j < nc; j++ {
+		c := &x.Commodities[j]
+		res.Admitted[j] = sol.X[varOf[j][c.InputLink]]
+		res.Utility += c.Utility.Value(res.Admitted[j])
+		res.EdgeInput[j] = make([]float64, ne)
+		for e := 0; e < ne; e++ {
+			if v := varOf[j][e]; v >= 0 {
+				res.EdgeInput[j][e] = sol.X[v]
+			}
+		}
+	}
+	return res, nil
+}
+
+// countRows reports how many constraints a problem has so far (used to
+// map capacity constraints to dual indices).
+func countRows(p *lp.Problem) int { return p.NumConstraints() }

@@ -1,0 +1,115 @@
+// Package simnet is a small deterministic message-passing simulator:
+// nodes exchange messages over synchronous rounds (a message sent in
+// round r is delivered in round r+1), and the network counts rounds and
+// messages. internal/dist runs the paper's §5 protocols on it so the
+// per-iteration message-cost claims of §6 (gradient O(L) rounds,
+// back-pressure O(1)) are measured rather than asserted.
+package simnet
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// Message is a payload in flight between two nodes.
+type Message struct {
+	From    graph.NodeID
+	To      graph.NodeID
+	Payload any
+}
+
+// Handler processes one delivered message at a node. send enqueues a
+// message for delivery next round; it may be called any number of
+// times.
+type Handler func(msg Message, send func(to graph.NodeID, payload any))
+
+// Net is the simulated network. The zero value is not usable; call New.
+type Net struct {
+	handler Handler
+	latency func(Message) int
+	// queue[d] holds messages due d rounds from now (queue[0] = next
+	// round). A slice ring keeps in-round delivery order deterministic.
+	queue   [][]Message
+	inQueue int
+
+	rounds   int
+	messages int
+}
+
+// New creates a network whose nodes all run the given handler
+// (node-specific behavior dispatches on Message.To inside the handler).
+// Messages take exactly one round; use NewWithLatency for jitter.
+func New(handler Handler) *Net {
+	return NewWithLatency(handler, nil)
+}
+
+// NewWithLatency creates a network where each message's delivery delay
+// (in rounds, ≥ 1) is chosen by the latency function; nil means one
+// round for everything. A deterministic latency function keeps the
+// whole simulation deterministic. This models asynchronous networks:
+// the §5 protocols must produce identical results under any latencies
+// because every node waits for all of its wave inputs (tested in
+// internal/dist).
+func NewWithLatency(handler Handler, latency func(Message) int) *Net {
+	return &Net{handler: handler, latency: latency}
+}
+
+// Inject queues a message attributed to the given sender. Used by
+// drivers to start protocol waves.
+func (n *Net) Inject(from, to graph.NodeID, payload any) {
+	n.enqueue(Message{From: from, To: to, Payload: payload})
+}
+
+func (n *Net) enqueue(msg Message) {
+	delay := 1
+	if n.latency != nil {
+		if d := n.latency(msg); d > 1 {
+			delay = d
+		}
+	}
+	for len(n.queue) < delay {
+		n.queue = append(n.queue, nil)
+	}
+	n.queue[delay-1] = append(n.queue[delay-1], msg)
+	n.inQueue++
+}
+
+// ErrNotQuiescent is returned when RunToQuiescence hits its round cap.
+var ErrNotQuiescent = errors.New("simnet: round limit reached with messages still in flight")
+
+// RunToQuiescence delivers rounds of messages until none remain,
+// counting rounds and messages. Delivery within a round follows queue
+// insertion order, so runs are deterministic whenever handlers and the
+// latency function are.
+func (n *Net) RunToQuiescence(maxRounds int) error {
+	for r := 0; r < maxRounds; r++ {
+		if n.inQueue == 0 {
+			return nil
+		}
+		var current []Message
+		if len(n.queue) > 0 {
+			current = n.queue[0]
+			n.queue = n.queue[1:]
+			n.inQueue -= len(current)
+		}
+		n.rounds++
+		for _, msg := range current {
+			n.messages++
+			n.handler(msg, func(to graph.NodeID, payload any) {
+				n.enqueue(Message{From: msg.To, To: to, Payload: payload})
+			})
+		}
+	}
+	if n.inQueue == 0 {
+		return nil
+	}
+	return fmt.Errorf("%w: %d pending", ErrNotQuiescent, n.inQueue)
+}
+
+// Rounds reports delivery rounds executed so far.
+func (n *Net) Rounds() int { return n.rounds }
+
+// Messages reports messages delivered so far.
+func (n *Net) Messages() int { return n.messages }

@@ -1,0 +1,97 @@
+package simnet
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func TestDeliversInRounds(t *testing.T) {
+	// A relay chain 0 -> 1 -> 2 -> 3: each hop is one round.
+	var got []graph.NodeID
+	n := New(func(msg Message, send func(to graph.NodeID, payload any)) {
+		got = append(got, msg.To)
+		if msg.To < 3 {
+			send(msg.To+1, msg.Payload)
+		}
+	})
+	n.Inject(0, 1, "x")
+	if err := n.RunToQuiescence(10); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("delivery order = %v, want [1 2 3]", got)
+	}
+	if n.Rounds() != 3 {
+		t.Fatalf("rounds = %d, want 3", n.Rounds())
+	}
+	if n.Messages() != 3 {
+		t.Fatalf("messages = %d, want 3", n.Messages())
+	}
+}
+
+func TestParallelMessagesShareARound(t *testing.T) {
+	n := New(func(msg Message, send func(to graph.NodeID, payload any)) {})
+	n.Inject(0, 1, "a")
+	n.Inject(0, 2, "b")
+	n.Inject(0, 3, "c")
+	if err := n.RunToQuiescence(10); err != nil {
+		t.Fatal(err)
+	}
+	if n.Rounds() != 1 {
+		t.Fatalf("rounds = %d, want 1 (parallel delivery)", n.Rounds())
+	}
+	if n.Messages() != 3 {
+		t.Fatalf("messages = %d, want 3", n.Messages())
+	}
+}
+
+func TestRoundLimit(t *testing.T) {
+	// A message ping-pong never quiesces; the cap must trip.
+	n := New(func(msg Message, send func(to graph.NodeID, payload any)) {
+		send(msg.From, msg.Payload)
+	})
+	n.Inject(0, 1, "ping")
+	err := n.RunToQuiescence(5)
+	if !errors.Is(err, ErrNotQuiescent) {
+		t.Fatalf("err = %v, want ErrNotQuiescent", err)
+	}
+}
+
+func TestQuiescentStartIsNoop(t *testing.T) {
+	n := New(func(msg Message, send func(to graph.NodeID, payload any)) {
+		t.Fatal("handler called with no messages")
+	})
+	if err := n.RunToQuiescence(3); err != nil {
+		t.Fatal(err)
+	}
+	if n.Rounds() != 0 || n.Messages() != 0 {
+		t.Fatal("counted phantom traffic")
+	}
+}
+
+func TestDeterministicOrderWithinRound(t *testing.T) {
+	run := func() []string {
+		var log []string
+		n := New(func(msg Message, send func(to graph.NodeID, payload any)) {
+			log = append(log, msg.Payload.(string))
+		})
+		n.Inject(0, 1, "a")
+		n.Inject(0, 1, "b")
+		n.Inject(0, 2, "c")
+		if err := n.RunToQuiescence(5); err != nil {
+			t.Fatal(err)
+		}
+		return log
+	}
+	first := run()
+	for i := 0; i < 5; i++ {
+		again := run()
+		for k := range first {
+			if first[k] != again[k] {
+				t.Fatalf("order differs between runs: %v vs %v", first, again)
+			}
+		}
+	}
+}

@@ -1,0 +1,309 @@
+// Package stream defines the paper's stream-processing model (§2): a
+// capacitated network of servers and sinks, commodities (query streams)
+// with per-edge shrinkage factors and processing costs, concave
+// utilities of admitted rates, and the task→server assignment view of
+// Figure 1.
+package stream
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/graph"
+	"repro/internal/utility"
+)
+
+// NodeKind distinguishes processing nodes (set P in the paper, which
+// includes sources) from sinks (set J, which only receive data).
+type NodeKind int
+
+// Node kinds.
+const (
+	Processing NodeKind = iota + 1
+	Sink
+)
+
+// String returns the kind name.
+func (k NodeKind) String() string {
+	switch k {
+	case Processing:
+		return "processing"
+	case Sink:
+		return "sink"
+	default:
+		return fmt.Sprintf("NodeKind(%d)", int(k))
+	}
+}
+
+// Network is the physical graph G0 = (N0, E0): processing nodes with
+// computing capacity C_u and links with bandwidth B_ik.
+type Network struct {
+	G         *graph.Graph
+	Names     []string // per node
+	Kinds     []NodeKind
+	Capacity  []float64 // per node; ignored for sinks
+	Bandwidth []float64 // per edge
+
+	byName map[string]graph.NodeID
+}
+
+// NewNetwork returns an empty network.
+func NewNetwork() *Network {
+	return &Network{
+		G:      graph.New(0, 0),
+		byName: make(map[string]graph.NodeID),
+	}
+}
+
+// AddServer adds a processing node with the given capacity.
+func (n *Network) AddServer(name string, capacity float64) (graph.NodeID, error) {
+	return n.addNode(name, Processing, capacity)
+}
+
+// AddSink adds a sink node. Sinks cannot process and must have no
+// outgoing links.
+func (n *Network) AddSink(name string) (graph.NodeID, error) {
+	return n.addNode(name, Sink, 0)
+}
+
+func (n *Network) addNode(name string, kind NodeKind, capacity float64) (graph.NodeID, error) {
+	if _, ok := n.byName[name]; ok {
+		return graph.Invalid, fmt.Errorf("stream: duplicate node name %q", name)
+	}
+	if kind == Processing && (capacity <= 0 || math.IsNaN(capacity)) {
+		return graph.Invalid, fmt.Errorf("stream: node %q: capacity must be positive, got %g", name, capacity)
+	}
+	id := n.G.AddNode()
+	n.Names = append(n.Names, name)
+	n.Kinds = append(n.Kinds, kind)
+	n.Capacity = append(n.Capacity, capacity)
+	n.byName[name] = id
+	return id, nil
+}
+
+// AddLink adds a directed link with the given bandwidth.
+func (n *Network) AddLink(from, to graph.NodeID, bandwidth float64) (graph.EdgeID, error) {
+	if bandwidth <= 0 || math.IsNaN(bandwidth) {
+		return graph.Invalid, fmt.Errorf("stream: link (%s,%s): bandwidth must be positive, got %g",
+			n.name(from), n.name(to), bandwidth)
+	}
+	if n.G.HasNode(from) && n.Kinds[from] == Sink {
+		return graph.Invalid, fmt.Errorf("stream: sink %q cannot have outgoing links", n.name(from))
+	}
+	e, err := n.G.AddEdge(from, to)
+	if err != nil {
+		return graph.Invalid, err
+	}
+	n.Bandwidth = append(n.Bandwidth, bandwidth)
+	return e, nil
+}
+
+// NodeByName looks a node up by name.
+func (n *Network) NodeByName(name string) (graph.NodeID, bool) {
+	id, ok := n.byName[name]
+	return id, ok
+}
+
+func (n *Network) name(id graph.NodeID) string {
+	if n.G.HasNode(id) {
+		return n.Names[id]
+	}
+	return fmt.Sprintf("#%d", id)
+}
+
+// EdgeParams are the per-commodity per-edge parameters: processing one
+// unit of the commodity at the edge's tail consumes Cost units of the
+// tail's resource and produces Beta units of flow on the edge.
+type EdgeParams struct {
+	Beta float64 // shrinkage (<1) / expansion (>1) factor, > 0
+	Cost float64 // resource units per input unit, > 0
+}
+
+// Commodity is one query stream: a source, a sink, a maximum offered
+// rate λ, a utility of the admitted rate, and the per-edge parameters
+// on the edges of its DAG G_j.
+type Commodity struct {
+	Name    string
+	Source  graph.NodeID
+	SinkID  graph.NodeID
+	MaxRate float64
+	Utility utility.Function
+
+	// Edges maps the edges of the commodity's subgraph G_j to their
+	// parameters. Edges absent from the map are not usable by this
+	// commodity.
+	Edges map[graph.EdgeID]EdgeParams
+}
+
+// UsesEdge reports whether edge e belongs to the commodity's subgraph.
+func (c *Commodity) UsesEdge(e graph.EdgeID) bool {
+	_, ok := c.Edges[e]
+	return ok
+}
+
+// Problem is a complete problem instance: the network plus the
+// commodities to be admitted, routed, and allocated.
+type Problem struct {
+	Net         *Network
+	Commodities []*Commodity
+}
+
+// NewProblem wraps a network into an empty problem.
+func NewProblem(net *Network) *Problem {
+	return &Problem{Net: net}
+}
+
+// AddCommodity registers a commodity. Parameters are attached afterward
+// with SetEdge.
+func (p *Problem) AddCommodity(name string, source, sink graph.NodeID, maxRate float64, u utility.Function) (*Commodity, error) {
+	if !p.Net.G.HasNode(source) || !p.Net.G.HasNode(sink) {
+		return nil, fmt.Errorf("stream: commodity %q: unknown source or sink", name)
+	}
+	if p.Net.Kinds[source] != Processing {
+		return nil, fmt.Errorf("stream: commodity %q: source %q is not a processing node", name, p.Net.name(source))
+	}
+	if p.Net.Kinds[sink] != Sink {
+		return nil, fmt.Errorf("stream: commodity %q: sink %q is not a sink node", name, p.Net.name(sink))
+	}
+	if maxRate <= 0 || math.IsNaN(maxRate) {
+		return nil, fmt.Errorf("stream: commodity %q: max rate must be positive, got %g", name, maxRate)
+	}
+	if u == nil {
+		return nil, fmt.Errorf("stream: commodity %q: nil utility", name)
+	}
+	for _, c := range p.Commodities {
+		if c.Name == name {
+			return nil, fmt.Errorf("stream: duplicate commodity name %q", name)
+		}
+		if c.SinkID == sink {
+			return nil, fmt.Errorf("stream: commodity %q: sink %q already used by %q", name, p.Net.name(sink), c.Name)
+		}
+	}
+	c := &Commodity{
+		Name:    name,
+		Source:  source,
+		SinkID:  sink,
+		MaxRate: maxRate,
+		Utility: u,
+		Edges:   make(map[graph.EdgeID]EdgeParams),
+	}
+	p.Commodities = append(p.Commodities, c)
+	return c, nil
+}
+
+// SetEdge attaches edge e to commodity c's subgraph with the given
+// parameters.
+func (p *Problem) SetEdge(c *Commodity, e graph.EdgeID, params EdgeParams) error {
+	if int(e) < 0 || int(e) >= p.Net.G.NumEdges() {
+		return fmt.Errorf("stream: commodity %q: unknown edge %d", c.Name, e)
+	}
+	if params.Beta <= 0 || math.IsNaN(params.Beta) {
+		return fmt.Errorf("stream: commodity %q edge %d: beta must be positive, got %g", c.Name, e, params.Beta)
+	}
+	if params.Cost <= 0 || math.IsNaN(params.Cost) {
+		return fmt.Errorf("stream: commodity %q edge %d: cost must be positive, got %g", c.Name, e, params.Cost)
+	}
+	c.Edges[e] = params
+	return nil
+}
+
+// errValidate is the sentinel wrapped by every Validate failure.
+var errValidate = errors.New("stream: invalid problem")
+
+// Validate checks the structural assumptions of §2:
+//   - every commodity subgraph G_j is a DAG,
+//   - the sink is reachable from the source within G_j,
+//   - sinks never appear as edge tails in any G_j,
+//   - Property 1: the product of β along every source→node path is
+//     path-independent (checked via node potentials g_n(j)),
+//   - utilities are concave and increasing on [0, λ_j].
+func (p *Problem) Validate() error {
+	if len(p.Commodities) == 0 {
+		return fmt.Errorf("%w: no commodities", errValidate)
+	}
+	for _, c := range p.Commodities {
+		if err := p.validateCommodity(c); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (p *Problem) validateCommodity(c *Commodity) error {
+	g := p.Net.G
+	keep := func(e graph.EdgeID) bool { return c.UsesEdge(e) }
+	if !g.IsAcyclic(keep) {
+		return fmt.Errorf("%w: commodity %q subgraph is cyclic", errValidate, c.Name)
+	}
+	for e := range c.Edges {
+		if p.Net.Kinds[g.Edge(e).From] == Sink {
+			return fmt.Errorf("%w: commodity %q: edge %d leaves sink %q",
+				errValidate, c.Name, e, p.Net.name(g.Edge(e).From))
+		}
+	}
+	reach := g.ReachableFrom(c.Source, keep)
+	if !reach[c.SinkID] {
+		return fmt.Errorf("%w: commodity %q: sink %q unreachable from source %q",
+			errValidate, c.Name, p.Net.name(c.SinkID), p.Net.name(c.Source))
+	}
+	if _, err := p.Potentials(c); err != nil {
+		return fmt.Errorf("%w: commodity %q: %v", errValidate, c.Name, err)
+	}
+	if err := utility.Validate(c.Utility, c.MaxRate); err != nil {
+		return fmt.Errorf("%w: commodity %q: %v", errValidate, c.Name, err)
+	}
+	return nil
+}
+
+// Potentials computes the node potentials g_n(j) of §2: the product of
+// β along any path from the source to n. It returns an error if two
+// paths disagree, i.e. Property 1 is violated. Unreachable nodes get
+// potential 1, matching the paper's convention.
+func (p *Problem) Potentials(c *Commodity) ([]float64, error) {
+	g := p.Net.G
+	keep := func(e graph.EdgeID) bool { return c.UsesEdge(e) }
+	order, err := g.TopoSortFiltered(keep)
+	if err != nil {
+		return nil, err
+	}
+	pot := make([]float64, g.NumNodes())
+	for i := range pot {
+		pot[i] = 1
+	}
+	reach := g.ReachableFrom(c.Source, keep)
+	assigned := make([]bool, g.NumNodes())
+	assigned[c.Source] = true // g_{s_j}(j) = 1 by definition
+	const tol = 1e-9
+	// In a topological order every in-edge of a node is processed before
+	// the node itself, so each reachable node is assigned exactly once
+	// (first in-edge from a reachable tail) and checked on every later
+	// in-edge.
+	for _, u := range order {
+		if !reach[u] {
+			continue
+		}
+		for _, e := range g.Out(u) {
+			params, ok := c.Edges[e]
+			if !ok {
+				continue
+			}
+			v := g.Edge(e).To
+			want := pot[u] * params.Beta
+			if assigned[v] {
+				if relDiff(pot[v], want) > tol {
+					return nil, fmt.Errorf("property 1 violated at node %q: potentials %g vs %g",
+						p.Net.name(v), pot[v], want)
+				}
+				continue
+			}
+			pot[v] = want
+			assigned[v] = true
+		}
+	}
+	return pot, nil
+}
+
+func relDiff(a, b float64) float64 {
+	return math.Abs(a-b) / (1 + math.Abs(a) + math.Abs(b))
+}

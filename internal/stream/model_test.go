@@ -1,0 +1,262 @@
+package stream
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/utility"
+)
+
+// chainProblem builds src -> mid -> sink with one commodity.
+func chainProblem(t *testing.T, beta1, beta2 float64) (*Problem, *Commodity) {
+	t.Helper()
+	net := NewNetwork()
+	src, err := net.AddServer("src", 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mid, err := net.AddServer("mid", 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink, err := net.AddSink("sink")
+	if err != nil {
+		t.Fatal(err)
+	}
+	e1, err := net.AddLink(src, mid, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2, err := net.AddLink(mid, sink, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := NewProblem(net)
+	c, err := p.AddCommodity("S", src, sink, 5, utility.Linear{Slope: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.SetEdge(c, e1, EdgeParams{Beta: beta1, Cost: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.SetEdge(c, e2, EdgeParams{Beta: beta2, Cost: 1}); err != nil {
+		t.Fatal(err)
+	}
+	return p, c
+}
+
+func TestNetworkBasics(t *testing.T) {
+	net := NewNetwork()
+	a, err := net.AddServer("a", 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id, ok := net.NodeByName("a"); !ok || id != a {
+		t.Fatalf("NodeByName(a) = %d,%v", id, ok)
+	}
+	if _, ok := net.NodeByName("nope"); ok {
+		t.Fatal("NodeByName(nope) found something")
+	}
+	if _, err := net.AddServer("a", 3); err == nil {
+		t.Fatal("duplicate name accepted")
+	}
+	if _, err := net.AddServer("neg", -1); err == nil {
+		t.Fatal("negative capacity accepted")
+	}
+}
+
+func TestSinkCannotHaveOutgoingLinks(t *testing.T) {
+	net := NewNetwork()
+	s, _ := net.AddSink("s")
+	a, _ := net.AddServer("a", 1)
+	if _, err := net.AddLink(s, a, 1); err == nil {
+		t.Fatal("link out of a sink accepted")
+	}
+}
+
+func TestAddLinkRejectsBadBandwidth(t *testing.T) {
+	net := NewNetwork()
+	a, _ := net.AddServer("a", 1)
+	b, _ := net.AddServer("b", 1)
+	if _, err := net.AddLink(a, b, 0); err == nil {
+		t.Fatal("zero bandwidth accepted")
+	}
+}
+
+func TestAddCommodityChecksRoles(t *testing.T) {
+	net := NewNetwork()
+	a, _ := net.AddServer("a", 1)
+	b, _ := net.AddServer("b", 1)
+	s, _ := net.AddSink("s")
+	p := NewProblem(net)
+	if _, err := p.AddCommodity("x", s, s, 1, utility.Linear{Slope: 1}); err == nil {
+		t.Fatal("sink as source accepted")
+	}
+	if _, err := p.AddCommodity("x", a, b, 1, utility.Linear{Slope: 1}); err == nil {
+		t.Fatal("processing node as sink accepted")
+	}
+	if _, err := p.AddCommodity("x", a, s, -2, utility.Linear{Slope: 1}); err == nil {
+		t.Fatal("negative max rate accepted")
+	}
+	if _, err := p.AddCommodity("x", a, s, 1, nil); err == nil {
+		t.Fatal("nil utility accepted")
+	}
+	if _, err := p.AddCommodity("x", a, s, 1, utility.Linear{Slope: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.AddCommodity("x", a, s, 1, utility.Linear{Slope: 1}); err == nil {
+		t.Fatal("duplicate commodity name accepted")
+	}
+	if _, err := p.AddCommodity("y", b, s, 1, utility.Linear{Slope: 1}); err == nil {
+		t.Fatal("shared sink accepted")
+	}
+}
+
+func TestSetEdgeValidatesParams(t *testing.T) {
+	p, c := chainProblem(t, 1, 1)
+	if err := p.SetEdge(c, 0, EdgeParams{Beta: -1, Cost: 1}); err == nil {
+		t.Fatal("negative beta accepted")
+	}
+	if err := p.SetEdge(c, 0, EdgeParams{Beta: 1, Cost: 0}); err == nil {
+		t.Fatal("zero cost accepted")
+	}
+	if err := p.SetEdge(c, 99, EdgeParams{Beta: 1, Cost: 1}); err == nil {
+		t.Fatal("unknown edge accepted")
+	}
+}
+
+func TestValidateAcceptsChain(t *testing.T) {
+	p, _ := chainProblem(t, 0.5, 2)
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateRejectsUnreachableSink(t *testing.T) {
+	p, c := chainProblem(t, 1, 1)
+	delete(c.Edges, 1) // drop mid->sink from the commodity subgraph
+	err := p.Validate()
+	if err == nil || !strings.Contains(err.Error(), "unreachable") {
+		t.Fatalf("err = %v, want unreachable-sink error", err)
+	}
+}
+
+func TestValidateRejectsCyclicSubgraph(t *testing.T) {
+	p, c := chainProblem(t, 1, 1)
+	// Add a back edge mid -> src and include it in the subgraph.
+	mid, _ := p.Net.NodeByName("mid")
+	src, _ := p.Net.NodeByName("src")
+	e, err := p.Net.AddLink(mid, src, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.SetEdge(c, e, EdgeParams{Beta: 1, Cost: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(); err == nil || !strings.Contains(err.Error(), "cyclic") {
+		t.Fatalf("err = %v, want cyclic error", err)
+	}
+}
+
+func TestValidateRejectsNoCommodities(t *testing.T) {
+	p := NewProblem(NewNetwork())
+	if err := p.Validate(); err == nil {
+		t.Fatal("empty problem accepted")
+	}
+}
+
+// diamondProblem builds src -> {a,b} -> sink where both branches exist.
+func diamondProblem(t *testing.T, betaSrcA, betaSrcB, betaA, betaB float64) (*Problem, *Commodity) {
+	t.Helper()
+	net := NewNetwork()
+	src, _ := net.AddServer("src", 10)
+	a, _ := net.AddServer("a", 10)
+	b, _ := net.AddServer("b", 10)
+	sink, _ := net.AddSink("sink")
+	e1, _ := net.AddLink(src, a, 100)
+	e2, _ := net.AddLink(src, b, 100)
+	e3, _ := net.AddLink(a, sink, 100)
+	e4, _ := net.AddLink(b, sink, 100)
+	p := NewProblem(net)
+	c, err := p.AddCommodity("S", src, sink, 5, utility.Linear{Slope: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for e, beta := range map[graph.EdgeID]float64{e1: betaSrcA, e2: betaSrcB, e3: betaA, e4: betaB} {
+		if err := p.SetEdge(c, e, EdgeParams{Beta: beta, Cost: 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return p, c
+}
+
+func TestProperty1Holds(t *testing.T) {
+	// Path products: 0.5*4 = 2*1 = 2 -> consistent.
+	p, c := diamondProblem(t, 0.5, 2, 4, 1)
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	pot, err := p.Potentials(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, _ := p.Net.NodeByName("src")
+	sink, _ := p.Net.NodeByName("sink")
+	if pot[src] != 1 {
+		t.Fatalf("g(src) = %g, want 1", pot[src])
+	}
+	if pot[sink] != 2 {
+		t.Fatalf("g(sink) = %g, want 2", pot[sink])
+	}
+}
+
+func TestProperty1Violated(t *testing.T) {
+	// Path products: 0.5*4 = 2 vs 2*2 = 4 -> inconsistent.
+	p, _ := diamondProblem(t, 0.5, 2, 4, 2)
+	err := p.Validate()
+	if err == nil || !strings.Contains(err.Error(), "property 1") {
+		t.Fatalf("err = %v, want Property 1 violation", err)
+	}
+}
+
+func TestPotentialsUnreachableNodesGetOne(t *testing.T) {
+	p, c := chainProblem(t, 0.5, 0.5)
+	// Add an isolated server not reachable by the commodity.
+	if _, err := p.Net.AddServer("island", 3); err != nil {
+		t.Fatal(err)
+	}
+	pot, err := p.Potentials(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	island, _ := p.Net.NodeByName("island")
+	if pot[island] != 1 {
+		t.Fatalf("g(island) = %g, want 1 (paper's convention)", pot[island])
+	}
+}
+
+func TestPotentialsMultiplyAlongChain(t *testing.T) {
+	p, c := chainProblem(t, 0.5, 3)
+	pot, err := p.Potentials(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mid, _ := p.Net.NodeByName("mid")
+	sink, _ := p.Net.NodeByName("sink")
+	if pot[mid] != 0.5 {
+		t.Fatalf("g(mid) = %g, want 0.5", pot[mid])
+	}
+	if pot[sink] != 1.5 {
+		t.Fatalf("g(sink) = %g, want 1.5", pot[sink])
+	}
+}
+
+func TestNodeKindString(t *testing.T) {
+	if Processing.String() != "processing" || Sink.String() != "sink" {
+		t.Fatal("NodeKind.String mismatch")
+	}
+	if got := NodeKind(42).String(); !strings.Contains(got, "42") {
+		t.Fatalf("unknown kind string = %q", got)
+	}
+}

@@ -1,0 +1,217 @@
+package stream
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/utility"
+)
+
+// The JSON schema used by cmd/netgen and cmd/streamopt. Names (not
+// integer IDs) identify nodes so files are diff-friendly and stable
+// under regeneration.
+
+type problemJSON struct {
+	Nodes       []nodeJSON      `json:"nodes"`
+	Links       []linkJSON      `json:"links"`
+	Commodities []commodityJSON `json:"commodities"`
+}
+
+type nodeJSON struct {
+	Name     string  `json:"name"`
+	Kind     string  `json:"kind"` // "processing" | "sink"
+	Capacity float64 `json:"capacity,omitempty"`
+}
+
+type linkJSON struct {
+	From      string  `json:"from"`
+	To        string  `json:"to"`
+	Bandwidth float64 `json:"bandwidth"`
+}
+
+type commodityJSON struct {
+	Name    string          `json:"name"`
+	Source  string          `json:"source"`
+	Sink    string          `json:"sink"`
+	MaxRate float64         `json:"maxRate"`
+	Utility utilityJSON     `json:"utility"`
+	Edges   []edgeParamJSON `json:"edges"`
+}
+
+type utilityJSON struct {
+	Type   string  `json:"type"`
+	Slope  float64 `json:"slope,omitempty"`
+	Weight float64 `json:"weight,omitempty"`
+	Scale  float64 `json:"scale,omitempty"`
+	Shift  float64 `json:"shift,omitempty"`
+	Alpha  float64 `json:"alpha,omitempty"`
+	Cap    float64 `json:"cap,omitempty"`
+}
+
+type edgeParamJSON struct {
+	From string  `json:"from"`
+	To   string  `json:"to"`
+	Beta float64 `json:"beta"`
+	Cost float64 `json:"cost"`
+}
+
+// MarshalJSON implements json.Marshaler for Problem.
+func (p *Problem) MarshalJSON() ([]byte, error) {
+	out := problemJSON{}
+	g := p.Net.G
+	for n := 0; n < g.NumNodes(); n++ {
+		nj := nodeJSON{Name: p.Net.Names[n], Kind: p.Net.Kinds[n].String()}
+		if p.Net.Kinds[n] == Processing {
+			nj.Capacity = p.Net.Capacity[n]
+		}
+		out.Nodes = append(out.Nodes, nj)
+	}
+	for e := 0; e < g.NumEdges(); e++ {
+		edge := g.Edge(graph.EdgeID(e))
+		out.Links = append(out.Links, linkJSON{
+			From:      p.Net.Names[edge.From],
+			To:        p.Net.Names[edge.To],
+			Bandwidth: p.Net.Bandwidth[e],
+		})
+	}
+	for _, c := range p.Commodities {
+		uj, err := marshalUtility(c.Utility)
+		if err != nil {
+			return nil, fmt.Errorf("commodity %q: %w", c.Name, err)
+		}
+		cj := commodityJSON{
+			Name:    c.Name,
+			Source:  p.Net.Names[c.Source],
+			Sink:    p.Net.Names[c.SinkID],
+			MaxRate: c.MaxRate,
+			Utility: uj,
+		}
+		// Deterministic edge order: by edge ID.
+		for e := 0; e < g.NumEdges(); e++ {
+			params, ok := c.Edges[graph.EdgeID(e)]
+			if !ok {
+				continue
+			}
+			edge := g.Edge(graph.EdgeID(e))
+			cj.Edges = append(cj.Edges, edgeParamJSON{
+				From: p.Net.Names[edge.From],
+				To:   p.Net.Names[edge.To],
+				Beta: params.Beta,
+				Cost: params.Cost,
+			})
+		}
+		out.Commodities = append(out.Commodities, cj)
+	}
+	return json.MarshalIndent(out, "", "  ")
+}
+
+// ParseProblem decodes a problem from its JSON form and validates it.
+func ParseProblem(data []byte) (*Problem, error) {
+	var in problemJSON
+	if err := json.Unmarshal(data, &in); err != nil {
+		return nil, fmt.Errorf("stream: parse problem: %w", err)
+	}
+	net := NewNetwork()
+	for _, nj := range in.Nodes {
+		var err error
+		switch nj.Kind {
+		case "processing":
+			_, err = net.AddServer(nj.Name, nj.Capacity)
+		case "sink":
+			_, err = net.AddSink(nj.Name)
+		default:
+			err = fmt.Errorf("stream: node %q: unknown kind %q", nj.Name, nj.Kind)
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	for _, lj := range in.Links {
+		from, ok := net.NodeByName(lj.From)
+		if !ok {
+			return nil, fmt.Errorf("stream: link: unknown node %q", lj.From)
+		}
+		to, ok := net.NodeByName(lj.To)
+		if !ok {
+			return nil, fmt.Errorf("stream: link: unknown node %q", lj.To)
+		}
+		if _, err := net.AddLink(from, to, lj.Bandwidth); err != nil {
+			return nil, err
+		}
+	}
+	p := NewProblem(net)
+	for _, cj := range in.Commodities {
+		src, ok := net.NodeByName(cj.Source)
+		if !ok {
+			return nil, fmt.Errorf("stream: commodity %q: unknown source %q", cj.Name, cj.Source)
+		}
+		dst, ok := net.NodeByName(cj.Sink)
+		if !ok {
+			return nil, fmt.Errorf("stream: commodity %q: unknown sink %q", cj.Name, cj.Sink)
+		}
+		u, err := parseUtility(cj.Utility)
+		if err != nil {
+			return nil, fmt.Errorf("stream: commodity %q: %w", cj.Name, err)
+		}
+		c, err := p.AddCommodity(cj.Name, src, dst, cj.MaxRate, u)
+		if err != nil {
+			return nil, err
+		}
+		for _, ej := range cj.Edges {
+			from, ok := net.NodeByName(ej.From)
+			if !ok {
+				return nil, fmt.Errorf("stream: commodity %q: unknown node %q", cj.Name, ej.From)
+			}
+			to, ok := net.NodeByName(ej.To)
+			if !ok {
+				return nil, fmt.Errorf("stream: commodity %q: unknown node %q", cj.Name, ej.To)
+			}
+			e := net.G.EdgeBetween(from, to)
+			if e < 0 {
+				return nil, fmt.Errorf("stream: commodity %q: no link (%s,%s)", cj.Name, ej.From, ej.To)
+			}
+			if err := p.SetEdge(c, e, EdgeParams{Beta: ej.Beta, Cost: ej.Cost}); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+func marshalUtility(u utility.Function) (utilityJSON, error) {
+	switch v := u.(type) {
+	case utility.Linear:
+		return utilityJSON{Type: "linear", Slope: v.Slope}, nil
+	case utility.Log:
+		return utilityJSON{Type: "log", Weight: v.Weight, Scale: v.Scale}, nil
+	case utility.Sqrt:
+		return utilityJSON{Type: "sqrt", Weight: v.Weight, Shift: v.Shift}, nil
+	case utility.AlphaFair:
+		return utilityJSON{Type: "alphafair", Weight: v.Weight, Alpha: v.Alpha, Shift: v.Shift}, nil
+	case utility.CappedLinear:
+		return utilityJSON{Type: "cappedlinear", Slope: v.Slope, Cap: v.Cap}, nil
+	default:
+		return utilityJSON{}, fmt.Errorf("utility %q is not serializable", u.Name())
+	}
+}
+
+func parseUtility(uj utilityJSON) (utility.Function, error) {
+	switch uj.Type {
+	case "linear":
+		return utility.Linear{Slope: uj.Slope}, nil
+	case "log":
+		return utility.Log{Weight: uj.Weight, Scale: uj.Scale}, nil
+	case "sqrt":
+		return utility.Sqrt{Weight: uj.Weight, Shift: uj.Shift}, nil
+	case "alphafair":
+		return utility.AlphaFair{Weight: uj.Weight, Alpha: uj.Alpha, Shift: uj.Shift}, nil
+	case "cappedlinear":
+		return utility.CappedLinear{Slope: uj.Slope, Cap: uj.Cap}, nil
+	default:
+		return nil, fmt.Errorf("unknown utility type %q", uj.Type)
+	}
+}

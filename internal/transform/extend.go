@@ -1,0 +1,321 @@
+// Package transform implements the paper's §3 problem transformation:
+//
+//  1. every physical link (i,k) becomes a *bandwidth node* n_ik with
+//     capacity B_ik, unifying link and CPU constraints into one
+//     per-node resource constraint (Figure 2);
+//  2. every commodity j gets a *dummy node* s̄_j feeding the admitted
+//     rate over a dummy input link (s̄_j, s_j) and the rejected rate
+//     over a dummy difference link (s̄_j, sink_j) whose cost is the
+//     utility loss Y (Figure 3, eq. 1);
+//  3. capacity constraints move into the objective through convex
+//     barrier penalties ε·D_i (Penalty).
+//
+// The result is the routing problem min A = Y + ε·D that internal/flow,
+// internal/gradient and internal/backpressure operate on.
+package transform
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/graph"
+	"repro/internal/stream"
+	"repro/internal/utility"
+)
+
+// NodeKind classifies nodes of the extended graph.
+type NodeKind int
+
+// Extended-graph node kinds.
+const (
+	Proc      NodeKind = iota + 1 // original processing node
+	Bandwidth                     // n_ik for a physical link
+	Dummy                         // s̄_j super-source
+	SinkNode                      // original sink
+)
+
+// String returns the kind name.
+func (k NodeKind) String() string {
+	switch k {
+	case Proc:
+		return "proc"
+	case Bandwidth:
+		return "bandwidth"
+	case Dummy:
+		return "dummy"
+	case SinkNode:
+		return "sink"
+	default:
+		return fmt.Sprintf("NodeKind(%d)", int(k))
+	}
+}
+
+// Commodity is a commodity on the extended graph: traffic λ arrives at
+// the dummy node; the admitted share reaches Sink through the network
+// and the rejected share through the difference link.
+type Commodity struct {
+	Name    string
+	Dummy   graph.NodeID // s̄_j: where external traffic r arrives
+	Source  graph.NodeID // s_j mapped into the extended graph
+	Sink    graph.NodeID
+	MaxRate float64
+	Utility utility.Function
+	Loss    utility.Loss // cost of the difference link
+
+	InputLink graph.EdgeID // (s̄_j, s_j)
+	DiffLink  graph.EdgeID // (s̄_j, sink_j)
+}
+
+// Extended is the transformed problem instance.
+type Extended struct {
+	G     *graph.Graph
+	Names []string
+	Kinds []NodeKind
+	// Capacity per node; +Inf for dummy nodes and sinks.
+	Capacity []float64
+	// Penalty is the barrier family D; Epsilon scales it (cost = ε·D).
+	Penalty utility.Penalty
+	Epsilon float64
+
+	Commodities []Commodity
+
+	// Member[j][e] reports whether extended edge e is usable by
+	// commodity j (trimmed to edges on some source→sink path).
+	Member [][]bool
+	// Beta[j][e] and Cost[j][e] are the per-commodity edge parameters;
+	// zero where Member is false.
+	Beta [][]float64
+	Cost [][]float64
+
+	// OrigNode maps extended node -> original node (graph.Invalid for
+	// bandwidth and dummy nodes). OrigEdge maps extended edge -> the
+	// original physical edge it derives from (graph.Invalid for dummy
+	// links); Wire marks the (n_ik, k) half whose flow is the physical
+	// wire flow.
+	OrigNode []graph.NodeID
+	OrigEdge []graph.EdgeID
+	Wire     []bool
+
+	// Topo[j] is a topological order of the nodes restricted to
+	// commodity j's member edges; every member subgraph is a DAG, so
+	// routing restricted to member edges is loop-free by construction.
+	Topo [][]graph.NodeID
+}
+
+// Options configures the transformation.
+type Options struct {
+	// Penalty is the barrier family; nil means utility.Reciprocal (the
+	// paper's example D(z) = 1/(C−z)).
+	Penalty utility.Penalty
+	// Epsilon scales the penalty term (the paper's ε; §6 uses 0.2).
+	// Zero or negative means 0.2.
+	Epsilon float64
+}
+
+// Build constructs the extended problem from a validated stream.Problem.
+// The resulting graph has N+M+J nodes and 2M+2J edges, as stated in §3.
+func Build(p *stream.Problem, opts Options) (*Extended, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if opts.Penalty == nil {
+		opts.Penalty = utility.Reciprocal{}
+	}
+	if opts.Epsilon <= 0 {
+		opts.Epsilon = 0.2
+	}
+
+	og := p.Net.G
+	n, m, j := og.NumNodes(), og.NumEdges(), len(p.Commodities)
+	x := &Extended{
+		G:       graph.New(n+m+j, 2*m+2*j),
+		Penalty: opts.Penalty,
+		Epsilon: opts.Epsilon,
+	}
+
+	addNode := func(name string, kind NodeKind, capacity float64, orig graph.NodeID) graph.NodeID {
+		id := x.G.AddNode()
+		x.Names = append(x.Names, name)
+		x.Kinds = append(x.Kinds, kind)
+		x.Capacity = append(x.Capacity, capacity)
+		x.OrigNode = append(x.OrigNode, orig)
+		return id
+	}
+	addEdge := func(from, to graph.NodeID, orig graph.EdgeID, wire bool) (graph.EdgeID, error) {
+		e, err := x.G.AddEdge(from, to)
+		if err != nil {
+			return graph.Invalid, err
+		}
+		x.OrigEdge = append(x.OrigEdge, orig)
+		x.Wire = append(x.Wire, wire)
+		return e, nil
+	}
+
+	// Original nodes first, preserving IDs.
+	for i := 0; i < n; i++ {
+		kind := Proc
+		capacity := p.Net.Capacity[i]
+		if p.Net.Kinds[i] == stream.Sink {
+			kind = SinkNode
+			capacity = math.Inf(1)
+		}
+		addNode(p.Net.Names[i], kind, capacity, graph.NodeID(i))
+	}
+
+	// Bandwidth nodes: one per physical edge, capacity B_ik.
+	bwNode := make([]graph.NodeID, m)
+	procHalf := make([]graph.EdgeID, m) // (i, n_ik)
+	wireHalf := make([]graph.EdgeID, m) // (n_ik, k)
+	for e := 0; e < m; e++ {
+		edge := og.Edge(graph.EdgeID(e))
+		name := fmt.Sprintf("bw:%s>%s", p.Net.Names[edge.From], p.Net.Names[edge.To])
+		bwNode[e] = addNode(name, Bandwidth, p.Net.Bandwidth[e], graph.Invalid)
+		var err error
+		if procHalf[e], err = addEdge(edge.From, bwNode[e], graph.EdgeID(e), false); err != nil {
+			return nil, err
+		}
+		if wireHalf[e], err = addEdge(bwNode[e], edge.To, graph.EdgeID(e), true); err != nil {
+			return nil, err
+		}
+	}
+
+	// Dummy nodes and links: one super-source per commodity.
+	for _, c := range p.Commodities {
+		d := addNode("dummy:"+c.Name, Dummy, math.Inf(1), graph.Invalid)
+		input, err := addEdge(d, c.Source, graph.Invalid, false)
+		if err != nil {
+			return nil, err
+		}
+		diff, err := addEdge(d, c.SinkID, graph.Invalid, false)
+		if err != nil {
+			return nil, err
+		}
+		x.Commodities = append(x.Commodities, Commodity{
+			Name:      c.Name,
+			Dummy:     d,
+			Source:    c.Source,
+			Sink:      c.SinkID,
+			MaxRate:   c.MaxRate,
+			Utility:   c.Utility,
+			Loss:      utility.Loss{U: c.Utility, Lambda: c.MaxRate},
+			InputLink: input,
+			DiffLink:  diff,
+		})
+	}
+
+	// Per-commodity edge parameters. A commodity may use extended edge
+	// (i, n_ik) with the original β and c, and (n_ik, k) with β=1, c=1
+	// (one bandwidth unit transfers one flow unit). Dummy links use
+	// β=1, c=1 so the difference-link usage equals the rejected rate.
+	ext := x.G.NumEdges()
+	x.Member = make([][]bool, j)
+	x.Beta = make([][]float64, j)
+	x.Cost = make([][]float64, j)
+	for ci, c := range p.Commodities {
+		member := make([]bool, ext)
+		beta := make([]float64, ext)
+		cost := make([]float64, ext)
+		for e, params := range c.Edges {
+			member[procHalf[e]] = true
+			beta[procHalf[e]] = params.Beta
+			cost[procHalf[e]] = params.Cost
+			member[wireHalf[e]] = true
+			beta[wireHalf[e]] = 1
+			cost[wireHalf[e]] = 1
+		}
+		xc := x.Commodities[ci]
+		for _, e := range []graph.EdgeID{xc.InputLink, xc.DiffLink} {
+			member[e] = true
+			beta[e] = 1
+			cost[e] = 1
+		}
+		x.Member[ci] = member
+		x.Beta[ci] = beta
+		x.Cost[ci] = cost
+	}
+
+	x.trimToUseful()
+
+	// Topological orders per commodity member subgraph; Build fails if
+	// any is cyclic, which Validate should already have excluded.
+	x.Topo = make([][]graph.NodeID, j)
+	for ci := range x.Commodities {
+		member := x.Member[ci]
+		order, err := x.G.TopoSortFiltered(func(e graph.EdgeID) bool { return member[e] })
+		if err != nil {
+			return nil, fmt.Errorf("transform: commodity %q: %w", x.Commodities[ci].Name, err)
+		}
+		x.Topo[ci] = order
+	}
+	return x, nil
+}
+
+// trimToUseful drops member edges that cannot carry source→sink flow
+// (tail unreachable from the dummy node or head unable to reach the
+// sink). Flow routed onto such an edge would strand at a dead end and
+// violate flow balance, so the optimizers never consider them.
+func (x *Extended) trimToUseful() {
+	for ci := range x.Commodities {
+		c := &x.Commodities[ci]
+		member := x.Member[ci]
+		keep := func(e graph.EdgeID) bool { return member[e] }
+		reach := x.G.ReachableFrom(c.Dummy, keep)
+		coreach := x.G.CoReachableTo(c.Sink, keep)
+		for e := 0; e < x.G.NumEdges(); e++ {
+			if !member[e] {
+				continue
+			}
+			edge := x.G.Edge(graph.EdgeID(e))
+			if !reach[edge.From] || !coreach[edge.To] {
+				member[e] = false
+				x.Beta[ci][e] = 0
+				x.Cost[ci][e] = 0
+			}
+		}
+	}
+}
+
+// NumCommodities reports the number of commodities.
+func (x *Extended) NumCommodities() int { return len(x.Commodities) }
+
+// IsDiffLink reports whether edge e is the difference link of commodity j.
+func (x *Extended) IsDiffLink(j int, e graph.EdgeID) bool {
+	return x.Commodities[j].DiffLink == e
+}
+
+// PenaltyValue returns ε·D_i(z) for node i, zero for uncapacitated
+// nodes (dummies and sinks).
+func (x *Extended) PenaltyValue(i graph.NodeID, z float64) float64 {
+	c := x.Capacity[i]
+	if math.IsInf(c, 1) {
+		return 0
+	}
+	return x.Epsilon * x.Penalty.Value(z, c)
+}
+
+// PenaltyDeriv returns ε·D'_i(z) for node i, zero for uncapacitated
+// nodes. This is the ∂A_i/∂f_ik of eq. (11) for non-difference links.
+func (x *Extended) PenaltyDeriv(i graph.NodeID, z float64) float64 {
+	c := x.Capacity[i]
+	if math.IsInf(c, 1) {
+		return 0
+	}
+	return x.Epsilon * x.Penalty.Deriv(z, c)
+}
+
+// LossValue returns Y_(i,k)(z): the utility loss when edge e carries z,
+// nonzero only on difference links (eq. 1).
+func (x *Extended) LossValue(j int, e graph.EdgeID, z float64) float64 {
+	if !x.IsDiffLink(j, e) {
+		return 0
+	}
+	return x.Commodities[j].Loss.Value(z)
+}
+
+// LossDeriv returns Y'_(i,k)(z) — eq. (11)'s U'_k(λ_k − f_ik) branch.
+func (x *Extended) LossDeriv(j int, e graph.EdgeID, z float64) float64 {
+	if !x.IsDiffLink(j, e) {
+		return 0
+	}
+	return x.Commodities[j].Loss.Deriv(z)
+}

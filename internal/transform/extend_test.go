@@ -1,0 +1,269 @@
+package transform
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/stream"
+	"repro/internal/utility"
+)
+
+// twoPathProblem builds src -> {a, b} -> sink with distinct parameters.
+func twoPathProblem(t *testing.T) *stream.Problem {
+	t.Helper()
+	net := stream.NewNetwork()
+	src, _ := net.AddServer("src", 10)
+	a, _ := net.AddServer("a", 8)
+	b, _ := net.AddServer("b", 6)
+	sink, _ := net.AddSink("sink")
+	e1, _ := net.AddLink(src, a, 20)
+	e2, _ := net.AddLink(src, b, 30)
+	e3, _ := net.AddLink(a, sink, 40)
+	e4, _ := net.AddLink(b, sink, 50)
+	p := stream.NewProblem(net)
+	c, err := p.AddCommodity("S", src, sink, 5, utility.Linear{Slope: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Property 1: 0.5*4 == 2*1.
+	for e, params := range map[graph.EdgeID]stream.EdgeParams{
+		e1: {Beta: 0.5, Cost: 2},
+		e2: {Beta: 2, Cost: 3},
+		e3: {Beta: 4, Cost: 1},
+		e4: {Beta: 1, Cost: 5},
+	} {
+		if err := p.SetEdge(c, e, params); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return p
+}
+
+func mustBuild(t *testing.T, p *stream.Problem, opts Options) *Extended {
+	t.Helper()
+	x, err := Build(p, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return x
+}
+
+func TestBuildSizesMatchPaperFormula(t *testing.T) {
+	// §3: N nodes, M edges, J commodities -> N+M+J nodes, 2M+2J edges.
+	p := twoPathProblem(t)
+	n, m, j := p.Net.G.NumNodes(), p.Net.G.NumEdges(), len(p.Commodities)
+	x := mustBuild(t, p, Options{})
+	if got, want := x.G.NumNodes(), n+m+j; got != want {
+		t.Fatalf("extended nodes = %d, want N+M+J = %d", got, want)
+	}
+	if got, want := x.G.NumEdges(), 2*m+2*j; got != want {
+		t.Fatalf("extended edges = %d, want 2M+2J = %d", got, want)
+	}
+}
+
+func TestBuildPreservesOriginalNodeIDs(t *testing.T) {
+	p := twoPathProblem(t)
+	x := mustBuild(t, p, Options{})
+	for i := 0; i < p.Net.G.NumNodes(); i++ {
+		if x.OrigNode[i] != graph.NodeID(i) {
+			t.Fatalf("node %d maps to %d", i, x.OrigNode[i])
+		}
+		if x.Names[i] != p.Net.Names[i] {
+			t.Fatalf("node %d renamed %q -> %q", i, p.Net.Names[i], x.Names[i])
+		}
+	}
+}
+
+func TestBandwidthNodes(t *testing.T) {
+	p := twoPathProblem(t)
+	x := mustBuild(t, p, Options{})
+	og := p.Net.G
+	count := 0
+	for n := 0; n < x.G.NumNodes(); n++ {
+		if x.Kinds[n] != Bandwidth {
+			continue
+		}
+		count++
+		node := graph.NodeID(n)
+		// Exactly one in and one out edge, same original edge.
+		if x.G.InDegree(node) != 1 || x.G.OutDegree(node) != 1 {
+			t.Fatalf("bandwidth node %q degree in=%d out=%d", x.Names[n], x.G.InDegree(node), x.G.OutDegree(node))
+		}
+		in, out := x.G.In(node)[0], x.G.Out(node)[0]
+		if x.OrigEdge[in] != x.OrigEdge[out] {
+			t.Fatalf("bandwidth node %q spans different original edges", x.Names[n])
+		}
+		if x.Wire[in] || !x.Wire[out] {
+			t.Fatalf("bandwidth node %q wire marking wrong", x.Names[n])
+		}
+		// Capacity equals the original bandwidth.
+		orig := x.OrigEdge[in]
+		if x.Capacity[n] != p.Net.Bandwidth[orig] {
+			t.Fatalf("bandwidth node %q capacity %g, want %g", x.Names[n], x.Capacity[n], p.Net.Bandwidth[orig])
+		}
+		// The wire half transfers one-for-one: β = c = 1.
+		if x.Beta[0][out] != 1 || x.Cost[0][out] != 1 {
+			t.Fatalf("wire half beta=%g cost=%g, want 1,1", x.Beta[0][out], x.Cost[0][out])
+		}
+		// The processing half inherits the original parameters.
+		edge := og.Edge(orig)
+		want := p.Commodities[0].Edges[orig]
+		if x.Beta[0][in] != want.Beta || x.Cost[0][in] != want.Cost {
+			t.Fatalf("proc half (%d,%d) beta=%g cost=%g, want %+v", edge.From, edge.To, x.Beta[0][in], x.Cost[0][in], want)
+		}
+	}
+	if count != og.NumEdges() {
+		t.Fatalf("bandwidth nodes = %d, want %d", count, og.NumEdges())
+	}
+}
+
+func TestDummyNodes(t *testing.T) {
+	p := twoPathProblem(t)
+	x := mustBuild(t, p, Options{})
+	for j := range x.Commodities {
+		c := &x.Commodities[j]
+		if x.Kinds[c.Dummy] != Dummy {
+			t.Fatalf("dummy node kind = %v", x.Kinds[c.Dummy])
+		}
+		if !math.IsInf(x.Capacity[c.Dummy], 1) {
+			t.Fatalf("dummy capacity = %g, want +Inf", x.Capacity[c.Dummy])
+		}
+		if x.G.Edge(c.InputLink).From != c.Dummy || x.G.Edge(c.InputLink).To != c.Source {
+			t.Fatal("input link endpoints wrong")
+		}
+		if x.G.Edge(c.DiffLink).From != c.Dummy || x.G.Edge(c.DiffLink).To != c.Sink {
+			t.Fatal("difference link endpoints wrong")
+		}
+		// Both dummy links carry flow one-for-one.
+		for _, e := range []graph.EdgeID{c.InputLink, c.DiffLink} {
+			if x.Beta[j][e] != 1 || x.Cost[j][e] != 1 {
+				t.Fatalf("dummy link beta=%g cost=%g, want 1,1", x.Beta[j][e], x.Cost[j][e])
+			}
+		}
+	}
+}
+
+func TestPenaltyZeroOnUncapacitatedNodes(t *testing.T) {
+	p := twoPathProblem(t)
+	x := mustBuild(t, p, Options{Epsilon: 0.2})
+	d := x.Commodities[0].Dummy
+	if x.PenaltyValue(d, 1e12) != 0 || x.PenaltyDeriv(d, 1e12) != 0 {
+		t.Fatal("dummy node has nonzero penalty")
+	}
+	sink := x.Commodities[0].Sink
+	if x.PenaltyValue(sink, 1e12) != 0 {
+		t.Fatal("sink has nonzero penalty")
+	}
+}
+
+func TestPenaltyScaledByEpsilon(t *testing.T) {
+	p := twoPathProblem(t)
+	x := mustBuild(t, p, Options{Epsilon: 0.5})
+	src, _ := p.Net.NodeByName("src")
+	want := 0.5 * (utility.Reciprocal{}).Value(5, 10)
+	if got := x.PenaltyValue(src, 5); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("PenaltyValue = %g, want %g", got, want)
+	}
+	wantD := 0.5 * (utility.Reciprocal{}).Deriv(5, 10)
+	if got := x.PenaltyDeriv(src, 5); math.Abs(got-wantD) > 1e-12 {
+		t.Fatalf("PenaltyDeriv = %g, want %g", got, wantD)
+	}
+}
+
+func TestDefaultOptions(t *testing.T) {
+	p := twoPathProblem(t)
+	x := mustBuild(t, p, Options{})
+	if x.Epsilon != 0.2 {
+		t.Fatalf("default epsilon = %g, want 0.2 (§6)", x.Epsilon)
+	}
+	if x.Penalty.Name() != "reciprocal" {
+		t.Fatalf("default penalty = %q, want reciprocal", x.Penalty.Name())
+	}
+}
+
+func TestLossOnDiffLinkOnly(t *testing.T) {
+	p := twoPathProblem(t)
+	x := mustBuild(t, p, Options{})
+	c := &x.Commodities[0]
+	// Linear utility, slope 1: Y(x) = x, Y'(x) = 1.
+	if got := x.LossValue(0, c.DiffLink, 2); math.Abs(got-2) > 1e-12 {
+		t.Fatalf("LossValue(diff, 2) = %g, want 2", got)
+	}
+	if got := x.LossDeriv(0, c.DiffLink, 2); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("LossDeriv(diff, 2) = %g, want 1", got)
+	}
+	if x.LossValue(0, c.InputLink, 2) != 0 || x.LossDeriv(0, c.InputLink, 2) != 0 {
+		t.Fatal("loss nonzero on input link")
+	}
+}
+
+func TestMemberSubgraphsAreDAGs(t *testing.T) {
+	p := twoPathProblem(t)
+	x := mustBuild(t, p, Options{})
+	for j := range x.Commodities {
+		member := x.Member[j]
+		if !x.G.IsAcyclic(func(e graph.EdgeID) bool { return member[e] }) {
+			t.Fatalf("commodity %d member subgraph cyclic", j)
+		}
+		if len(x.Topo[j]) != x.G.NumNodes() {
+			t.Fatalf("commodity %d topo order incomplete", j)
+		}
+	}
+}
+
+func TestTrimDropsDeadEnds(t *testing.T) {
+	// src -> a -> sink plus a dead-end src -> b (b has no member path
+	// to the sink): the b edge must be trimmed out.
+	net := stream.NewNetwork()
+	src, _ := net.AddServer("src", 10)
+	a, _ := net.AddServer("a", 10)
+	b, _ := net.AddServer("b", 10)
+	sink, _ := net.AddSink("sink")
+	e1, _ := net.AddLink(src, a, 10)
+	e2, _ := net.AddLink(a, sink, 10)
+	e3, _ := net.AddLink(src, b, 10)
+	p := stream.NewProblem(net)
+	c, err := p.AddCommodity("S", src, sink, 1, utility.Linear{Slope: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range []graph.EdgeID{e1, e2, e3} {
+		if err := p.SetEdge(c, e, stream.EdgeParams{Beta: 1, Cost: 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	x := mustBuild(t, p, Options{})
+	// Find the proc half of the dead-end edge: src -> bw:src>b.
+	deadEnds := 0
+	for e := 0; e < x.G.NumEdges(); e++ {
+		if x.OrigEdge[e] == e3 && x.Member[0][e] {
+			deadEnds++
+		}
+	}
+	if deadEnds != 0 {
+		t.Fatalf("dead-end edge still member (%d halves)", deadEnds)
+	}
+	_ = b
+}
+
+func TestBuildRejectsInvalidProblem(t *testing.T) {
+	p := stream.NewProblem(stream.NewNetwork())
+	if _, err := Build(p, Options{}); err == nil {
+		t.Fatal("invalid problem accepted")
+	}
+}
+
+func TestNodeKindString(t *testing.T) {
+	for kind, want := range map[NodeKind]string{
+		Proc: "proc", Bandwidth: "bandwidth", Dummy: "dummy", SinkNode: "sink",
+	} {
+		if kind.String() != want {
+			t.Fatalf("%v.String() = %q, want %q", int(kind), kind.String(), want)
+		}
+	}
+	if got := NodeKind(99).String(); !strings.Contains(got, "99") {
+		t.Fatalf("unknown kind = %q", got)
+	}
+}

@@ -1,0 +1,152 @@
+// Package workload provides the source-rate processes used to drive
+// the dynamic-tracking experiments. The paper's §1 motivates bursty,
+// unpredictable stream rates; its optimization consumes only the
+// offered rates λ_j, so any process producing the same rate trajectory
+// exercises the same code paths (see DESIGN.md §4, substitutions).
+package workload
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Process yields an offered rate per epoch. Implementations must be
+// deterministic functions of (seed, epoch history): calling Rate for
+// epochs 0,1,2,... in order always reproduces the same trajectory.
+type Process interface {
+	// Rate returns λ for the given epoch; epochs are queried in
+	// nondecreasing order.
+	Rate(epoch int) float64
+	// Name identifies the process family.
+	Name() string
+}
+
+// Constant offers a fixed rate.
+type Constant struct {
+	R float64
+}
+
+// Rate implements Process.
+func (c Constant) Rate(int) float64 { return c.R }
+
+// Name implements Process.
+func (c Constant) Name() string { return "constant" }
+
+// Steps cycles through a fixed list of levels, holding each for Period
+// epochs. Useful for reproducible load steps.
+type Steps struct {
+	Levels []float64
+	Period int
+}
+
+// Rate implements Process.
+func (s Steps) Rate(epoch int) float64 {
+	if len(s.Levels) == 0 {
+		return 0
+	}
+	p := s.Period
+	if p <= 0 {
+		p = 1
+	}
+	return s.Levels[(epoch/p)%len(s.Levels)]
+}
+
+// Name implements Process.
+func (s Steps) Name() string { return "steps" }
+
+// OnOff alternates between High (for OnLen epochs) and Low (for
+// OffLen): the classic bursty source.
+type OnOff struct {
+	High, Low     float64
+	OnLen, OffLen int
+}
+
+// Rate implements Process.
+func (o OnOff) Rate(epoch int) float64 {
+	on, off := o.OnLen, o.OffLen
+	if on <= 0 {
+		on = 1
+	}
+	if off <= 0 {
+		off = 1
+	}
+	if epoch%(on+off) < on {
+		return o.High
+	}
+	return o.Low
+}
+
+// Name implements Process.
+func (o OnOff) Name() string { return "onoff" }
+
+// MMPP is a Markov-modulated rate process: it holds one of Rates and
+// jumps to a uniformly random other state with probability 1/MeanDwell
+// each epoch. This is the standard bursty-traffic model; determinism
+// comes from the seed.
+type MMPP struct {
+	rates     []float64
+	meanDwell float64
+	rng       *rand.Rand
+	state     int
+	lastEpoch int
+}
+
+// NewMMPP builds an MMPP over the given rates.
+func NewMMPP(rates []float64, meanDwell float64, seed int64) *MMPP {
+	if meanDwell < 1 {
+		meanDwell = 1
+	}
+	return &MMPP{
+		rates:     append([]float64(nil), rates...),
+		meanDwell: meanDwell,
+		rng:       rand.New(rand.NewSource(seed)),
+		lastEpoch: -1,
+	}
+}
+
+// Rate implements Process.
+func (m *MMPP) Rate(epoch int) float64 {
+	if len(m.rates) == 0 {
+		return 0
+	}
+	for m.lastEpoch < epoch {
+		m.lastEpoch++
+		if m.lastEpoch == 0 {
+			continue // initial state holds for epoch 0
+		}
+		if m.rng.Float64() < 1/m.meanDwell && len(m.rates) > 1 {
+			next := m.rng.Intn(len(m.rates) - 1)
+			if next >= m.state {
+				next++
+			}
+			m.state = next
+		}
+	}
+	return m.rates[m.state]
+}
+
+// Name implements Process.
+func (m *MMPP) Name() string { return "mmpp" }
+
+// Sine modulates smoothly between Base−Amp and Base+Amp with the given
+// period; a gentle diurnal-style load curve.
+type Sine struct {
+	Base, Amp float64
+	Period    int
+}
+
+// Rate implements Process.
+func (s Sine) Rate(epoch int) float64 {
+	p := s.Period
+	if p <= 0 {
+		p = 1
+	}
+	v := s.Base + s.Amp*math.Sin(2*math.Pi*float64(epoch)/float64(p))
+	if v < 0 {
+		return 0
+	}
+	return v
+}
+
+// Name implements Process.
+func (s Sine) Name() string { return "sine" }

@@ -1,0 +1,155 @@
+package workload
+
+import (
+	"math"
+	"testing"
+)
+
+func TestConstant(t *testing.T) {
+	p := Constant{R: 7}
+	for _, e := range []int{0, 1, 100} {
+		if p.Rate(e) != 7 {
+			t.Fatalf("Rate(%d) = %g, want 7", e, p.Rate(e))
+		}
+	}
+}
+
+func TestStepsCycle(t *testing.T) {
+	p := Steps{Levels: []float64{1, 2, 3}, Period: 2}
+	want := []float64{1, 1, 2, 2, 3, 3, 1, 1}
+	for e, w := range want {
+		if got := p.Rate(e); got != w {
+			t.Fatalf("Rate(%d) = %g, want %g", e, got, w)
+		}
+	}
+}
+
+func TestStepsEmptyAndZeroPeriod(t *testing.T) {
+	if (Steps{}).Rate(3) != 0 {
+		t.Fatal("empty Steps should yield 0")
+	}
+	p := Steps{Levels: []float64{5, 6}}
+	if p.Rate(0) != 5 || p.Rate(1) != 6 {
+		t.Fatal("zero period should default to 1")
+	}
+}
+
+func TestOnOff(t *testing.T) {
+	p := OnOff{High: 10, Low: 1, OnLen: 3, OffLen: 2}
+	want := []float64{10, 10, 10, 1, 1, 10, 10, 10, 1, 1}
+	for e, w := range want {
+		if got := p.Rate(e); got != w {
+			t.Fatalf("Rate(%d) = %g, want %g", e, got, w)
+		}
+	}
+}
+
+func TestMMPPDeterministicAndValid(t *testing.T) {
+	rates := []float64{5, 20, 60}
+	a := NewMMPP(rates, 10, 42)
+	b := NewMMPP(rates, 10, 42)
+	inSet := func(v float64) bool {
+		for _, r := range rates {
+			if r == v {
+				return true
+			}
+		}
+		return false
+	}
+	changes := 0
+	prev := -1.0
+	for e := 0; e < 2000; e++ {
+		va, vb := a.Rate(e), b.Rate(e)
+		if va != vb {
+			t.Fatalf("epoch %d: same seed diverged (%g vs %g)", e, va, vb)
+		}
+		if !inSet(va) {
+			t.Fatalf("epoch %d: rate %g not in state set", e, va)
+		}
+		if prev >= 0 && va != prev {
+			changes++
+		}
+		prev = va
+	}
+	// Mean dwell 10 over 2000 epochs: expect ~200 transitions; accept a
+	// wide band.
+	if changes < 100 || changes > 320 {
+		t.Fatalf("state changes = %d, want ≈ 200", changes)
+	}
+}
+
+func TestMMPPSkippingEpochsMatchesSequential(t *testing.T) {
+	a := NewMMPP([]float64{1, 2}, 5, 7)
+	b := NewMMPP([]float64{1, 2}, 5, 7)
+	for e := 0; e < 100; e++ {
+		a.Rate(e)
+	}
+	want := a.Rate(100)
+	if got := b.Rate(100); got != want {
+		t.Fatalf("skip-ahead Rate(100) = %g, sequential %g", got, want)
+	}
+}
+
+func TestSineBoundsAndPeriod(t *testing.T) {
+	p := Sine{Base: 10, Amp: 4, Period: 40}
+	for e := 0; e < 200; e++ {
+		v := p.Rate(e)
+		if v < 6-1e-9 || v > 14+1e-9 {
+			t.Fatalf("Rate(%d) = %g outside [6,14]", e, v)
+		}
+	}
+	if math.Abs(p.Rate(0)-p.Rate(40)) > 1e-9 {
+		t.Fatal("period mismatch")
+	}
+}
+
+func TestSineClampsNegative(t *testing.T) {
+	p := Sine{Base: 1, Amp: 5, Period: 4}
+	for e := 0; e < 8; e++ {
+		if p.Rate(e) < 0 {
+			t.Fatalf("negative rate at %d", e)
+		}
+	}
+}
+
+func TestNames(t *testing.T) {
+	for want, p := range map[string]Process{
+		"constant": Constant{R: 1},
+		"steps":    Steps{Levels: []float64{1}},
+		"onoff":    OnOff{High: 1, Low: 0},
+		"mmpp":     NewMMPP([]float64{1}, 2, 1),
+		"sine":     Sine{Base: 1, Amp: 0, Period: 2},
+	} {
+		if got := p.Name(); got != want {
+			t.Errorf("Name() = %q, want %q", got, want)
+		}
+	}
+}
+
+func TestMMPPSingleStateNeverChanges(t *testing.T) {
+	p := NewMMPP([]float64{7}, 2, 3)
+	for e := 0; e < 100; e++ {
+		if p.Rate(e) != 7 {
+			t.Fatalf("single-state MMPP changed at epoch %d", e)
+		}
+	}
+}
+
+func TestMMPPEmpty(t *testing.T) {
+	p := NewMMPP(nil, 2, 3)
+	if p.Rate(5) != 0 {
+		t.Fatal("empty MMPP should yield 0")
+	}
+}
+
+func TestMMPPMinimumDwell(t *testing.T) {
+	// meanDwell < 1 clamps to 1 (change candidate every epoch) without
+	// panicking.
+	p := NewMMPP([]float64{1, 2}, 0.1, 9)
+	for e := 0; e < 50; e++ {
+		v := p.Rate(e)
+		if v != 1 && v != 2 {
+			t.Fatalf("rate %g outside state set", v)
+		}
+	}
+}
