@@ -170,7 +170,10 @@ func BenchmarkE7WarmStart(b *testing.B) {
 	warmFrom := base.Routing()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		eng := gradient.NewFrom(x, warmFrom, gradient.Config{Eta: 0.04})
+		eng, err := gradient.NewFrom(x, warmFrom, gradient.Config{Eta: 0.04})
+		if err != nil {
+			b.Fatal(err)
+		}
 		if _, err := eng.Run(500, nil); err != nil {
 			b.Fatal(err)
 		}

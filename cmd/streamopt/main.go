@@ -6,9 +6,17 @@
 //
 //	go run ./cmd/netgen -seed 42 > instance.json
 //	go run ./cmd/streamopt -in instance.json -alg gradient -ref
+//
+// With -metrics-addr the solve is observable live: /metrics serves
+// Prometheus text, /debug/vars serves expvar JSON, and /debug/pprof
+// serves runtime profiles while the iteration runs. -events-out writes
+// one JSON event per iteration (see internal/obs for the schema), and
+// -trace-out writes the convergence trace as JSONL instead of
+// interleaving it with the report on stdout.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -17,36 +25,57 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/gradient"
+	"repro/internal/obs"
 	"repro/internal/qsim"
 	"repro/internal/stream"
 	"repro/internal/transform"
 )
 
+// cliConfig carries every flag so tests can drive realMain directly.
+type cliConfig struct {
+	in       string
+	alg      string
+	iters    int
+	eta      float64
+	eps      float64
+	ref      bool
+	topN     int
+	trace    bool
+	sample   int
+	validate bool
+
+	metricsAddr string
+	eventsOut   string
+	traceOut    string
+}
+
 func main() {
-	var (
-		in       = flag.String("in", "", "problem JSON (required)")
-		alg      = flag.String("alg", "gradient", "algorithm: gradient | gradient-adaptive | gradient-dist | backpressure | reference")
-		iters    = flag.Int("iters", 0, "iteration budget (0 = algorithm default)")
-		eta      = flag.Float64("eta", 0.04, "gradient step scale η")
-		eps      = flag.Float64("eps", 0.2, "penalty coefficient ε")
-		ref      = flag.Bool("ref", false, "also compute the LP reference optimum")
-		topN     = flag.Int("top", 10, "show the N most utilized resources")
-		trace    = flag.Bool("trace", false, "print the convergence trace")
-		sample   = flag.Int("sample", 0, "trace sampling stride (0 = default)")
-		validate = flag.Bool("validate", false, "replay the solution in the queue simulator (gradient algorithms only)")
-	)
+	var cfg cliConfig
+	flag.StringVar(&cfg.in, "in", "", "problem JSON (required)")
+	flag.StringVar(&cfg.alg, "alg", "gradient", "algorithm: gradient | gradient-adaptive | gradient-dist | backpressure | reference")
+	flag.IntVar(&cfg.iters, "iters", 0, "iteration budget (0 = algorithm default)")
+	flag.Float64Var(&cfg.eta, "eta", 0.04, "gradient step scale η")
+	flag.Float64Var(&cfg.eps, "eps", 0.2, "penalty coefficient ε")
+	flag.BoolVar(&cfg.ref, "ref", false, "also compute the LP reference optimum")
+	flag.IntVar(&cfg.topN, "top", 10, "show the N most utilized resources")
+	flag.BoolVar(&cfg.trace, "trace", false, "print the convergence trace")
+	flag.IntVar(&cfg.sample, "sample", 0, "trace sampling stride (0 = default)")
+	flag.BoolVar(&cfg.validate, "validate", false, "replay the solution in the queue simulator (gradient algorithms only)")
+	flag.StringVar(&cfg.metricsAddr, "metrics-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address while solving (e.g. :9090)")
+	flag.StringVar(&cfg.eventsOut, "events-out", "", "write per-iteration JSONL events to this file")
+	flag.StringVar(&cfg.traceOut, "trace-out", "", "write the convergence trace as JSONL to this file")
 	flag.Parse()
-	if err := realMain(*in, *alg, *iters, *eta, *eps, *ref, *topN, *trace, *sample, *validate); err != nil {
+	if err := realMain(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "streamopt:", err)
 		os.Exit(1)
 	}
 }
 
-func realMain(in, alg string, iters int, eta, eps float64, ref bool, topN int, trace bool, sample int, validate bool) error {
-	if in == "" {
+func realMain(cfg cliConfig) error {
+	if cfg.in == "" {
 		return fmt.Errorf("-in is required")
 	}
-	data, err := os.ReadFile(in)
+	data, err := os.ReadFile(cfg.in)
 	if err != nil {
 		return err
 	}
@@ -54,19 +83,45 @@ func realMain(in, alg string, iters int, eta, eps float64, ref bool, topN int, t
 	if err != nil {
 		return err
 	}
+
+	// Observability: a recorder exists only when asked for, so the
+	// default path keeps the engines' zero-overhead nil recorder.
+	var rec *obs.Recorder
+	if cfg.metricsAddr != "" || cfg.eventsOut != "" {
+		var sink obs.Sink
+		if cfg.eventsOut != "" {
+			fs, err := obs.NewFileSink(cfg.eventsOut)
+			if err != nil {
+				return err
+			}
+			sink = fs
+		}
+		rec = obs.NewRecorder(obs.NewRegistry(), sink)
+		defer rec.Close()
+		if cfg.metricsAddr != "" {
+			srv, err := obs.Serve(cfg.metricsAddr, rec.Registry())
+			if err != nil {
+				return err
+			}
+			defer srv.Close()
+			fmt.Fprintf(os.Stderr, "streamopt: serving /metrics, /debug/vars, /debug/pprof on %s\n", srv.Addr())
+		}
+	}
+
 	res, err := core.Solve(p, core.Options{
-		Algorithm:     core.Algorithm(alg),
-		MaxIters:      iters,
-		Eta:           eta,
-		Epsilon:       eps,
-		WithReference: ref,
-		SampleEvery:   sample,
+		Algorithm:     core.Algorithm(cfg.alg),
+		MaxIters:      cfg.iters,
+		Eta:           cfg.eta,
+		Epsilon:       cfg.eps,
+		WithReference: cfg.ref,
+		SampleEvery:   cfg.sample,
+		Recorder:      rec,
 	})
 	if err != nil {
 		return err
 	}
-	if validate {
-		if err := replayInQsim(p, alg, iters, eta, eps); err != nil {
+	if cfg.validate {
+		if err := replayInQsim(p, cfg, rec); err != nil {
 			return err
 		}
 	}
@@ -74,7 +129,7 @@ func realMain(in, alg string, iters int, eta, eps float64, ref bool, topN int, t
 	fmt.Printf("algorithm:  %s\n", res.Algorithm)
 	fmt.Printf("iterations: %d\n", res.Iterations)
 	fmt.Printf("utility:    %.4f\n", res.Utility)
-	if ref && res.ReferenceUtility == res.ReferenceUtility {
+	if cfg.ref && res.ReferenceUtility == res.ReferenceUtility {
 		fmt.Printf("optimal:    %.4f  (achieved %.1f%%)\n",
 			res.ReferenceUtility, 100*res.Utility/res.ReferenceUtility)
 	}
@@ -91,7 +146,8 @@ func realMain(in, alg string, iters int, eta, eps float64, ref bool, topN int, t
 		return err
 	}
 
-	if len(res.Usage) > 0 && topN > 0 {
+	if len(res.Usage) > 0 && cfg.topN > 0 {
+		topN := cfg.topN
 		sort.Slice(res.Usage, func(a, b int) bool {
 			return res.Usage[a].Utilization > res.Usage[b].Utilization
 		})
@@ -112,7 +168,7 @@ func realMain(in, alg string, iters int, eta, eps float64, ref bool, topN int, t
 	if len(res.Prices) > 0 {
 		w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 		fmt.Fprintln(w, "\nbottleneck\tkind\tshadow price (utility per capacity unit)")
-		limit := topN
+		limit := cfg.topN
 		if limit <= 0 || limit > len(res.Prices) {
 			limit = len(res.Prices)
 		}
@@ -124,7 +180,12 @@ func realMain(in, alg string, iters int, eta, eps float64, ref bool, topN int, t
 		}
 	}
 
-	if trace {
+	if cfg.traceOut != "" {
+		if err := writeTrace(cfg.traceOut, res.Trace); err != nil {
+			return err
+		}
+	}
+	if cfg.trace {
 		w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 		fmt.Fprintln(w, "\niter\tutility\tcost")
 		for _, tp := range res.Trace {
@@ -135,25 +196,51 @@ func realMain(in, alg string, iters int, eta, eps float64, ref bool, topN int, t
 	return nil
 }
 
-// replayInQsim re-solves with the gradient engine (the queue simulator
-// needs the routing variables, which core.Solve does not expose) and
-// replays the plan under Poisson arrivals.
-func replayInQsim(p *stream.Problem, alg string, iters int, eta, eps float64) error {
-	if alg != string(core.Gradient) && alg != string(core.GradientAdaptive) {
-		return fmt.Errorf("-validate supports the gradient algorithms, not %q", alg)
-	}
-	x, err := transform.Build(p, transform.Options{Epsilon: eps})
+// tracePoint is the JSONL schema of one -trace-out line.
+type tracePoint struct {
+	Iteration int     `json:"iter"`
+	Utility   float64 `json:"utility"`
+	Cost      float64 `json:"cost"`
+}
+
+// writeTrace dumps the convergence trace as one JSON object per line.
+func writeTrace(path string, trace []core.TracePoint) error {
+	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
+	enc := json.NewEncoder(f)
+	for _, tp := range trace {
+		if err := enc.Encode(tracePoint{tp.Iteration, tp.Utility, tp.Cost}); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	return f.Close()
+}
+
+// replayInQsim re-solves with the gradient engine (the queue simulator
+// needs the routing variables, which core.Solve does not expose) and
+// replays the plan under Poisson arrivals.
+func replayInQsim(p *stream.Problem, cfg cliConfig, rec *obs.Recorder) error {
+	if cfg.alg != string(core.Gradient) && cfg.alg != string(core.GradientAdaptive) {
+		return fmt.Errorf("-validate supports the gradient algorithms, not %q", cfg.alg)
+	}
+	x, err := transform.Build(p, transform.Options{Epsilon: cfg.eps})
+	if err != nil {
+		return err
+	}
+	iters := cfg.iters
 	if iters <= 0 {
 		iters = 5000
 	}
-	eng := gradient.New(x, gradient.Config{Eta: eta})
+	eng := gradient.New(x, gradient.Config{Eta: cfg.eta})
 	if _, err := eng.Run(iters, nil); err != nil {
 		return err
 	}
-	res, err := qsim.Run(eng.Routing(), qsim.Config{Ticks: 6000, Arrivals: qsim.Poisson, Seed: 1})
+	res, err := qsim.Run(eng.Routing(), qsim.Config{
+		Ticks: 6000, Arrivals: qsim.Poisson, Seed: 1, Recorder: rec,
+	})
 	if err != nil {
 		return err
 	}

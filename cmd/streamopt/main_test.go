@@ -1,10 +1,15 @@
 package main
 
 import (
+	"bufio"
+	"encoding/json"
+	"net/http"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
+	"repro/internal/obs"
 	"repro/internal/randnet"
 )
 
@@ -25,47 +30,134 @@ func writeInstance(t *testing.T) string {
 	return path
 }
 
+// base returns the flag defaults used by most tests.
+func base(in, alg string, iters int) cliConfig {
+	return cliConfig{in: in, alg: alg, iters: iters, eta: 0.04, eps: 0.2}
+}
+
 func TestRealMainGradient(t *testing.T) {
-	path := writeInstance(t)
-	if err := realMain(path, "gradient", 200, 0.04, 0.2, true, 3, false, 0, false); err != nil {
+	cfg := base(writeInstance(t), "gradient", 200)
+	cfg.ref = true
+	cfg.topN = 3
+	if err := realMain(cfg); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRealMainReference(t *testing.T) {
-	path := writeInstance(t)
-	if err := realMain(path, "reference", 0, 0.04, 0.2, false, 0, false, 0, false); err != nil {
+	if err := realMain(base(writeInstance(t), "reference", 0)); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRealMainBackPressure(t *testing.T) {
-	path := writeInstance(t)
-	if err := realMain(path, "backpressure", 500, 0.04, 0.2, false, 0, true, 100, false); err != nil {
+	cfg := base(writeInstance(t), "backpressure", 500)
+	cfg.trace = true
+	cfg.sample = 100
+	if err := realMain(cfg); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRealMainErrors(t *testing.T) {
-	if err := realMain("", "gradient", 0, 0.04, 0.2, false, 0, false, 0, false); err == nil {
+	if err := realMain(base("", "gradient", 0)); err == nil {
 		t.Fatal("missing -in accepted")
 	}
-	if err := realMain("/nonexistent.json", "gradient", 0, 0.04, 0.2, false, 0, false, 0, false); err == nil {
+	if err := realMain(base("/nonexistent.json", "gradient", 0)); err == nil {
 		t.Fatal("missing file accepted")
 	}
-	path := writeInstance(t)
-	if err := realMain(path, "quantum", 10, 0.04, 0.2, false, 0, false, 0, false); err == nil {
+	if err := realMain(base(writeInstance(t), "quantum", 10)); err == nil {
 		t.Fatal("unknown algorithm accepted")
 	}
 }
 
 func TestRealMainValidate(t *testing.T) {
 	path := writeInstance(t)
-	if err := realMain(path, "gradient", 500, 0.04, 0.2, false, 0, false, 0, true); err != nil {
+	cfg := base(path, "gradient", 500)
+	cfg.validate = true
+	if err := realMain(cfg); err != nil {
 		t.Fatal(err)
 	}
 	// -validate is gradient-only.
-	if err := realMain(path, "backpressure", 100, 0.04, 0.2, false, 0, false, 0, true); err == nil {
+	cfg = base(path, "backpressure", 100)
+	cfg.validate = true
+	if err := realMain(cfg); err == nil {
 		t.Fatal("-validate accepted for backpressure")
+	}
+}
+
+// TestRealMainObservability is the acceptance path: events-out gets one
+// valid JSON iteration event per iteration, trace-out gets valid JSONL,
+// and /metrics is scrapeable.
+func TestRealMainObservability(t *testing.T) {
+	dir := t.TempDir()
+	cfg := base(writeInstance(t), "gradient", 150)
+	cfg.eventsOut = filepath.Join(dir, "events.jsonl")
+	cfg.traceOut = filepath.Join(dir, "trace.jsonl")
+	cfg.metricsAddr = "127.0.0.1:0"
+	if err := realMain(cfg); err != nil {
+		t.Fatal(err)
+	}
+
+	f, err := os.Open(cfg.eventsOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	iters := 0
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		var e obs.Event
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			t.Fatalf("invalid event line %q: %v", sc.Text(), err)
+		}
+		if e.Type == obs.EventIteration {
+			iters++
+		}
+	}
+	if iters != 150 {
+		t.Fatalf("got %d iteration events, want 150", iters)
+	}
+
+	tf, err := os.Open(cfg.traceOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tf.Close()
+	lines := 0
+	sc = bufio.NewScanner(tf)
+	for sc.Scan() {
+		var tp tracePoint
+		if err := json.Unmarshal(sc.Bytes(), &tp); err != nil {
+			t.Fatalf("invalid trace line %q: %v", sc.Text(), err)
+		}
+		lines++
+	}
+	if lines == 0 {
+		t.Fatal("trace-out is empty")
+	}
+}
+
+// TestMetricsScrapeDuringSolve checks a live scrape against a server the
+// same way realMain wires it.
+func TestMetricsScrapeDuringSolve(t *testing.T) {
+	rec := obs.NewRecorder(obs.NewRegistry(), nil)
+	srv, err := obs.Serve("127.0.0.1:0", rec.Registry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	rec.Iteration("gradient", 1, 3.5, 1.0, []float64{1, 2}, true)
+	resp, err := http.Get("http://" + srv.Addr() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var sb strings.Builder
+	if _, err := bufio.NewReader(resp.Body).WriteTo(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "streamopt_iterations_total 1") {
+		t.Fatalf("metrics scrape missing iteration counter:\n%s", sb.String())
 	}
 }

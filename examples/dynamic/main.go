@@ -76,8 +76,8 @@ func run() error {
 		var eng *gradient.Engine
 		if carried == nil {
 			eng = gradient.New(x, gradient.Config{Eta: 0.1})
-		} else {
-			eng = gradient.NewFrom(x, carried, gradient.Config{Eta: 0.1})
+		} else if eng, err = gradient.NewFrom(x, carried, gradient.Config{Eta: 0.1}); err != nil {
+			return err
 		}
 		if _, err := eng.Run(iterBudget, nil); err != nil {
 			return err

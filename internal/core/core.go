@@ -25,6 +25,7 @@ import (
 	"repro/internal/flow"
 	"repro/internal/gradient"
 	"repro/internal/graph"
+	"repro/internal/obs"
 	"repro/internal/refopt"
 	"repro/internal/stream"
 	"repro/internal/transform"
@@ -91,6 +92,11 @@ type Options struct {
 	// WithReference also computes the LP optimum for comparison even
 	// when not needed for stopping.
 	WithReference bool
+
+	// Recorder, when non-nil, streams per-iteration metrics and JSONL
+	// events from the selected solver (see internal/obs). Nil — the
+	// default — adds no per-iteration work or allocations.
+	Recorder *obs.Recorder
 }
 
 // TracePoint is one sample of the convergence curve (Figure 4).
@@ -225,7 +231,7 @@ func gradientDefaults(opts *Options) {
 
 func solveGradient(p *stream.Problem, x *transform.Extended, opts Options, target float64, res *Result) error {
 	gradientDefaults(&opts)
-	eng := gradient.New(x, gradient.Config{Eta: opts.Eta, DisableBlocking: opts.DisableBlocking})
+	eng := gradient.New(x, gradient.Config{Eta: opts.Eta, DisableBlocking: opts.DisableBlocking, Recorder: opts.Recorder})
 	var det gradient.DivergenceDetector
 	for i := 0; i < opts.MaxIters; i++ {
 		info := eng.Step()
@@ -233,6 +239,7 @@ func solveGradient(p *stream.Problem, x *transform.Extended, opts Options, targe
 			Iteration: info.Iteration, Utility: info.Utility, Cost: info.Cost,
 		})
 		if err := det.Observe(info); err != nil {
+			opts.Recorder.Divergence(string(Gradient), info.Iteration, err.Error())
 			return err
 		}
 		if res.ReachedTargetAt < 0 && info.Utility >= target {
@@ -259,6 +266,7 @@ func solveAdaptive(p *stream.Problem, x *transform.Extended, opts Options, targe
 	eng := gradient.NewAdaptive(x, gradient.AdaptiveConfig{
 		InitialEta:      opts.Eta,
 		DisableBlocking: opts.DisableBlocking,
+		Recorder:        opts.Recorder,
 	})
 	for i := 0; i < opts.MaxIters; i++ {
 		info := eng.Step()
@@ -277,7 +285,7 @@ func solveAdaptive(p *stream.Problem, x *transform.Extended, opts Options, targe
 
 func solveDistributed(p *stream.Problem, x *transform.Extended, opts Options, target float64, res *Result) error {
 	gradientDefaults(&opts)
-	rt := dist.New(x, gradient.Config{Eta: opts.Eta, DisableBlocking: opts.DisableBlocking})
+	rt := dist.New(x, gradient.Config{Eta: opts.Eta, DisableBlocking: opts.DisableBlocking, Recorder: opts.Recorder})
 	var det gradient.DivergenceDetector
 	for i := 0; i < opts.MaxIters; i++ {
 		info, err := rt.Step()
@@ -291,6 +299,7 @@ func solveDistributed(p *stream.Problem, x *transform.Extended, opts Options, ta
 			Iteration: info.Iteration, Utility: info.Utility, Cost: info.Cost,
 		})
 		if err := det.Observe(info); err != nil {
+			opts.Recorder.Divergence(string(GradientDistributed), info.Iteration, err.Error())
 			return err
 		}
 		if res.ReachedTargetAt < 0 && info.Utility >= target {
@@ -312,6 +321,7 @@ func solveBackPressure(x *transform.Extended, opts Options, target float64, res 
 	eng := backpressure.New(x, backpressure.Config{
 		BufferCap: opts.BufferCap,
 		Damping:   opts.Damping,
+		Recorder:  opts.Recorder,
 	})
 	var last backpressure.StepInfo
 	for i := 0; i < opts.MaxIters; i++ {

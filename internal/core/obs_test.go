@@ -1,0 +1,66 @@
+package core
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// TestSolveWithRecorder runs every iterative algorithm with an enabled
+// recorder and checks that iteration events and metrics come out.
+func TestSolveWithRecorder(t *testing.T) {
+	for _, alg := range []Algorithm{Gradient, GradientAdaptive, GradientDistributed, BackPressure} {
+		t.Run(string(alg), func(t *testing.T) {
+			var buf bytes.Buffer
+			rec := obs.NewRecorder(obs.NewRegistry(), obs.NewJSONLSink(&buf))
+			res, err := Solve(figure1(t), Options{
+				Algorithm: alg,
+				MaxIters:  50,
+				Recorder:  rec,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := rec.Close(); err != nil {
+				t.Fatal(err)
+			}
+			if res.Iterations != 50 {
+				t.Fatalf("iterations = %d, want 50", res.Iterations)
+			}
+			if got := rec.Registry().Counter("streamopt_iterations_total", "").Value(); got != 50 {
+				t.Fatalf("iterations counter = %d, want 50", got)
+			}
+
+			iterEvents := 0
+			sc := bufio.NewScanner(&buf)
+			for sc.Scan() {
+				var e obs.Event
+				if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+					t.Fatalf("invalid JSONL %q: %v", sc.Text(), err)
+				}
+				if e.Type == obs.EventIteration {
+					iterEvents++
+					if e.Alg == "" {
+						t.Fatalf("iteration event missing alg: %+v", e)
+					}
+					if e.Feasible == nil {
+						t.Fatalf("iteration event missing feasible: %+v", e)
+					}
+				}
+			}
+			if iterEvents != 50 {
+				t.Fatalf("got %d iteration events, want 50", iterEvents)
+			}
+		})
+	}
+}
+
+// TestSolveWithoutRecorderStillWorks pins the nil default.
+func TestSolveWithoutRecorderStillWorks(t *testing.T) {
+	if _, err := Solve(figure1(t), Options{MaxIters: 10}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -18,6 +18,7 @@ import (
 	"repro/internal/flow"
 	"repro/internal/gradient"
 	"repro/internal/graph"
+	"repro/internal/obs"
 	"repro/internal/simnet"
 	"repro/internal/transform"
 )
@@ -150,9 +151,11 @@ func (rt *Runtime) Routing() *flow.Routing {
 // measurements (identical semantics to gradient.Engine.Step).
 func (rt *Runtime) Step() (gradient.StepInfo, error) {
 	x := rt.X
+	rec := rt.cfg.Recorder
 	rounds0, msgs0 := rt.net.Rounds(), rt.net.Messages()
 
 	// ---- Phase 1: flow-forecast wave (downstream) ----
+	tf := rec.StartPhase(obs.PhaseForecast)
 	for _, st := range rt.nodes {
 		st.f = 0
 		for j := range st.per {
@@ -182,10 +185,12 @@ func (rt *Runtime) Step() (gradient.StepInfo, error) {
 	if err := rt.net.RunToQuiescence(maxRounds); err != nil {
 		return gradient.StepInfo{}, fmt.Errorf("dist: forecast wave: %w", err)
 	}
+	tf.Done()
 
 	info := rt.measure()
 
 	// ---- Phase 2: marginal-cost wave (upstream) ----
+	tm := rec.StartPhase(obs.PhaseMarginal)
 	for _, st := range rt.nodes {
 		for j := range st.per {
 			cs := &st.per[j]
@@ -202,8 +207,10 @@ func (rt *Runtime) Step() (gradient.StepInfo, error) {
 	if err := rt.net.RunToQuiescence(maxRounds); err != nil {
 		return gradient.StepInfo{}, fmt.Errorf("dist: marginal wave: %w", err)
 	}
+	tm.Done()
 
 	// ---- Phase 3: local routing update Γ ----
+	tu := rec.StartPhase(obs.PhaseUpdate)
 	for _, st := range rt.nodes {
 		for j := range st.per {
 			if st.id != x.Commodities[j].Sink {
@@ -211,11 +218,14 @@ func (rt *Runtime) Step() (gradient.StepInfo, error) {
 			}
 		}
 	}
+	tu.Done()
 
 	rt.LastRounds = rt.net.Rounds() - rounds0
 	rt.LastMessages = rt.net.Messages() - msgs0
 	info.Iteration = rt.iter
 	rt.iter++
+	rec.Iteration("gradient-dist", info.Iteration, info.Utility, info.Cost, info.Admitted, info.Feasible)
+	rec.Protocol("gradient-dist", info.Iteration, rt.LastMessages, rt.LastRounds)
 	return info, nil
 }
 

@@ -15,6 +15,7 @@ import (
 	"repro/internal/dist"
 	"repro/internal/gradient"
 	"repro/internal/graph"
+	"repro/internal/obs"
 	"repro/internal/randnet"
 	"repro/internal/refopt"
 	"repro/internal/stream"
@@ -32,6 +33,10 @@ type Scale struct {
 	// Nodes and Commodities override the instance size (0 = §6's 40/3).
 	Nodes       int
 	Commodities int
+	// Rec, when non-nil, streams per-iteration metrics and events from
+	// every engine the experiments construct, so a full paper-scale run
+	// is observable live (cmd/experiments -metrics-addr / -events-out).
+	Rec *obs.Recorder
 }
 
 // DefaultScale is the full §6 configuration.
@@ -113,7 +118,7 @@ func RunF4(seed int64, scale Scale) (*F4Result, error) {
 		GradHit95: -1, BPHit95: -1, GradHit90: -1, BPHit90: -1,
 	}
 
-	eng := gradient.New(x, gradient.Config{Eta: 0.04})
+	eng := gradient.New(x, gradient.Config{Eta: 0.04, Recorder: scale.Rec})
 	for i := 0; i < scale.GradIters; i++ {
 		info := eng.Step()
 		if logSampled(i) || i == scale.GradIters-1 {
@@ -127,7 +132,7 @@ func RunF4(seed int64, scale Scale) (*F4Result, error) {
 		}
 	}
 
-	bp := backpressure.New(x, backpressure.Config{})
+	bp := backpressure.New(x, backpressure.Config{Recorder: scale.Rec})
 	for i := 0; i < scale.BPIters; i++ {
 		info := bp.Step()
 		if logSampled(i) || i == scale.BPIters-1 {
@@ -204,7 +209,7 @@ func RunT2(seed int64, etas []float64, scale Scale) ([]T2Row, error) {
 	}
 	rows := make([]T2Row, 0, len(etas))
 	for _, eta := range etas {
-		eng := gradient.New(x, gradient.Config{Eta: eta})
+		eng := gradient.New(x, gradient.Config{Eta: eta, Recorder: scale.Rec})
 		row := T2Row{Eta: eta, Hit95: -1}
 		final := 0.0
 		var det gradient.DivergenceDetector
@@ -281,11 +286,11 @@ func RunT3(seed int64, layerSweep []int, scale Scale) ([]T3Row, error) {
 				depth = l
 			}
 		}
-		rt := dist.New(x, gradient.Config{Eta: 0.04})
+		rt := dist.New(x, gradient.Config{Eta: 0.04, Recorder: scale.Rec})
 		if _, err := rt.Step(); err != nil {
 			return nil, err
 		}
-		bp := backpressure.New(x, backpressure.Config{})
+		bp := backpressure.New(x, backpressure.Config{Recorder: scale.Rec})
 		bpInfo := bp.Step()
 		row := T3Row{
 			Layers:          layers,
@@ -305,7 +310,7 @@ func RunT3(seed int64, layerSweep []int, scale Scale) ([]T3Row, error) {
 		if err != nil {
 			return nil, err
 		}
-		eng := gradient.New(x, gradient.Config{Eta: 0.04})
+		eng := gradient.New(x, gradient.Config{Eta: 0.04, Recorder: scale.Rec})
 		if _, hit, err := eng.RunToTarget(ref.Utility, 0.90, scale.GradIters); err == nil && hit >= 0 {
 			row.GradIters90 = hit
 			row.GradTotalRounds = hit * row.GradRoundsIter
@@ -354,7 +359,7 @@ func RunT4(seed int64, epsilons []float64, scale Scale) ([]T4Row, error) {
 		// iteration needs proportionally more steps to settle; scale
 		// the budget by 0.2/ε relative to the §6 baseline.
 		iters := int(float64(scale.GradIters) * math.Max(1, 0.2/eps))
-		eng := gradient.New(x, gradient.Config{Eta: 0.04})
+		eng := gradient.New(x, gradient.Config{Eta: 0.04, Recorder: scale.Rec})
 		if _, err := eng.Run(iters, nil); err != nil {
 			return nil, err
 		}
@@ -487,7 +492,7 @@ func RunE5(seed int64, scale Scale) (*E5Result, error) {
 	// them the effective step η·a — are an order of magnitude larger
 	// than in the linear experiments; η scales down accordingly
 	// (§5's stability condition).
-	eng := gradient.New(x, gradient.Config{Eta: 0.01})
+	eng := gradient.New(x, gradient.Config{Eta: 0.01, Recorder: scale.Rec})
 	if _, err := eng.Run(scale.GradIters, nil); err != nil {
 		return nil, err
 	}
@@ -594,7 +599,7 @@ func RunE6(seed int64, gammas []float64, scale Scale) ([]E6Row, error) {
 		if iters > 400000 {
 			iters = 400000
 		}
-		eng := gradient.New(x, gradient.Config{Eta: 0.04 * math.Pow(4, -gamma)})
+		eng := gradient.New(x, gradient.Config{Eta: 0.04 * math.Pow(4, -gamma), Recorder: scale.Rec})
 		if _, err := eng.Run(iters, nil); err != nil {
 			return nil, err
 		}
@@ -649,13 +654,16 @@ func RunE7(seed int64, epochs, iterBudget int, scale Scale) ([]E7Epoch, error) {
 		if err != nil {
 			return nil, err
 		}
-		cold := gradient.New(x, gradient.Config{Eta: 0.04})
+		cold := gradient.New(x, gradient.Config{Eta: 0.04, Recorder: scale.Rec})
 		if warm == nil {
-			warm = gradient.New(x, gradient.Config{Eta: 0.04})
+			warm = gradient.New(x, gradient.Config{Eta: 0.04, Recorder: scale.Rec})
 		} else {
 			// Carry the routing across the rate change. The topology is
 			// identical, so routing vectors are index-compatible.
-			warm = gradient.NewFrom(x, warm.Routing(), gradient.Config{Eta: 0.04})
+			warm, err = gradient.NewFrom(x, warm.Routing(), gradient.Config{Eta: 0.04, Recorder: scale.Rec})
+			if err != nil {
+				return nil, err
+			}
 		}
 		if _, err := warm.Run(iterBudget, nil); err != nil {
 			return nil, err

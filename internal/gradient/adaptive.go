@@ -2,6 +2,7 @@ package gradient
 
 import (
 	"repro/internal/flow"
+	"repro/internal/obs"
 	"repro/internal/transform"
 )
 
@@ -29,6 +30,9 @@ type AdaptiveConfig struct {
 	GrowAfter    int
 	// DisableBlocking mirrors Config.DisableBlocking.
 	DisableBlocking bool
+	// Recorder mirrors Config.Recorder; it additionally receives the
+	// current η and a counter of rejected (backtracked) steps.
+	Recorder *obs.Recorder
 }
 
 func (c *AdaptiveConfig) setDefaults() {
@@ -96,16 +100,25 @@ func (e *AdaptiveEngine) Solution() *flow.Usage { return flow.Evaluate(e.routing
 // grows after a clean run). The returned StepInfo measures the state
 // *after* the accept/reject decision.
 func (e *AdaptiveEngine) Step() StepInfo {
+	rec := e.cfg.Recorder
+	tf := rec.StartPhase(obs.PhaseForecast)
 	u := flow.Evaluate(e.routing)
+	tf.Done()
 
 	next := e.routing.Clone()
 	for j := range e.X.Commodities {
+		tm := rec.StartPhase(obs.PhaseMarginal)
 		m := ComputeMarginals(u, j)
+		tm.Done()
 		var tagged []bool
 		if !e.cfg.DisableBlocking {
+			tt := rec.StartPhase(obs.PhaseTagging)
 			tagged = ComputeTags(u, j, m, e.eta)
+			tt.Done()
 		}
+		tu := rec.StartPhase(obs.PhaseUpdate)
 		ApplyGamma(u, j, m, tagged, e.eta, next)
+		tu.Done()
 	}
 
 	proposed := flow.Evaluate(next)
@@ -125,6 +138,7 @@ func (e *AdaptiveEngine) Step() StepInfo {
 	} else {
 		// Reject: keep the old routing, halve the step.
 		e.Backtracks++
+		rec.Backtrack()
 		e.descents = 0
 		if shrunk := e.eta * e.cfg.Shrink; shrunk >= e.cfg.MinEta {
 			e.eta = shrunk
@@ -142,6 +156,8 @@ func (e *AdaptiveEngine) Step() StepInfo {
 	}
 	info.Feasible, _ = u.Feasible()
 	e.iter++
+	rec.SetEta(e.eta)
+	rec.Iteration("gradient-adaptive", info.Iteration, info.Utility, info.Cost, info.Admitted, info.Feasible)
 	return info
 }
 

@@ -1,0 +1,68 @@
+package gradient
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+// TestDivergenceDetectorNaN: NaN anywhere is immediately fatal — it can
+// never recover, unlike a barrier overshoot.
+func TestDivergenceDetectorNaN(t *testing.T) {
+	cases := []StepInfo{
+		{Iteration: 7, Cost: math.NaN(), Utility: 1},
+		{Iteration: 7, Cost: 1, Utility: math.NaN()},
+		{Iteration: 7, Cost: math.NaN(), Utility: math.NaN()},
+	}
+	for _, info := range cases {
+		var det DivergenceDetector
+		err := det.Observe(info)
+		if !errors.Is(err, ErrDiverged) {
+			t.Fatalf("Observe(%+v) = %v, want ErrDiverged", info, err)
+		}
+	}
+}
+
+// TestDivergenceDetectorSustainedInf: +Inf cost is tolerated as a
+// transient overshoot until it persists for nonFiniteLimit iterations.
+func TestDivergenceDetectorSustainedInf(t *testing.T) {
+	var det DivergenceDetector
+	inf := StepInfo{Cost: math.Inf(1), Utility: 1}
+	for i := 0; i < nonFiniteLimit-1; i++ {
+		inf.Iteration = i
+		if err := det.Observe(inf); err != nil {
+			t.Fatalf("diverged after only %d non-finite iterations: %v", i+1, err)
+		}
+	}
+	inf.Iteration = nonFiniteLimit - 1
+	if err := det.Observe(inf); !errors.Is(err, ErrDiverged) {
+		t.Fatalf("Observe #%d = %v, want ErrDiverged", nonFiniteLimit, err)
+	}
+}
+
+// TestDivergenceDetectorRecovery: a finite cost resets the counter, so
+// repeated overshoot-recover cycles never trip the detector.
+func TestDivergenceDetectorRecovery(t *testing.T) {
+	var det DivergenceDetector
+	inf := StepInfo{Cost: math.Inf(1), Utility: 1}
+	fin := StepInfo{Cost: 3.5, Utility: 1}
+	for cycle := 0; cycle < 5; cycle++ {
+		for i := 0; i < nonFiniteLimit-1; i++ {
+			if err := det.Observe(inf); err != nil {
+				t.Fatalf("cycle %d: diverged at non-finite run %d: %v", cycle, i+1, err)
+			}
+		}
+		if err := det.Observe(fin); err != nil {
+			t.Fatalf("cycle %d: finite observation errored: %v", cycle, err)
+		}
+	}
+	// After a reset the full budget is available again.
+	for i := 0; i < nonFiniteLimit-1; i++ {
+		if err := det.Observe(inf); err != nil {
+			t.Fatalf("post-reset run %d: %v", i+1, err)
+		}
+	}
+	if err := det.Observe(inf); !errors.Is(err, ErrDiverged) {
+		t.Fatalf("post-reset Observe #%d = %v, want ErrDiverged", nonFiniteLimit, err)
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"math"
 
 	"repro/internal/flow"
+	"repro/internal/obs"
 	"repro/internal/transform"
 )
 
@@ -19,6 +20,10 @@ type Config struct {
 	// Safe here because member subgraphs are DAGs; exists for the
 	// ablation benches.
 	DisableBlocking bool
+	// Recorder, when non-nil, receives per-iteration events, metrics,
+	// and per-phase wall-clock timings. Nil (the default) costs nothing
+	// on the hot path.
+	Recorder *obs.Recorder
 }
 
 func (c *Config) setDefaults() {
@@ -74,14 +79,14 @@ func New(x *transform.Extended, cfg Config) *Engine {
 // the dynamic-tracking experiment E7). The routing is rebound to x, so
 // a routing converged under old parameters (offered rates, capacities)
 // is evaluated against the new ones; x must share the topology of the
-// routing's original problem or NewFrom panics.
-func NewFrom(x *transform.Extended, r *flow.Routing, cfg Config) *Engine {
+// routing's original problem or NewFrom returns the rebind error.
+func NewFrom(x *transform.Extended, r *flow.Routing, cfg Config) (*Engine, error) {
 	cfg.setDefaults()
 	bound, err := r.Rebind(x)
 	if err != nil {
-		panic(err) // topology mismatch is a programming error
+		return nil, fmt.Errorf("gradient: warm start: %w", err)
 	}
-	return &Engine{X: x, R: bound, cfg: cfg}
+	return &Engine{X: x, R: bound, cfg: cfg}, nil
 }
 
 // Stats returns protocol accounting accumulated so far.
@@ -93,29 +98,49 @@ func (e *Engine) Routing() *flow.Routing { return e.R }
 // Step executes one full iteration — forecast, marginal-cost wave,
 // tagging, routing update — and returns the pre-update measurements.
 func (e *Engine) Step() StepInfo {
+	rec := e.cfg.Recorder
+	tf := rec.StartPhase(obs.PhaseForecast)
 	u := flow.Evaluate(e.R)
+	tf.Done()
 	info := e.measure(u)
 
 	next := e.R.Clone()
-	maxRounds := 0
+	maxRounds, iterMessages, iterTagged := 0, 0, 0
 	for j := range e.X.Commodities {
+		tm := rec.StartPhase(obs.PhaseMarginal)
 		m := ComputeMarginals(u, j)
+		tm.Done()
 		var tagged []bool
 		if !e.cfg.DisableBlocking {
+			tt := rec.StartPhase(obs.PhaseTagging)
 			tagged = ComputeTags(u, j, m, e.cfg.Eta)
+			tt.Done()
+			if rec.Enabled() {
+				for _, tag := range tagged {
+					if tag {
+						iterTagged++
+					}
+				}
+			}
 		}
+		tu := rec.StartPhase(obs.PhaseUpdate)
 		ApplyGamma(u, j, m, tagged, e.cfg.Eta, next)
+		tu.Done()
 		// Forecast wave mirrors the marginal wave downstream: same
 		// message count, same depth.
-		e.stats.Messages += 2 * m.Messages
+		iterMessages += 2 * m.Messages
 		if m.Rounds > maxRounds {
 			maxRounds = m.Rounds
 		}
 	}
 	e.R = next
+	e.stats.Messages += iterMessages
 	e.stats.Rounds += 2 * maxRounds
 	e.stats.Iterations++
 	e.iter++
+	rec.Iteration("gradient", info.Iteration, info.Utility, info.Cost, info.Admitted, info.Feasible)
+	rec.Protocol("gradient", info.Iteration, iterMessages, 2*maxRounds)
+	rec.Blocking("gradient", info.Iteration, iterTagged)
 	return info
 }
 
@@ -180,6 +205,7 @@ func (e *Engine) Run(maxIters int, stop func(StepInfo) bool) ([]StepInfo, error)
 		info := e.Step()
 		trace = append(trace, info)
 		if err := det.Observe(info); err != nil {
+			e.cfg.Recorder.Divergence("gradient", info.Iteration, err.Error())
 			return trace, err
 		}
 		if stop != nil && stop(info) {

@@ -199,7 +199,10 @@ func TestConvergesToBarrierOptimumWhenConstrained(t *testing.T) {
 	if _, err := coarse.Run(3000, nil); err != nil {
 		t.Fatal(err)
 	}
-	fine := NewFrom(x, coarse.Routing(), Config{Eta: 0.02})
+	fine, err := NewFrom(x, coarse.Routing(), Config{Eta: 0.02})
+	if err != nil {
+		t.Fatal(err)
+	}
 	trace, err := fine.Run(3000, nil)
 	if err != nil {
 		t.Fatal(err)
@@ -354,7 +357,10 @@ func TestWarmStartFasterThanCold(t *testing.T) {
 	}
 
 	// Same topology, so routing vectors are index-compatible.
-	warm := NewFrom(xB, warmup.Routing(), Config{Eta: 0.2})
+	warm, err := NewFrom(xB, warmup.Routing(), Config{Eta: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
 	_, warmHit, err := warm.RunToTarget(18, 0.95, 20000)
 	if err != nil {
 		t.Fatal(err)

@@ -1,0 +1,148 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"os"
+	"sync"
+	"time"
+)
+
+// EventType tags one JSONL record.
+type EventType string
+
+// Event types emitted by the instrumented loops.
+const (
+	// EventIteration is one optimizer iteration: utility, cost, admitted
+	// rates and feasibility (the Figure 4/6 trajectory data).
+	EventIteration EventType = "iteration"
+	// EventProtocol reports the distributed-protocol cost of one
+	// iteration: messages exchanged and sequential rounds (§6's O(L)
+	// discussion).
+	EventProtocol EventType = "protocol"
+	// EventDivergence is emitted when a gradient trajectory is declared
+	// diverged (NaN or sustained non-finite cost).
+	EventDivergence EventType = "divergence"
+	// EventBlocking reports loop-freedom tagging activity: how many
+	// (commodity, node) pairs were blocked this iteration.
+	EventBlocking EventType = "blocking"
+	// EventQsimTick is a sampled queue-simulator tick summary.
+	EventQsimTick EventType = "qsim_tick"
+	// EventQsimSummary is the end-of-run queue-simulator report.
+	EventQsimSummary EventType = "qsim_summary"
+)
+
+// Event is one structured record. Fields not meaningful for a type are
+// omitted from the JSON encoding; TMs is milliseconds since the
+// recorder was created, so events from one run share a clock.
+type Event struct {
+	TMs  int64     `json:"t_ms"`
+	Type EventType `json:"type"`
+	Alg  string    `json:"alg,omitempty"`
+	Iter int       `json:"iter"`
+
+	// Iteration fields.
+	Utility  float64   `json:"utility,omitempty"`
+	Cost     float64   `json:"cost,omitempty"`
+	Admitted []float64 `json:"admitted,omitempty"`
+	Feasible *bool     `json:"feasible,omitempty"`
+
+	// Protocol fields.
+	Messages int `json:"messages,omitempty"`
+	Rounds   int `json:"rounds,omitempty"`
+
+	// Blocking fields.
+	Tagged int `json:"tagged,omitempty"`
+
+	// Divergence detail.
+	Reason string `json:"reason,omitempty"`
+
+	// Qsim fields (tick summaries and final report).
+	Tick       int     `json:"tick,omitempty"`
+	Queued     float64 `json:"queued,omitempty"`
+	Delivered  float64 `json:"delivered,omitempty"`
+	Dropped    float64 `json:"dropped,omitempty"`
+	PeakQueue  float64 `json:"peak_queue,omitempty"`
+	DelayTicks float64 `json:"delay_ticks,omitempty"`
+}
+
+// Sink consumes events. Implementations must be safe for concurrent
+// Emit calls.
+type Sink interface {
+	Emit(Event)
+	Close() error
+}
+
+// JSONLSink writes one JSON object per line to an io.Writer.
+type JSONLSink struct {
+	mu  sync.Mutex
+	enc *json.Encoder
+	buf *bufio.Writer // nil unless we own buffering
+	c   io.Closer     // nil unless we own the underlying file
+}
+
+// NewJSONLSink wraps a writer. The caller keeps ownership of the
+// writer; Close only flushes internal state.
+func NewJSONLSink(w io.Writer) *JSONLSink {
+	return &JSONLSink{enc: json.NewEncoder(w)}
+}
+
+// NewFileSink creates (truncating) the named file and returns a
+// buffered JSONL sink over it; Close flushes and closes the file.
+func NewFileSink(path string) (*JSONLSink, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	buf := bufio.NewWriterSize(f, 1<<16)
+	return &JSONLSink{enc: json.NewEncoder(buf), buf: buf, c: f}, nil
+}
+
+// Emit encodes the event as one line. Encoding errors are dropped:
+// observability must never fail the solve.
+func (s *JSONLSink) Emit(e Event) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_ = s.enc.Encode(e)
+}
+
+// Close flushes buffered output and closes the file when owned.
+func (s *JSONLSink) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var err error
+	if s.buf != nil {
+		err = s.buf.Flush()
+	}
+	if s.c != nil {
+		if cerr := s.c.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
+}
+
+// MultiSink fans one event out to several sinks.
+type MultiSink []Sink
+
+// Emit forwards to every sink.
+func (m MultiSink) Emit(e Event) {
+	for _, s := range m {
+		s.Emit(e)
+	}
+}
+
+// Close closes every sink, returning the first error.
+func (m MultiSink) Close() error {
+	var err error
+	for _, s := range m {
+		if cerr := s.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
+}
+
+// now is the recorder's clock base helper.
+func sinceMs(start time.Time) int64 { return time.Since(start).Milliseconds() }

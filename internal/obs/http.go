@@ -1,0 +1,90 @@
+package obs
+
+import (
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+)
+
+// expvarOnce guards the one-time expvar publication: expvar.Publish
+// panics on duplicate names, and tests may start several servers.
+var expvarOnce sync.Once
+
+// publishExpvar mirrors the registry under expvar ("streamopt" key in
+// /debug/vars) as a JSON object {metricKey: value}.
+func publishExpvar(reg *Registry) {
+	expvarOnce.Do(func() {
+		expvar.Publish("streamopt", expvar.Func(func() any {
+			out := make(map[string]any)
+			for _, family := range reg.snapshot() {
+				for _, m := range family {
+					key := m.family
+					if m.labels != "" {
+						key += "{" + m.labels + "}"
+					}
+					switch m.kind {
+					case "counter":
+						out[key] = m.counter.Value()
+					case "gauge":
+						out[key] = m.gauge.Value()
+					case "histogram":
+						out[key] = map[string]any{
+							"count": m.hist.Count(),
+							"sum":   m.hist.Sum(),
+						}
+					}
+				}
+			}
+			return out
+		}))
+	})
+}
+
+// Server is a live exposition endpoint bound to one registry.
+type Server struct {
+	ln   net.Listener
+	http *http.Server
+}
+
+// Serve starts an HTTP server on addr exposing
+//
+//	/metrics       Prometheus text format
+//	/debug/vars    expvar JSON (registry mirrored under "streamopt")
+//	/debug/pprof/  runtime profiles (CPU, heap, mutex, ...)
+//
+// It returns once the listener is bound, so a scrape can't race the
+// solve starting; the accept loop runs in a goroutine until Close.
+func Serve(addr string, reg *Registry) (*Server, error) {
+	if reg == nil {
+		return nil, fmt.Errorf("obs: Serve needs a registry")
+	}
+	publishExpvar(reg)
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = reg.WritePrometheus(w)
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{ln: ln, http: &http.Server{Handler: mux}}
+	go func() { _ = s.http.Serve(ln) }()
+	return s, nil
+}
+
+// Addr reports the bound address (useful with ":0").
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the listener and open connections.
+func (s *Server) Close() error { return s.http.Close() }

@@ -1,0 +1,260 @@
+package obs
+
+import (
+	"strconv"
+	"sync"
+	"time"
+)
+
+// Phase names one timed section of gradient.Engine.Step.
+type Phase int
+
+// The four phases of a §5 iteration.
+const (
+	// PhaseForecast is the flow-forecast wave (flow.Evaluate).
+	PhaseForecast Phase = iota
+	// PhaseMarginal is the upstream marginal-cost wave.
+	PhaseMarginal
+	// PhaseTagging is the loop-freedom tag computation.
+	PhaseTagging
+	// PhaseUpdate is the Γ routing update.
+	PhaseUpdate
+
+	numPhases
+)
+
+// String names the phase for metric labels.
+func (p Phase) String() string {
+	switch p {
+	case PhaseForecast:
+		return "forecast"
+	case PhaseMarginal:
+		return "marginal"
+	case PhaseTagging:
+		return "tagging"
+	case PhaseUpdate:
+		return "update"
+	}
+	return "unknown"
+}
+
+// Recorder is the handle the optimizer loops thread through their
+// configs. A nil *Recorder is valid and means "observability off":
+// every method nil-checks and returns, costing one predicted branch on
+// the hot path and zero allocations (see recorder_test.go).
+type Recorder struct {
+	reg   *Registry
+	sink  Sink
+	start time.Time
+
+	iterations *Counter
+	utility    *Gauge
+	cost       *Gauge
+	feasible   *Gauge
+	messages   *Counter
+	rounds     *Counter
+	tagged     *Counter
+	backtracks *Counter
+	eta        *Gauge
+	diverged   *Counter
+
+	qsimQueue     *Gauge
+	qsimDelivered *Gauge
+	qsimDropped   *Gauge
+
+	phase [numPhases]*Histogram
+
+	mu       sync.Mutex
+	admitted []*Gauge // per-commodity, grown on demand
+}
+
+// NewRecorder builds an enabled recorder. reg may be nil (a fresh
+// registry is created); sink may be nil (metrics only, no events).
+func NewRecorder(reg *Registry, sink Sink) *Recorder {
+	if reg == nil {
+		reg = NewRegistry()
+	}
+	r := &Recorder{reg: reg, sink: sink, start: time.Now()}
+	r.iterations = reg.Counter("streamopt_iterations_total", "Optimizer iterations executed.")
+	r.utility = reg.Gauge("streamopt_utility", "Total utility at the latest iteration.")
+	r.cost = reg.Gauge("streamopt_cost", "Cost A = Y + epsilon*D at the latest iteration.")
+	r.feasible = reg.Gauge("streamopt_feasible", "1 when the latest iterate satisfies every capacity constraint.")
+	r.messages = reg.Counter("streamopt_protocol_messages_total", "Protocol messages exchanged.")
+	r.rounds = reg.Counter("streamopt_protocol_rounds_total", "Sequential protocol message rounds.")
+	r.tagged = reg.Counter("streamopt_blocking_tagged_total", "Loop-freedom tags raised.")
+	r.backtracks = reg.Counter("streamopt_adaptive_backtracks_total", "Adaptive step-size rollbacks.")
+	r.eta = reg.Gauge("streamopt_eta", "Current gradient step scale.")
+	r.diverged = reg.Counter("streamopt_divergence_total", "Trajectories declared diverged.")
+	r.qsimQueue = reg.Gauge("streamopt_qsim_queued", "Total queued work at the latest sampled tick.")
+	r.qsimDelivered = reg.Gauge("streamopt_qsim_delivered_total", "Cumulative qsim sink deliveries (sink units).")
+	r.qsimDropped = reg.Gauge("streamopt_qsim_dropped_total", "Cumulative qsim admission drops (source units).")
+	for p := Phase(0); p < numPhases; p++ {
+		r.phase[p] = reg.Histogram("streamopt_step_phase_seconds",
+			"Wall-clock time of one gradient.Engine.Step phase.",
+			DefaultTimeBuckets, "phase", p.String())
+	}
+	return r
+}
+
+// Registry exposes the underlying registry (nil for a nil recorder).
+func (r *Recorder) Registry() *Registry {
+	if r == nil {
+		return nil
+	}
+	return r.reg
+}
+
+// Enabled reports whether the recorder records anything.
+func (r *Recorder) Enabled() bool { return r != nil }
+
+// Close flushes and closes the sink, if any.
+func (r *Recorder) Close() error {
+	if r == nil || r.sink == nil {
+		return nil
+	}
+	return r.sink.Close()
+}
+
+func (r *Recorder) emit(e Event) {
+	if r.sink == nil {
+		return
+	}
+	e.TMs = sinceMs(r.start)
+	r.sink.Emit(e)
+}
+
+var (
+	ptrue  = new(bool)
+	pfalse = new(bool)
+)
+
+func init() { *ptrue = true }
+
+// Iteration records one optimizer iteration. admitted is read
+// synchronously and not retained.
+func (r *Recorder) Iteration(alg string, iter int, utility, cost float64, admitted []float64, feasible bool) {
+	if r == nil {
+		return
+	}
+	r.iterations.Inc()
+	r.utility.Set(utility)
+	r.cost.Set(cost)
+	fp := pfalse
+	fv := 0.0
+	if feasible {
+		fp, fv = ptrue, 1
+	}
+	r.feasible.Set(fv)
+	r.mu.Lock()
+	for len(r.admitted) < len(admitted) {
+		r.admitted = append(r.admitted, r.reg.Gauge(
+			"streamopt_admitted_rate", "Admitted rate per commodity (source units).",
+			"commodity", strconv.Itoa(len(r.admitted))))
+	}
+	gauges := r.admitted
+	r.mu.Unlock()
+	for j, a := range admitted {
+		gauges[j].Set(a)
+	}
+	r.emit(Event{
+		Type: EventIteration, Alg: alg, Iter: iter,
+		Utility: utility, Cost: cost, Admitted: admitted, Feasible: fp,
+	})
+}
+
+// Protocol records the distributed message cost of one iteration.
+func (r *Recorder) Protocol(alg string, iter, messages, rounds int) {
+	if r == nil {
+		return
+	}
+	r.messages.Add(messages)
+	r.rounds.Add(rounds)
+	r.emit(Event{Type: EventProtocol, Alg: alg, Iter: iter, Messages: messages, Rounds: rounds})
+}
+
+// Blocking records loop-freedom tagging activity; tagged may be zero
+// (counted in metrics, no event emitted to keep files small).
+func (r *Recorder) Blocking(alg string, iter, tagged int) {
+	if r == nil || tagged == 0 {
+		return
+	}
+	r.tagged.Add(tagged)
+	r.emit(Event{Type: EventBlocking, Alg: alg, Iter: iter, Tagged: tagged})
+}
+
+// Divergence records a trajectory declared diverged.
+func (r *Recorder) Divergence(alg string, iter int, reason string) {
+	if r == nil {
+		return
+	}
+	r.diverged.Inc()
+	r.emit(Event{Type: EventDivergence, Alg: alg, Iter: iter, Reason: reason})
+}
+
+// SetEta publishes the adaptive controller's current step scale.
+func (r *Recorder) SetEta(eta float64) {
+	if r == nil {
+		return
+	}
+	r.eta.Set(eta)
+}
+
+// Backtrack counts one adaptive step rollback.
+func (r *Recorder) Backtrack() {
+	if r == nil {
+		return
+	}
+	r.backtracks.Inc()
+}
+
+// QsimTick records one sampled queue-simulator tick: total queued work
+// and this tick's delivered/dropped amounts.
+func (r *Recorder) QsimTick(tick int, queued, delivered, dropped float64) {
+	if r == nil {
+		return
+	}
+	r.qsimQueue.Set(queued)
+	r.qsimDelivered.Add(delivered)
+	r.qsimDropped.Add(dropped)
+	r.emit(Event{
+		Type: EventQsimTick, Alg: "qsim", Iter: tick, Tick: tick,
+		Queued: queued, Delivered: delivered, Dropped: dropped,
+	})
+}
+
+// QsimSummary records the end-of-run queue report (stability signal:
+// avg/peak queue and Little's-law delay).
+func (r *Recorder) QsimSummary(ticks int, avgQueue, peakQueue, delayTicks float64) {
+	if r == nil {
+		return
+	}
+	r.emit(Event{
+		Type: EventQsimSummary, Alg: "qsim", Iter: ticks, Tick: ticks,
+		Queued: avgQueue, PeakQueue: peakQueue, DelayTicks: delayTicks,
+	})
+}
+
+// PhaseTiming is an in-flight phase stopwatch. The zero value (from a
+// nil recorder) is inert.
+type PhaseTiming struct {
+	r     *Recorder
+	p     Phase
+	start time.Time
+}
+
+// StartPhase begins timing one Step phase; call Done on the result.
+// On a nil recorder this is two instructions and no clock read.
+func (r *Recorder) StartPhase(p Phase) PhaseTiming {
+	if r == nil {
+		return PhaseTiming{}
+	}
+	return PhaseTiming{r: r, p: p, start: time.Now()}
+}
+
+// Done records the elapsed wall-clock into the phase histogram.
+func (t PhaseTiming) Done() {
+	if t.r == nil {
+		return
+	}
+	t.r.phase[t.p].Observe(time.Since(t.start).Seconds())
+}

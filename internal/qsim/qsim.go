@@ -18,6 +18,7 @@ import (
 
 	"repro/internal/flow"
 	"repro/internal/graph"
+	"repro/internal/obs"
 	"repro/internal/transform"
 )
 
@@ -43,6 +44,9 @@ type Config struct {
 	Arrivals Arrivals
 	// Seed drives the arrival randomness (Poisson only).
 	Seed int64
+	// Recorder, when non-nil, receives sampled tick summaries (queue
+	// lengths, deliveries, drops) and a final stability report.
+	Recorder *obs.Recorder
 }
 
 func (c *Config) setDefaults() {
@@ -107,6 +111,7 @@ func Run(r *flow.Routing, cfg Config) (*Result, error) {
 	measured := 0
 
 	for tick := 0; tick < cfg.Ticks; tick++ {
+		tickDelivered, tickDropped := 0.0, 0.0
 		// Arrivals + admission at the dummies.
 		for j := 0; j < nc; j++ {
 			c := &x.Commodities[j]
@@ -117,6 +122,7 @@ func Run(r *flow.Routing, cfg Config) (*Result, error) {
 			admitted := amount * r.Phi[j][c.InputLink]
 			dropped := amount - admitted
 			q[j][c.Source] += admitted
+			tickDropped += dropped
 			if tick >= cfg.Warmup {
 				res.Dropped[j] += dropped
 			}
@@ -167,6 +173,7 @@ func Run(r *flow.Routing, cfg Config) (*Result, error) {
 					head := x.G.Edge(e).To
 					out := xfer * x.Beta[j][e]
 					if head == sink {
+						tickDelivered += out
 						if tick >= cfg.Warmup {
 							res.Delivered[j] += out
 						}
@@ -197,6 +204,7 @@ func Run(r *flow.Routing, cfg Config) (*Result, error) {
 			measured++
 			if sampleEvery := cfg.Ticks / 100; sampleEvery == 0 || tick%max(1, sampleEvery) == 0 {
 				res.QueueTrace = append(res.QueueTrace, total)
+				cfg.Recorder.QsimTick(tick, total, tickDelivered, tickDropped)
 			}
 		}
 	}
@@ -220,6 +228,7 @@ func Run(r *flow.Routing, cfg Config) (*Result, error) {
 			}
 		}
 	}
+	cfg.Recorder.QsimSummary(cfg.Ticks, res.AvgQueue, res.PeakQueue, res.AvgDelayTicks)
 	return res, nil
 }
 
