@@ -1,0 +1,142 @@
+// Command admissiond is the streaming admission server: it loads (or
+// generates) a stream-processing problem instance, keeps the joint
+// admission-control + routing solution converged as commodities
+// arrive, change their offered rates, and depart, and serves the JSON
+// API of internal/server plus live /metrics, /debug/vars and
+// /debug/pprof on one listener.
+//
+//	go run ./cmd/netgen -seed 42 > instance.json
+//	go run ./cmd/admissiond -in instance.json -addr :8080
+//
+//	# live rate update; the server re-solves warm-started
+//	curl -X PATCH localhost:8080/v1/commodities/S1 -d '{"maxRate": 30}'
+//	curl localhost:8080/v1/admitted
+//
+// Without -in, a random instance is generated (-gen-seed, -gen-nodes,
+// -gen-commodities), which is handy for demos and smoke tests.
+// SIGINT/SIGTERM shut down gracefully, draining an in-flight solve.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/randnet"
+	"repro/internal/server"
+	"repro/internal/stream"
+)
+
+// cliConfig carries every flag so tests can drive realMain directly.
+type cliConfig struct {
+	in       string
+	addr     string
+	genSeed  int64
+	genNodes int
+	genComms int
+
+	eta           float64
+	eps           float64
+	iters         int
+	stationaryTol float64
+	debounce      time.Duration
+
+	eventsOut string
+
+	// ready, when non-nil, receives the bound address once the API is
+	// serving; stop, when non-nil, replaces signal-based shutdown.
+	ready func(addr string)
+	stop  chan struct{}
+}
+
+func main() {
+	var cfg cliConfig
+	flag.StringVar(&cfg.in, "in", "", "problem JSON (omit to generate a random instance)")
+	flag.StringVar(&cfg.addr, "addr", ":8080", "listen address for the API and /metrics")
+	flag.Int64Var(&cfg.genSeed, "gen-seed", 1, "seed for the generated instance when -in is absent")
+	flag.IntVar(&cfg.genNodes, "gen-nodes", 24, "processing nodes for the generated instance")
+	flag.IntVar(&cfg.genComms, "gen-commodities", 3, "commodities for the generated instance")
+	flag.Float64Var(&cfg.eta, "eta", 0.04, "gradient step scale η")
+	flag.Float64Var(&cfg.eps, "eps", 0.2, "penalty coefficient ε")
+	flag.IntVar(&cfg.iters, "iters", 4000, "per-solve iteration budget")
+	flag.Float64Var(&cfg.stationaryTol, "stationary-tol", 1e-3, "Theorem-2 stationarity tolerance ending a solve early (<0 disables)")
+	flag.DurationVar(&cfg.debounce, "debounce", 25*time.Millisecond, "mutation coalescing window before a re-solve")
+	flag.StringVar(&cfg.eventsOut, "events-out", "", "write solver/server JSONL events to this file")
+	flag.Parse()
+	if err := realMain(cfg); err != nil {
+		fmt.Fprintln(os.Stderr, "admissiond:", err)
+		os.Exit(1)
+	}
+}
+
+func loadProblem(cfg cliConfig) (*stream.Problem, error) {
+	if cfg.in != "" {
+		data, err := os.ReadFile(cfg.in)
+		if err != nil {
+			return nil, err
+		}
+		return stream.ParseProblem(data)
+	}
+	return randnet.Generate(randnet.Config{
+		Seed: cfg.genSeed, Nodes: cfg.genNodes, Commodities: cfg.genComms,
+	})
+}
+
+func realMain(cfg cliConfig) error {
+	p, err := loadProblem(cfg)
+	if err != nil {
+		return err
+	}
+
+	var sink obs.Sink
+	if cfg.eventsOut != "" {
+		fs, err := obs.NewFileSink(cfg.eventsOut)
+		if err != nil {
+			return err
+		}
+		sink = fs
+	}
+	rec := obs.NewRecorder(obs.NewRegistry(), sink)
+	defer rec.Close()
+
+	s, err := server.New(p, server.Options{
+		Epsilon:       cfg.eps,
+		Eta:           cfg.eta,
+		MaxIters:      cfg.iters,
+		StationaryTol: cfg.stationaryTol,
+		Debounce:      cfg.debounce,
+		Recorder:      rec,
+	})
+	if err != nil {
+		return err
+	}
+
+	h, err := s.Serve(cfg.addr, rec.Registry())
+	if err != nil {
+		_ = s.Close()
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "admissiond: serving admission API, /metrics, /debug/vars, /debug/pprof on %s\n", h.Addr())
+	if cfg.ready != nil {
+		cfg.ready(h.Addr())
+	}
+
+	// Block until a signal (or the test-injected stop), then drain.
+	if cfg.stop != nil {
+		<-cfg.stop
+	} else {
+		ch := make(chan os.Signal, 1)
+		signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
+		sig := <-ch
+		fmt.Fprintf(os.Stderr, "admissiond: %v, shutting down\n", sig)
+	}
+	if err := h.Close(); err != nil {
+		_ = s.Close()
+		return err
+	}
+	return s.Close()
+}

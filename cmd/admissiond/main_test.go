@@ -1,0 +1,150 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/randnet"
+)
+
+// TestAdmissiondEndToEnd boots the daemon on a small generated
+// topology, drives the public API over real HTTP — rate update,
+// failure injection, metrics scrape — and shuts it down gracefully.
+func TestAdmissiondEndToEnd(t *testing.T) {
+	p, err := randnet.Generate(randnet.Config{Seed: 5, Nodes: 12, Commodities: 2, Layers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := p.MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := filepath.Join(t.TempDir(), "instance.json")
+	if err := os.WriteFile(in, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	events := filepath.Join(t.TempDir(), "events.jsonl")
+
+	addrCh := make(chan string, 1)
+	stop := make(chan struct{})
+	errCh := make(chan error, 1)
+	go func() {
+		errCh <- realMain(cliConfig{
+			in:            in,
+			addr:          "127.0.0.1:0",
+			eta:           0.04,
+			eps:           0.2,
+			iters:         2000,
+			stationaryTol: 1e-3,
+			debounce:      2 * time.Millisecond,
+			eventsOut:     events,
+			ready:         func(a string) { addrCh <- a },
+			stop:          stop,
+		})
+	}()
+
+	var base string
+	select {
+	case a := <-addrCh:
+		base = "http://" + a
+	case err := <-errCh:
+		t.Fatalf("daemon exited early: %v", err)
+	case <-time.After(30 * time.Second):
+		t.Fatal("daemon never became ready")
+	}
+
+	waitSnapshot := func(minGen int64) map[string]any {
+		t.Helper()
+		deadline := time.Now().Add(30 * time.Second)
+		for {
+			resp, err := http.Get(base + "/v1/snapshot")
+			if err == nil {
+				var snap map[string]any
+				err = json.NewDecoder(resp.Body).Decode(&snap)
+				resp.Body.Close()
+				if err == nil && resp.StatusCode == http.StatusOK {
+					if gen, _ := snap["generation"].(float64); int64(gen) >= minGen {
+						return snap
+					}
+				}
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("no snapshot generation ≥ %d", minGen)
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+
+	first := waitSnapshot(1)
+	commodities := first["commodities"].([]any)
+	name := commodities[0].(map[string]any)["name"].(string)
+
+	// Live rate update over HTTP.
+	req, err := http.NewRequest(http.MethodPatch,
+		base+"/v1/commodities/"+name, bytes.NewReader([]byte(`{"maxRate": 3.5}`)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("PATCH status %d", resp.StatusCode)
+	}
+
+	snap := waitSnapshot(int64(first["generation"].(float64)) + 1)
+	if snap["warm"] != true {
+		t.Fatalf("rate update did not warm-start: %v", snap["warm"])
+	}
+
+	// Metrics are served from the same listener and count the solves.
+	resp, err = http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var prom bytes.Buffer
+	if _, err := prom.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	for _, want := range []string{
+		`streamopt_server_solves_total{start="cold"}`,
+		`streamopt_server_solves_total{start="warm"}`,
+		"streamopt_server_generation",
+	} {
+		if !strings.Contains(prom.String(), want) {
+			t.Fatalf("metrics missing %q", want)
+		}
+	}
+
+	// Graceful shutdown drains and exits cleanly.
+	close(stop)
+	select {
+	case err := <-errCh:
+		if err != nil {
+			t.Fatalf("daemon exited with error: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("daemon did not shut down")
+	}
+
+	// The JSONL event stream recorded server solves.
+	evData, err := os.ReadFile(events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(evData), `"type":"server_solve"`) {
+		t.Fatalf("events file has no server_solve records:\n%.500s", evData)
+	}
+	if !strings.Contains(string(evData), `"type":"server_mutation"`) {
+		t.Fatalf("events file has no server_mutation records:\n%.500s", evData)
+	}
+}

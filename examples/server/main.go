@@ -1,0 +1,201 @@
+// Admission-server quickstart: starts admissiond's engine in-process
+// on a generated network, then drives it over real HTTP through a
+// scripted day-in-the-life — rate bursts, a node failure, recovery,
+// and a commodity departure — printing the evolving total utility and
+// whether each re-solve warm-started.
+//
+//	go run ./examples/server
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"log"
+	"net/http"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/randnet"
+	"repro/internal/server"
+)
+
+const (
+	seed    = 7
+	timeout = 30 * time.Second
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	p, err := randnet.Generate(randnet.Config{
+		Seed: seed, Nodes: 24, Commodities: 3,
+		// Generous capacities so the system is admission-limited: rate
+		// changes visibly move the optimum (same regime as E7).
+		CapMin: 40, CapMax: 100, CostMin: 1, CostMax: 2,
+		LambdaMin: 10, LambdaMax: 25,
+	})
+	if err != nil {
+		return err
+	}
+
+	rec := obs.NewRecorder(obs.NewRegistry(), nil)
+	s, err := server.New(p, server.Options{Debounce: 5 * time.Millisecond, Recorder: rec})
+	if err != nil {
+		return err
+	}
+	defer s.Close()
+	h, err := s.Serve("127.0.0.1:0", rec.Registry())
+	if err != nil {
+		return err
+	}
+	defer h.Close()
+	base := "http://" + h.Addr()
+	fmt.Printf("admission server on %s (also serving /metrics)\n\n", base)
+
+	snap, err := s.WaitForGeneration(1, timeout)
+	if err != nil {
+		return err
+	}
+	report("initial solve", snap)
+
+	// The scripted stream of events. Each step is one or more API
+	// calls; the debounce window coalesces multi-call steps into a
+	// single re-solve.
+	steps := []struct {
+		what string
+		do   func() error
+	}{
+		{"S1 rate burst (λ ×2)", func() error {
+			return patch(base+"/v1/commodities/S1", map[string]any{
+				"maxRate": p.Commodities[0].MaxRate * 2,
+			})
+		}},
+		{"S2 + S3 drop to trickle", func() error {
+			if err := patch(base+"/v1/commodities/S2", map[string]any{"maxRate": 2.0}); err != nil {
+				return err
+			}
+			return patch(base+"/v1/commodities/S3", map[string]any{"maxRate": 2.0})
+		}},
+		{"busiest server fails to 25% capacity", func() error {
+			name, err := busiestServer(base)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("    (failing %s)\n", name)
+			return post(base+"/v1/nodes/"+name+"/capacity", map[string]any{"scale": 0.25})
+		}},
+		{"failed server recovers (×4)", func() error {
+			name, err := busiestServer(base)
+			if err != nil {
+				return err
+			}
+			return post(base+"/v1/nodes/"+name+"/capacity", map[string]any{"scale": 4.0})
+		}},
+		{"S3 departs", func() error {
+			req, err := http.NewRequest(http.MethodDelete, base+"/v1/commodities/S3", nil)
+			if err != nil {
+				return err
+			}
+			return expect2xx(req)
+		}},
+	}
+
+	for _, step := range steps {
+		gen := s.Snapshot().Generation
+		if err := step.do(); err != nil {
+			return fmt.Errorf("%s: %w", step.what, err)
+		}
+		snap, err = s.WaitForGeneration(gen+1, timeout)
+		if err != nil {
+			return err
+		}
+		report(step.what, snap)
+	}
+	return nil
+}
+
+// report prints one snapshot line: the service's evolving operating
+// point.
+func report(what string, snap *server.Snapshot) {
+	start := "cold"
+	if snap.Warm {
+		start = "warm"
+	}
+	fmt.Printf("gen %2d  %-38s  utility %8.3f  (%s, %d iters, %.1fms)\n",
+		snap.Generation, what, snap.Utility, start, snap.Iterations, 1000*snap.SolveSeconds)
+	for _, c := range snap.Commodities {
+		fmt.Printf("         %-6s offered %7.2f  admitted %7.2f\n", c.Name, c.Offered, c.Admitted)
+	}
+}
+
+// busiestServer asks /v1/usage for the most utilized server.
+func busiestServer(base string) (string, error) {
+	resp, err := http.Get(base + "/v1/usage")
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	var out struct {
+		Usage []struct {
+			Name        string  `json:"Name"`
+			Kind        string  `json:"Kind"`
+			Utilization float64 `json:"Utilization"`
+		} `json:"usage"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return "", err
+	}
+	best, bestU := "", -1.0
+	for _, u := range out.Usage {
+		if u.Kind == "server" && u.Utilization > bestU {
+			best, bestU = u.Name, u.Utilization
+		}
+	}
+	if best == "" {
+		return "", fmt.Errorf("no server usage reported")
+	}
+	return best, nil
+}
+
+func patch(url string, body map[string]any) error {
+	data, err := json.Marshal(body)
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequest(http.MethodPatch, url, bytes.NewReader(data))
+	if err != nil {
+		return err
+	}
+	return expect2xx(req)
+}
+
+func post(url string, body map[string]any) error {
+	data, err := json.Marshal(body)
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequest(http.MethodPost, url, bytes.NewReader(data))
+	if err != nil {
+		return err
+	}
+	return expect2xx(req)
+}
+
+func expect2xx(req *http.Request) error {
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		var buf bytes.Buffer
+		_, _ = buf.ReadFrom(resp.Body)
+		return fmt.Errorf("%s %s: status %d: %s", req.Method, req.URL.Path, resp.StatusCode, buf.String())
+	}
+	return nil
+}

@@ -361,11 +361,20 @@ func finishFromUsage(p *stream.Problem, x *transform.Extended, u *flow.Usage, re
 	for j := range res.Admitted {
 		res.Admitted[j] = u.AdmittedRate(j)
 	}
+	res.Usage = UsageReport(p, x, u)
+}
+
+// UsageReport maps a flow evaluation back onto the original network:
+// one entry per server (extended Proc node) and per link (extended
+// Bandwidth node), with capacity, usage, and utilization. The admission
+// server publishes this per snapshot; Solve embeds it in Result.Usage.
+func UsageReport(p *stream.Problem, x *transform.Extended, u *flow.Usage) []NodeUsage {
+	var usage []NodeUsage
 	for n := 0; n < x.G.NumNodes(); n++ {
 		node := graph.NodeID(n)
 		switch x.Kinds[n] {
 		case transform.Proc:
-			res.Usage = append(res.Usage, NodeUsage{
+			usage = append(usage, NodeUsage{
 				Name:        x.Names[n],
 				Kind:        "server",
 				Capacity:    x.Capacity[n],
@@ -375,7 +384,7 @@ func finishFromUsage(p *stream.Problem, x *transform.Extended, u *flow.Usage, re
 		case transform.Bandwidth:
 			orig := x.OrigEdge[x.G.Out(node)[0]]
 			edge := p.Net.G.Edge(orig)
-			res.Usage = append(res.Usage, NodeUsage{
+			usage = append(usage, NodeUsage{
 				Name:        p.Net.Names[edge.From] + "->" + p.Net.Names[edge.To],
 				Kind:        "link",
 				Capacity:    x.Capacity[n],
@@ -384,6 +393,7 @@ func finishFromUsage(p *stream.Problem, x *transform.Extended, u *flow.Usage, re
 			})
 		}
 	}
+	return usage
 }
 
 // collectPrices maps the reference optimum's positive shadow prices

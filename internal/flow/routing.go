@@ -5,6 +5,7 @@
 package flow
 
 import (
+	"errors"
 	"fmt"
 	"math"
 
@@ -72,15 +73,32 @@ func (r *Routing) Clone() *Routing {
 	return c
 }
 
+// ErrTopologyChanged is wrapped by Rebind when the target extended
+// problem has a different shape than the one the routing was built on.
+// Callers that warm-start opportunistically (the admission server, the
+// dynamic-tracking experiments) match it with errors.Is to tell
+// "commodities or network elements changed — a cold start is the
+// expected recovery" apart from a genuine bug.
+var ErrTopologyChanged = errors.New("flow: extended topology changed")
+
 // Rebind deep-copies the routing set onto another extended problem with
 // the same topology (same node/edge/commodity layout). This is how a
 // converged routing warm-starts the optimizer after problem parameters
 // (offered rates, capacities) change: the φ values carry over, the
-// evaluation context does not.
+// evaluation context does not. A shape mismatch wraps
+// ErrTopologyChanged and names the dimension that moved.
 func (r *Routing) Rebind(x *transform.Extended) (*Routing, error) {
-	if x.G.NumEdges() != r.X.G.NumEdges() || x.NumCommodities() != r.X.NumCommodities() {
-		return nil, fmt.Errorf("flow: rebind target has %d edges/%d commodities, routing has %d/%d",
-			x.G.NumEdges(), x.NumCommodities(), r.X.G.NumEdges(), r.X.NumCommodities())
+	if nx, nr := x.NumCommodities(), r.X.NumCommodities(); nx != nr {
+		return nil, fmt.Errorf("%w: target has %d commodities, routing was built for %d",
+			ErrTopologyChanged, nx, nr)
+	}
+	if nx, nr := x.G.NumNodes(), r.X.G.NumNodes(); nx != nr {
+		return nil, fmt.Errorf("%w: target has %d extended nodes, routing was built for %d",
+			ErrTopologyChanged, nx, nr)
+	}
+	if nx, nr := x.G.NumEdges(), r.X.G.NumEdges(); nx != nr {
+		return nil, fmt.Errorf("%w: target has %d extended edges, routing was built for %d",
+			ErrTopologyChanged, nx, nr)
 	}
 	c := NewZero(x)
 	for j := range r.Phi {

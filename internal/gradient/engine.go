@@ -76,10 +76,15 @@ func New(x *transform.Extended, cfg Config) *Engine {
 }
 
 // NewFrom starts from an explicit routing set (used for warm starts in
-// the dynamic-tracking experiment E7). The routing is rebound to x, so
-// a routing converged under old parameters (offered rates, capacities)
-// is evaluated against the new ones; x must share the topology of the
-// routing's original problem or NewFrom returns the rebind error.
+// the dynamic-tracking experiment E7 and by the admission server). The
+// routing is rebound to x, so a routing converged under old parameters
+// (offered rates, capacities) is evaluated against the new ones; x must
+// share the topology of the routing's original problem or NewFrom
+// returns the rebind error. Callers that fall back to a cold start
+// check errors.Is(err, flow.ErrTopologyChanged): true means the
+// extended problem changed shape (commodities added/removed, network
+// elements changed) and a cold start is the expected recovery; false
+// means a real bug worth surfacing.
 func NewFrom(x *transform.Extended, r *flow.Routing, cfg Config) (*Engine, error) {
 	cfg.setDefaults()
 	bound, err := r.Rebind(x)

@@ -31,6 +31,13 @@ const (
 	EventQsimTick EventType = "qsim_tick"
 	// EventQsimSummary is the end-of-run queue-simulator report.
 	EventQsimSummary EventType = "qsim_summary"
+	// EventServerMutation is one accepted admission-server mutation
+	// (commodity added/removed, rate/utility/capacity/bandwidth change).
+	EventServerMutation EventType = "server_mutation"
+	// EventServerSolve is one converged admission-server re-solve: the
+	// published snapshot generation, whether it warm-started, its
+	// wall-clock, and the utility it settled at.
+	EventServerSolve EventType = "server_solve"
 )
 
 // Event is one structured record. Fields not meaningful for a type are
@@ -65,6 +72,13 @@ type Event struct {
 	Dropped    float64 `json:"dropped,omitempty"`
 	PeakQueue  float64 `json:"peak_queue,omitempty"`
 	DelayTicks float64 `json:"delay_ticks,omitempty"`
+
+	// Admission-server fields.
+	Generation int64   `json:"generation,omitempty"`
+	Start      string  `json:"start,omitempty"` // "warm" | "cold"
+	Kind       string  `json:"kind,omitempty"`  // mutation kind
+	Target     string  `json:"target,omitempty"`
+	Seconds    float64 `json:"seconds,omitempty"`
 }
 
 // Sink consumes events. Implementations must be safe for concurrent

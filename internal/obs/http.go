@@ -49,20 +49,16 @@ type Server struct {
 	http *http.Server
 }
 
-// Serve starts an HTTP server on addr exposing
+// Attach mounts the exposition endpoints on an existing mux:
 //
 //	/metrics       Prometheus text format
 //	/debug/vars    expvar JSON (registry mirrored under "streamopt")
 //	/debug/pprof/  runtime profiles (CPU, heap, mutex, ...)
 //
-// It returns once the listener is bound, so a scrape can't race the
-// solve starting; the accept loop runs in a goroutine until Close.
-func Serve(addr string, reg *Registry) (*Server, error) {
-	if reg == nil {
-		return nil, fmt.Errorf("obs: Serve needs a registry")
-	}
+// This is how processes that already own an HTTP listener (the
+// admission server) expose the registry without a second port.
+func Attach(mux *http.ServeMux, reg *Registry) {
 	publishExpvar(reg)
-	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		_ = reg.WritePrometheus(w)
@@ -73,6 +69,17 @@ func Serve(addr string, reg *Registry) (*Server, error) {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+}
+
+// Serve starts an HTTP server on addr exposing the Attach endpoints.
+// It returns once the listener is bound, so a scrape can't race the
+// solve starting; the accept loop runs in a goroutine until Close.
+func Serve(addr string, reg *Registry) (*Server, error) {
+	if reg == nil {
+		return nil, fmt.Errorf("obs: Serve needs a registry")
+	}
+	mux := http.NewServeMux()
+	Attach(mux, reg)
 
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {

@@ -62,6 +62,14 @@ type Recorder struct {
 	qsimDelivered *Gauge
 	qsimDropped   *Gauge
 
+	srvGeneration *Gauge
+	srvUtility    *Gauge
+	srvWarm       *Counter
+	srvCold       *Counter
+	srvWarmLat    *Histogram
+	srvColdLat    *Histogram
+	srvMutations  *Counter
+
 	phase [numPhases]*Histogram
 
 	mu       sync.Mutex
@@ -88,6 +96,15 @@ func NewRecorder(reg *Registry, sink Sink) *Recorder {
 	r.qsimQueue = reg.Gauge("streamopt_qsim_queued", "Total queued work at the latest sampled tick.")
 	r.qsimDelivered = reg.Gauge("streamopt_qsim_delivered_total", "Cumulative qsim sink deliveries (sink units).")
 	r.qsimDropped = reg.Gauge("streamopt_qsim_dropped_total", "Cumulative qsim admission drops (source units).")
+	r.srvGeneration = reg.Gauge("streamopt_server_generation", "Latest published admission-server snapshot generation.")
+	r.srvUtility = reg.Gauge("streamopt_server_utility", "Total utility of the latest published snapshot.")
+	r.srvWarm = reg.Counter("streamopt_server_solves_total", "Admission-server re-solves by start kind.", "start", "warm")
+	r.srvCold = reg.Counter("streamopt_server_solves_total", "Admission-server re-solves by start kind.", "start", "cold")
+	r.srvWarmLat = reg.Histogram("streamopt_server_solve_seconds",
+		"Wall-clock time of one admission-server re-solve.", DefaultTimeBuckets, "start", "warm")
+	r.srvColdLat = reg.Histogram("streamopt_server_solve_seconds",
+		"Wall-clock time of one admission-server re-solve.", DefaultTimeBuckets, "start", "cold")
+	r.srvMutations = reg.Counter("streamopt_server_mutations_total", "Accepted admission-server problem mutations.")
 	for p := Phase(0); p < numPhases; p++ {
 		r.phase[p] = reg.Histogram("streamopt_step_phase_seconds",
 			"Wall-clock time of one gradient.Engine.Step phase.",
@@ -205,6 +222,40 @@ func (r *Recorder) Backtrack() {
 		return
 	}
 	r.backtracks.Inc()
+}
+
+// ServerMutation records one accepted admission-server mutation. kind
+// names the operation ("add_commodity", "set_rate", ...); target the
+// commodity/node/link it hit.
+func (r *Recorder) ServerMutation(kind, target string) {
+	if r == nil {
+		return
+	}
+	r.srvMutations.Inc()
+	r.emit(Event{Type: EventServerMutation, Alg: "server", Kind: kind, Target: target})
+}
+
+// ServerSolve records one converged admission-server re-solve and the
+// snapshot it published.
+func (r *Recorder) ServerSolve(generation int64, warm bool, seconds, utility float64, iterations int) {
+	if r == nil {
+		return
+	}
+	start := "cold"
+	if warm {
+		start = "warm"
+		r.srvWarm.Inc()
+		r.srvWarmLat.Observe(seconds)
+	} else {
+		r.srvCold.Inc()
+		r.srvColdLat.Observe(seconds)
+	}
+	r.srvGeneration.Set(float64(generation))
+	r.srvUtility.Set(utility)
+	r.emit(Event{
+		Type: EventServerSolve, Alg: "server", Iter: iterations,
+		Generation: generation, Start: start, Seconds: seconds, Utility: utility,
+	})
 }
 
 // QsimTick records one sampled queue-simulator tick: total queued work

@@ -1,0 +1,268 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+
+	"repro/internal/obs"
+)
+
+// Handler returns the service's HTTP API. Reads are served lock-free
+// from the latest snapshot; writes validate against a clone and only
+// commit on success. When reg is non-nil the obs exposition endpoints
+// (/metrics, /debug/vars, /debug/pprof) are mounted on the same mux.
+//
+//	GET    /v1/healthz                     liveness + generation
+//	GET    /v1/snapshot                    full converged snapshot
+//	GET    /v1/admitted                    per-commodity admitted rates
+//	GET    /v1/usage                       per-server/link utilization
+//	GET    /v1/problem                     current problem (schema JSON)
+//	POST   /v1/commodities                 admit a commodity (schema JSON)
+//	DELETE /v1/commodities/{name}          remove a commodity
+//	PATCH  /v1/commodities/{name}          {"maxRate": λ} and/or {"utility": {...}}
+//	POST   /v1/nodes/{name}/capacity       {"capacity": C} or {"scale": f}
+//	POST   /v1/links/{from}/{to}/bandwidth {"bandwidth": B} or {"scale": f}
+func (s *Server) Handler(reg *obs.Registry) http.Handler {
+	mux := http.NewServeMux()
+	if reg != nil {
+		obs.Attach(mux, reg)
+	}
+
+	mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		var gen int64
+		if snap := s.Snapshot(); snap != nil {
+			gen = snap.Generation
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"ok": true, "generation": gen, "rev": s.Rev()})
+	})
+
+	mux.HandleFunc("GET /v1/snapshot", func(w http.ResponseWriter, _ *http.Request) {
+		snap := s.Snapshot()
+		if snap == nil {
+			writeError(w, http.StatusServiceUnavailable, errors.New("no snapshot yet"))
+			return
+		}
+		writeJSON(w, http.StatusOK, snap)
+	})
+
+	mux.HandleFunc("GET /v1/admitted", func(w http.ResponseWriter, _ *http.Request) {
+		snap := s.Snapshot()
+		if snap == nil {
+			writeError(w, http.StatusServiceUnavailable, errors.New("no snapshot yet"))
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{
+			"generation":  snap.Generation,
+			"utility":     snap.Utility,
+			"commodities": snap.Commodities,
+		})
+	})
+
+	mux.HandleFunc("GET /v1/usage", func(w http.ResponseWriter, _ *http.Request) {
+		snap := s.Snapshot()
+		if snap == nil {
+			writeError(w, http.StatusServiceUnavailable, errors.New("no snapshot yet"))
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{
+			"generation": snap.Generation,
+			"feasible":   snap.Feasible,
+			"usage":      snap.Usage,
+		})
+	})
+
+	mux.HandleFunc("GET /v1/problem", func(w http.ResponseWriter, _ *http.Request) {
+		data, err := s.ProblemJSON()
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, err)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = w.Write(data)
+	})
+
+	mux.HandleFunc("POST /v1/commodities", func(w http.ResponseWriter, r *http.Request) {
+		body, err := readBody(w, r)
+		if err != nil {
+			return
+		}
+		rev, err := s.AddCommodityJSON(body)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		writeJSON(w, http.StatusCreated, map[string]any{"rev": rev})
+	})
+
+	mux.HandleFunc("DELETE /v1/commodities/{name}", func(w http.ResponseWriter, r *http.Request) {
+		rev, err := s.RemoveCommodity(r.PathValue("name"))
+		if err != nil {
+			writeError(w, http.StatusNotFound, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"rev": rev})
+	})
+
+	mux.HandleFunc("PATCH /v1/commodities/{name}", func(w http.ResponseWriter, r *http.Request) {
+		name := r.PathValue("name")
+		body, err := readBody(w, r)
+		if err != nil {
+			return
+		}
+		var patch struct {
+			MaxRate *float64        `json:"maxRate"`
+			Utility json.RawMessage `json:"utility"`
+		}
+		if err := json.Unmarshal(body, &patch); err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		if patch.MaxRate == nil && patch.Utility == nil {
+			writeError(w, http.StatusBadRequest, errors.New("patch must set maxRate and/or utility"))
+			return
+		}
+		var rev int64
+		if patch.MaxRate != nil {
+			if rev, err = s.SetMaxRate(name, *patch.MaxRate); err != nil {
+				writeError(w, statusForMutation(err), err)
+				return
+			}
+		}
+		if patch.Utility != nil {
+			if rev, err = s.SetUtilityJSON(name, patch.Utility); err != nil {
+				writeError(w, statusForMutation(err), err)
+				return
+			}
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"rev": rev})
+	})
+
+	mux.HandleFunc("POST /v1/nodes/{name}/capacity", func(w http.ResponseWriter, r *http.Request) {
+		name := r.PathValue("name")
+		abs, scale, ok := parseResize(w, r)
+		if !ok {
+			return
+		}
+		var rev int64
+		var err error
+		if scale != 0 {
+			rev, err = s.ScaleCapacity(name, scale)
+		} else {
+			rev, err = s.SetCapacity(name, abs)
+		}
+		if err != nil {
+			writeError(w, statusForMutation(err), err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"rev": rev})
+	})
+
+	mux.HandleFunc("POST /v1/links/{from}/{to}/bandwidth", func(w http.ResponseWriter, r *http.Request) {
+		from, to := r.PathValue("from"), r.PathValue("to")
+		abs, scale, ok := parseResize(w, r)
+		if !ok {
+			return
+		}
+		var rev int64
+		var err error
+		if scale != 0 {
+			rev, err = s.ScaleBandwidth(from, to, scale)
+		} else {
+			rev, err = s.SetBandwidth(from, to, abs)
+		}
+		if err != nil {
+			writeError(w, statusForMutation(err), err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"rev": rev})
+	})
+
+	return mux
+}
+
+// Serve binds addr and serves Handler(reg) until the returned
+// HTTPServer is closed. Use addr ":0" to let the kernel pick a port.
+func (s *Server) Serve(addr string, reg *obs.Registry) (*HTTPServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	h := &HTTPServer{ln: ln, http: &http.Server{Handler: s.Handler(reg)}}
+	go func() { _ = h.http.Serve(ln) }()
+	return h, nil
+}
+
+// HTTPServer is one bound listener serving the admission API.
+type HTTPServer struct {
+	ln   net.Listener
+	http *http.Server
+}
+
+// Addr reports the bound address (useful with ":0").
+func (h *HTTPServer) Addr() string { return h.ln.Addr().String() }
+
+// Close stops the listener and open connections.
+func (h *HTTPServer) Close() error { return h.http.Close() }
+
+// resize payload shared by the capacity and bandwidth endpoints:
+// exactly one of an absolute value or a multiplicative scale (the E8
+// failure-injection idiom, e.g. {"scale": 0.25} cuts to a quarter).
+func parseResize(w http.ResponseWriter, r *http.Request) (abs, scale float64, ok bool) {
+	body, err := readBody(w, r)
+	if err != nil {
+		return 0, 0, false
+	}
+	var in struct {
+		Capacity  float64 `json:"capacity"`
+		Bandwidth float64 `json:"bandwidth"`
+		Scale     float64 `json:"scale"`
+	}
+	if err := json.Unmarshal(body, &in); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return 0, 0, false
+	}
+	abs = in.Capacity
+	if in.Bandwidth != 0 {
+		abs = in.Bandwidth
+	}
+	if (abs != 0) == (in.Scale != 0) {
+		writeError(w, http.StatusBadRequest,
+			errors.New("set exactly one of capacity/bandwidth or scale"))
+		return 0, 0, false
+	}
+	return abs, in.Scale, true
+}
+
+const maxBodyBytes = 1 << 20
+
+func readBody(w http.ResponseWriter, r *http.Request) ([]byte, error) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxBodyBytes))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return nil, err
+	}
+	return body, nil
+}
+
+// statusForMutation maps "unknown X" validation errors to 404 and the
+// rest to 400.
+func statusForMutation(err error) int {
+	if strings.Contains(err.Error(), "unknown") {
+		return http.StatusNotFound
+	}
+	return http.StatusBadRequest
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}

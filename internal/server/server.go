@@ -1,0 +1,497 @@
+// Package server is the streaming admission service: a long-running
+// process that owns a mutable stream.Problem, accepts commodity
+// arrivals/departures, offered-rate and utility updates, and node/link
+// capacity changes (failure injection), and keeps the joint
+// admission-control + routing solution converged by re-solving with the
+// paper's gradient algorithm — warm-started from the previous routing
+// whenever the topology allows it.
+//
+// Concurrency model: mutations edit a private Problem under a mutex and
+// wake the solver goroutine; the solver clones the problem (so later
+// mutations never alias an in-flight solve), converges, and publishes
+// an immutable Snapshot through an atomic pointer. Reads are lock-free
+// and always see a complete snapshot — never a torn one — even while
+// the next solve runs. Bursts of mutations are coalesced by a debounce
+// window so N rapid-fire updates cost one re-solve, not N.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/flow"
+	"repro/internal/gradient"
+	"repro/internal/obs"
+	"repro/internal/stream"
+	"repro/internal/transform"
+)
+
+// Options configures the service. The zero value is usable: paper
+// defaults for the solver, a 25 ms debounce window, no observability.
+type Options struct {
+	// Solver knobs (see core.Options): penalty coefficient ε, step
+	// scale η, per-solve iteration budget, and the Theorem-2
+	// stationarity tolerance that ends a solve early once the routing
+	// is optimal within tolerance.
+	Epsilon       float64 // default 0.2
+	Eta           float64 // default 0.04
+	MaxIters      int     // default 4000
+	StationaryTol float64 // default 1e-3; <0 disables early stopping
+
+	// Debounce is how long the solver waits after a mutation for more
+	// mutations before re-solving; bursts within the window coalesce
+	// into one solve. Default 25 ms; <0 disables (solve immediately).
+	Debounce time.Duration
+	// MaxDebounce caps the total coalescing wait under a continuous
+	// mutation stream so the snapshot never goes stale indefinitely.
+	// Default 20×Debounce.
+	MaxDebounce time.Duration
+
+	// Recorder streams solve latencies, warm/cold restart counts, the
+	// generation counter and the admitted-utility gauge through
+	// internal/obs. Nil disables (zero overhead).
+	Recorder *obs.Recorder
+	// Logf receives warm-start fallback diagnostics and solve errors.
+	// Nil means log.Printf.
+	Logf func(format string, args ...any)
+}
+
+func (o *Options) setDefaults() {
+	if o.Epsilon <= 0 {
+		o.Epsilon = 0.2
+	}
+	if o.Eta <= 0 {
+		o.Eta = 0.04
+	}
+	if o.MaxIters <= 0 {
+		o.MaxIters = 4000
+	}
+	if o.StationaryTol == 0 {
+		o.StationaryTol = 1e-3
+	}
+	if o.Debounce == 0 {
+		o.Debounce = 25 * time.Millisecond
+	}
+	if o.MaxDebounce <= 0 {
+		o.MaxDebounce = 20 * o.Debounce
+	}
+	if o.Logf == nil {
+		o.Logf = log.Printf
+	}
+}
+
+// CommodityStatus is one commodity's slice of a snapshot.
+type CommodityStatus struct {
+	Name     string  `json:"name"`
+	Offered  float64 `json:"offered"`  // λ_j at solve time
+	Admitted float64 `json:"admitted"` // a_j
+	Utility  float64 `json:"utility"`  // U_j(a_j)
+}
+
+// Snapshot is one converged, immutable view of the system. Readers get
+// the whole struct from one atomic load, so every field is consistent
+// with every other; nothing in it is ever mutated after publication.
+type Snapshot struct {
+	// Generation counts published snapshots, starting at 1.
+	Generation int64 `json:"generation"`
+	// Rev is the mutation revision the solve captured; Server.Rev()
+	// beyond this means mutations are pending or in flight.
+	Rev int64 `json:"rev"`
+	// Warm reports whether the solve warm-started from the previous
+	// snapshot's routing (false: cold start from the initial routing).
+	Warm bool `json:"warm"`
+	// Iterations the solve ran; Converged whether the stationarity
+	// tolerance was met within the budget.
+	Iterations int  `json:"iterations"`
+	Converged  bool `json:"converged"`
+	// SolveSeconds is the wall-clock of this solve.
+	SolveSeconds float64 `json:"solveSeconds"`
+	// Utility is Σ_j U_j(a_j); Feasible whether f_i ≤ C_i everywhere.
+	Utility  float64 `json:"utility"`
+	Feasible bool    `json:"feasible"`
+	// Commodities reports per-commodity admission; Usage per-resource
+	// allocation on the original network.
+	Commodities []CommodityStatus `json:"commodities"`
+	Usage       []core.NodeUsage  `json:"usage"`
+
+	// routing seeds the next warm start; problem is the clone this
+	// snapshot was solved on. Both are private to the solver loop and
+	// never mutated after the solve.
+	routing *flow.Routing
+	problem *stream.Problem
+}
+
+// Server is the admission service. Create with New, mutate through the
+// Add/Remove/Set methods (or the HTTP API in http.go), read through
+// Snapshot, and stop with Close.
+type Server struct {
+	opts Options
+
+	mu      sync.Mutex
+	problem *stream.Problem // desired state; edited under mu
+	rev     int64           // bumped per accepted mutation
+
+	snap atomic.Pointer[Snapshot]
+	gen  atomic.Int64
+
+	wake   chan struct{} // 1-buffered mutation signal
+	ctx    context.Context
+	cancel context.CancelFunc
+	done   chan struct{}
+}
+
+// New starts the solver loop over an initial problem (which may have
+// zero commodities — the service then idles until the first arrival).
+// The problem is cloned; the caller's copy stays untouched.
+func New(p *stream.Problem, opts Options) (*Server, error) {
+	opts.setDefaults()
+	if p == nil {
+		return nil, fmt.Errorf("server: nil problem")
+	}
+	if len(p.Commodities) > 0 {
+		if err := p.Validate(); err != nil {
+			return nil, err
+		}
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		opts:    opts,
+		problem: p.Clone(),
+		wake:    make(chan struct{}, 1),
+		ctx:     ctx,
+		cancel:  cancel,
+		done:    make(chan struct{}),
+	}
+	if len(p.Commodities) > 0 {
+		s.rev = 1
+		s.signal()
+	}
+	go s.loop()
+	return s, nil
+}
+
+// Close stops the solver loop, draining an in-flight solve: the loop
+// notices the cancellation at the next iteration boundary, publishes
+// what it has, and exits. Close blocks until then.
+func (s *Server) Close() error {
+	s.cancel()
+	<-s.done
+	return nil
+}
+
+// Snapshot returns the latest converged snapshot (nil before the first
+// solve completes). The returned value is immutable and lock-free.
+func (s *Server) Snapshot() *Snapshot { return s.snap.Load() }
+
+// Rev returns the current mutation revision; a snapshot with a smaller
+// Rev means a re-solve is pending or in flight.
+func (s *Server) Rev() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.rev
+}
+
+// ProblemJSON serializes the current desired problem (the mutable
+// state, not the last-solved clone).
+func (s *Server) ProblemJSON() ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.problem.MarshalJSON()
+}
+
+// signal wakes the solver; non-blocking because wake is 1-buffered and
+// one pending token already means "state is dirty".
+func (s *Server) signal() {
+	select {
+	case s.wake <- struct{}{}:
+	default:
+	}
+}
+
+// mutate applies fn transactionally: it runs against a clone of the
+// desired problem, and only a nil error swaps the clone in, bumps the
+// revision, and wakes the solver. A failed mutation leaves no trace.
+func (s *Server) mutate(kind, target string, fn func(p *stream.Problem) error) (int64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	next := s.problem.Clone()
+	if err := fn(next); err != nil {
+		return s.rev, err
+	}
+	s.problem = next
+	s.rev++
+	s.opts.Recorder.ServerMutation(kind, target)
+	s.signal()
+	return s.rev, nil
+}
+
+// AddCommodityJSON admits a new commodity described in the problem
+// schema's JSON form (see internal/stream). The extended topology
+// changes, so the next solve cold-starts.
+func (s *Server) AddCommodityJSON(spec []byte) (int64, error) {
+	var meta struct {
+		Name string `json:"name"`
+	}
+	_ = json.Unmarshal(spec, &meta) // best-effort label; full parse validates
+	return s.mutate("add_commodity", meta.Name, func(p *stream.Problem) error {
+		_, err := p.AddCommodityFromJSON(spec)
+		return err
+	})
+}
+
+// RemoveCommodity ends a commodity's session.
+func (s *Server) RemoveCommodity(name string) (int64, error) {
+	return s.mutate("remove_commodity", name, func(p *stream.Problem) error {
+		if !p.RemoveCommodity(name) {
+			return fmt.Errorf("server: unknown commodity %q", name)
+		}
+		return nil
+	})
+}
+
+// SetMaxRate updates a commodity's offered rate λ_j. Same topology, so
+// the next solve warm-starts.
+func (s *Server) SetMaxRate(name string, rate float64) (int64, error) {
+	return s.mutate("set_rate", name, func(p *stream.Problem) error {
+		return p.SetMaxRate(name, rate)
+	})
+}
+
+// SetUtilityJSON replaces a commodity's utility function (its admission
+// weight/priority) from the schema's utility JSON form.
+func (s *Server) SetUtilityJSON(name string, spec []byte) (int64, error) {
+	return s.mutate("set_utility", name, func(p *stream.Problem) error {
+		u, err := stream.ParseUtilityJSON(spec)
+		if err != nil {
+			return err
+		}
+		return p.SetUtility(name, u)
+	})
+}
+
+// SetCapacity changes a processing node's capacity — the failure/
+// recovery injection primitive (E8 semantics: cut to a fraction, later
+// restore).
+func (s *Server) SetCapacity(node string, capacity float64) (int64, error) {
+	return s.mutate("set_capacity", node, func(p *stream.Problem) error {
+		return p.Net.SetCapacity(node, capacity)
+	})
+}
+
+// SetBandwidth changes a link's bandwidth.
+func (s *Server) SetBandwidth(from, to string, bandwidth float64) (int64, error) {
+	return s.mutate("set_bandwidth", from+"->"+to, func(p *stream.Problem) error {
+		return p.Net.SetBandwidth(from, to, bandwidth)
+	})
+}
+
+// ScaleCapacity multiplies a node's capacity by factor — the E8
+// failure-injection idiom (0.25 models a three-quarter outage, a later
+// 4.0 restores it).
+func (s *Server) ScaleCapacity(node string, factor float64) (int64, error) {
+	return s.mutate("scale_capacity", node, func(p *stream.Problem) error {
+		id, ok := p.Net.NodeByName(node)
+		if !ok {
+			return fmt.Errorf("server: unknown node %q", node)
+		}
+		return p.Net.SetCapacity(node, p.Net.Capacity[id]*factor)
+	})
+}
+
+// ScaleBandwidth multiplies a link's bandwidth by factor.
+func (s *Server) ScaleBandwidth(from, to string, factor float64) (int64, error) {
+	return s.mutate("scale_bandwidth", from+"->"+to, func(p *stream.Problem) error {
+		f, ok := p.Net.NodeByName(from)
+		if !ok {
+			return fmt.Errorf("server: unknown node %q", from)
+		}
+		t, ok := p.Net.NodeByName(to)
+		if !ok {
+			return fmt.Errorf("server: unknown node %q", to)
+		}
+		e := p.Net.G.EdgeBetween(f, t)
+		if e < 0 {
+			return fmt.Errorf("server: no link (%s,%s)", from, to)
+		}
+		return p.Net.SetBandwidth(from, to, p.Net.Bandwidth[e]*factor)
+	})
+}
+
+// loop is the solver goroutine: wait for a mutation, coalesce the
+// burst, solve, publish, repeat.
+func (s *Server) loop() {
+	defer close(s.done)
+	for {
+		select {
+		case <-s.ctx.Done():
+			return
+		case <-s.wake:
+		}
+		s.debounce()
+		s.solveOnce()
+	}
+}
+
+// debounce waits until mutations stop arriving for Debounce (or
+// MaxDebounce total), so a burst of rate updates triggers one re-solve.
+func (s *Server) debounce() {
+	if s.opts.Debounce <= 0 {
+		return
+	}
+	quiet := time.NewTimer(s.opts.Debounce)
+	defer quiet.Stop()
+	most := time.NewTimer(s.opts.MaxDebounce)
+	defer most.Stop()
+	for {
+		select {
+		case <-s.wake:
+			if !quiet.Stop() {
+				<-quiet.C
+			}
+			quiet.Reset(s.opts.Debounce)
+		case <-quiet.C:
+			return
+		case <-most.C:
+			return
+		case <-s.ctx.Done():
+			return
+		}
+	}
+}
+
+// solveOnce clones the desired problem, re-solves (warm when the
+// extended topology is unchanged), and publishes a new snapshot.
+func (s *Server) solveOnce() {
+	s.mu.Lock()
+	p := s.problem.Clone()
+	rev := s.rev
+	s.mu.Unlock()
+
+	start := time.Now()
+	if len(p.Commodities) == 0 {
+		// Nothing to admit: publish an empty snapshot so readers see
+		// the departure take effect.
+		s.publish(&Snapshot{
+			Rev: rev, Warm: false, Converged: true, Feasible: true,
+			SolveSeconds: time.Since(start).Seconds(),
+			problem:      p,
+		}, false, 0)
+		return
+	}
+
+	x, err := transform.Build(p, transform.Options{Epsilon: s.opts.Epsilon})
+	if err != nil {
+		// Mutations are validated before acceptance, so this is a bug,
+		// not an operator error; keep the last good snapshot and log.
+		s.opts.Logf("server: transform failed at rev %d: %v", rev, err)
+		return
+	}
+
+	cfg := gradient.Config{Eta: s.opts.Eta, Recorder: s.opts.Recorder}
+	eng, warm := s.newEngine(x, cfg)
+
+	iterations, converged := 0, false
+	var det gradient.DivergenceDetector
+	const stationaryEvery = 25
+	for i := 0; i < s.opts.MaxIters; i++ {
+		if s.ctx.Err() != nil {
+			break // drain: publish what we have and let loop exit
+		}
+		info := eng.Step()
+		iterations++
+		if err := det.Observe(info); err != nil {
+			s.opts.Recorder.Divergence("server", info.Iteration, err.Error())
+			s.opts.Logf("server: solve diverged at rev %d: %v", rev, err)
+			break
+		}
+		if s.opts.StationaryTol > 0 && i%stationaryEvery == stationaryEvery-1 {
+			rep := gradient.CheckStationarity(flow.Evaluate(eng.Routing()))
+			if rep.MaxUsedGap <= s.opts.StationaryTol {
+				converged = true
+				break
+			}
+		}
+	}
+
+	u := eng.Solution()
+	feasible, _ := u.Feasible()
+	snap := &Snapshot{
+		Rev:          rev,
+		Warm:         warm,
+		Iterations:   iterations,
+		Converged:    converged,
+		SolveSeconds: time.Since(start).Seconds(),
+		Utility:      u.Utility(),
+		Feasible:     feasible,
+		Usage:        core.UsageReport(p, x, u),
+		routing:      eng.Routing(),
+		problem:      p,
+	}
+	for j := range x.Commodities {
+		c := &x.Commodities[j]
+		a := u.AdmittedRate(j)
+		snap.Commodities = append(snap.Commodities, CommodityStatus{
+			Name:     c.Name,
+			Offered:  c.MaxRate,
+			Admitted: a,
+			Utility:  c.Utility.Value(a),
+		})
+	}
+	s.publish(snap, warm, iterations)
+}
+
+// newEngine warm-starts from the previous snapshot's routing when it
+// rebinds onto x, and cold-starts otherwise — expected whenever the
+// topology changed (errors.Is flow.ErrTopologyChanged), logged loudly
+// when it didn't.
+func (s *Server) newEngine(x *transform.Extended, cfg gradient.Config) (*gradient.Engine, bool) {
+	prev := s.snap.Load()
+	if prev != nil && prev.routing != nil {
+		eng, err := gradient.NewFrom(x, prev.routing, cfg)
+		if err == nil {
+			return eng, true
+		}
+		if errors.Is(err, flow.ErrTopologyChanged) {
+			s.opts.Logf("server: cold start (expected): %v", err)
+		} else {
+			s.opts.Logf("server: warm start failed unexpectedly, falling back to cold: %v", err)
+		}
+	}
+	return gradient.New(x, cfg), false
+}
+
+// publish assigns the next generation and swaps the snapshot in.
+func (s *Server) publish(snap *Snapshot, warm bool, iterations int) {
+	snap.Generation = s.gen.Add(1)
+	s.snap.Store(snap)
+	s.opts.Recorder.ServerSolve(snap.Generation, warm, snap.SolveSeconds, snap.Utility, iterations)
+}
+
+// WaitForGeneration blocks until a snapshot with Generation ≥ gen is
+// published, or the timeout expires. Mutating and then waiting for
+// (previous generation)+1 is the read-your-write recipe tests and
+// scripted demos use; a coalesced burst of mutations still lands in
+// that one next generation.
+func (s *Server) WaitForGeneration(gen int64, timeout time.Duration) (*Snapshot, error) {
+	deadline := time.Now().Add(timeout)
+	for {
+		if snap := s.snap.Load(); snap != nil && snap.Generation >= gen {
+			return snap, nil
+		}
+		if time.Now().After(deadline) {
+			return nil, fmt.Errorf("server: no snapshot generation ≥ %d within %v", gen, timeout)
+		}
+		select {
+		case <-s.ctx.Done():
+			return nil, fmt.Errorf("server: closed while waiting for generation %d", gen)
+		case <-time.After(time.Millisecond):
+		}
+	}
+}

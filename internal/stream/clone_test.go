@@ -1,0 +1,129 @@
+package stream
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/utility"
+)
+
+func figure1ForClone(t *testing.T) *Problem {
+	t.Helper()
+	p, err := Figure1(Figure1Config{
+		ServerCapacity: 10, Bandwidth: 10, MaxRate1: 5, MaxRate2: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// TestProblemCloneIsDeep mutates every mutable surface of the clone —
+// rates, utilities, capacities, bandwidths, edge parameters, commodity
+// membership, even new nodes/links — and asserts the original is
+// byte-for-byte unchanged. The admission server edits clones under its
+// lock while solves read the original, so any aliasing here is a data
+// race there.
+func TestProblemCloneIsDeep(t *testing.T) {
+	p := figure1ForClone(t)
+	before, err := p.MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	c := p.Clone()
+
+	// Mutate scalar parameters through the helper surface.
+	if err := c.SetMaxRate("S1", 42); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SetUtility("S2", utility.Log{Weight: 3, Scale: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Net.SetCapacity("server1", 99); err != nil {
+		t.Fatal(err)
+	}
+	link := c.Net.G.Edge(0)
+	if err := c.Net.SetBandwidth(c.Net.Names[link.From], c.Net.Names[link.To], 77); err != nil {
+		t.Fatal(err)
+	}
+
+	// Mutate the per-commodity edge-parameter maps directly.
+	for e := range c.Commodities[0].Edges {
+		c.Commodities[0].Edges[e] = EdgeParams{Beta: 9, Cost: 9}
+	}
+
+	// Structural mutations: drop a commodity, grow the network.
+	if !c.RemoveCommodity("S2") {
+		t.Fatal("RemoveCommodity(S2) = false")
+	}
+	nid, err := c.Net.AddServer("extra", 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1, _ := c.Net.NodeByName("server1")
+	if _, err := c.Net.AddLink(s1, nid, 5); err != nil {
+		t.Fatal(err)
+	}
+
+	after, err := p.MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(before) != string(after) {
+		t.Fatalf("clone mutations leaked into the original:\nbefore: %s\nafter:  %s", before, after)
+	}
+	// And the other direction: mutating the original must not show in a
+	// fresh clone taken earlier.
+	c2 := p.Clone()
+	p.Commodities[0].MaxRate = 1234
+	if c2.Commodities[0].MaxRate == 1234 {
+		t.Fatal("original mutation leaked into clone")
+	}
+}
+
+// TestCloneSemanticallyEqual checks the clone starts out equivalent:
+// same serialization and same name index.
+func TestCloneSemanticallyEqual(t *testing.T) {
+	p := figure1ForClone(t)
+	c := p.Clone()
+	pj, err := p.MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cj, err := c.MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(pj) != string(cj) {
+		t.Fatalf("clone serializes differently:\n%s\nvs\n%s", pj, cj)
+	}
+	if !reflect.DeepEqual(p.Net.byName, c.Net.byName) {
+		t.Fatal("clone name index differs")
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatalf("clone fails validation: %v", err)
+	}
+}
+
+func TestMutationHelperErrors(t *testing.T) {
+	p := figure1ForClone(t)
+	cases := []struct {
+		name string
+		err  error
+	}{
+		{"unknown commodity rate", p.SetMaxRate("nope", 5)},
+		{"non-positive rate", p.SetMaxRate("S1", 0)},
+		{"unknown commodity utility", p.SetUtility("nope", utility.Linear{Slope: 1})},
+		{"nil utility", p.SetUtility("S1", nil)},
+		{"unknown node", p.Net.SetCapacity("nope", 5)},
+		{"sink capacity", p.Net.SetCapacity("sink:S1", 5)},
+		{"non-positive capacity", p.Net.SetCapacity("server1", -1)},
+		{"unknown link", p.Net.SetBandwidth("server1", "server8", 5)},
+	}
+	for _, tc := range cases {
+		if tc.err == nil {
+			t.Errorf("%s: want error, got nil", tc.name)
+		}
+	}
+}

@@ -215,3 +215,66 @@ func parseUtility(uj utilityJSON) (utility.Function, error) {
 		return nil, fmt.Errorf("unknown utility type %q", uj.Type)
 	}
 }
+
+// ParseUtilityJSON decodes one utility spec from the same JSON form the
+// problem schema uses ({"type":"log","weight":...}). It does not
+// validate concavity/monotonicity against a rate range; callers that
+// attach the result to a commodity go through Problem.SetUtility, which
+// does.
+func ParseUtilityJSON(data []byte) (utility.Function, error) {
+	var uj utilityJSON
+	if err := json.Unmarshal(data, &uj); err != nil {
+		return nil, fmt.Errorf("stream: parse utility: %w", err)
+	}
+	return parseUtility(uj)
+}
+
+// AddCommodityFromJSON parses one commodity in the problem schema's
+// "commodities" element form, registers it (source, sink, rate,
+// utility, per-edge parameters), and validates it against the §2
+// structural assumptions. On error the problem may hold the partially
+// added commodity; callers that need transactional semantics apply this
+// to a Clone and swap on success (internal/server does exactly that).
+func (p *Problem) AddCommodityFromJSON(data []byte) (*Commodity, error) {
+	var cj commodityJSON
+	if err := json.Unmarshal(data, &cj); err != nil {
+		return nil, fmt.Errorf("stream: parse commodity: %w", err)
+	}
+	src, ok := p.Net.NodeByName(cj.Source)
+	if !ok {
+		return nil, fmt.Errorf("stream: commodity %q: unknown source %q", cj.Name, cj.Source)
+	}
+	dst, ok := p.Net.NodeByName(cj.Sink)
+	if !ok {
+		return nil, fmt.Errorf("stream: commodity %q: unknown sink %q", cj.Name, cj.Sink)
+	}
+	u, err := parseUtility(cj.Utility)
+	if err != nil {
+		return nil, fmt.Errorf("stream: commodity %q: %w", cj.Name, err)
+	}
+	c, err := p.AddCommodity(cj.Name, src, dst, cj.MaxRate, u)
+	if err != nil {
+		return nil, err
+	}
+	for _, ej := range cj.Edges {
+		from, ok := p.Net.NodeByName(ej.From)
+		if !ok {
+			return nil, fmt.Errorf("stream: commodity %q: unknown node %q", cj.Name, ej.From)
+		}
+		to, ok := p.Net.NodeByName(ej.To)
+		if !ok {
+			return nil, fmt.Errorf("stream: commodity %q: unknown node %q", cj.Name, ej.To)
+		}
+		e := p.Net.G.EdgeBetween(from, to)
+		if e < 0 {
+			return nil, fmt.Errorf("stream: commodity %q: no link (%s,%s)", cj.Name, ej.From, ej.To)
+		}
+		if err := p.SetEdge(c, e, EdgeParams{Beta: ej.Beta, Cost: ej.Cost}); err != nil {
+			return nil, err
+		}
+	}
+	if err := p.validateCommodity(c); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
