@@ -12,6 +12,11 @@
 //	curl -X PATCH localhost:8080/v1/commodities/S1 -d '{"maxRate": 30}'
 //	curl localhost:8080/v1/admitted
 //
+//	# solver introspection
+//	curl localhost:8080/explain?commodity=S1   # bottleneck attribution
+//	curl localhost:8080/history                # generation-over-generation diffs
+//	curl localhost:8080/debug/trace            # sampled per-iteration solver state
+//
 // Without -in, a random instance is generated (-gen-seed, -gen-nodes,
 // -gen-commodities), which is handy for demos and smoke tests.
 // SIGINT/SIGTERM shut down gracefully, draining an in-flight solve.
@@ -26,6 +31,7 @@ import (
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/obs/trace"
 	"repro/internal/randnet"
 	"repro/internal/server"
 	"repro/internal/stream"
@@ -45,7 +51,11 @@ type cliConfig struct {
 	stationaryTol float64
 	debounce      time.Duration
 
-	eventsOut string
+	eventsOut      string
+	eventsMaxBytes int64
+	traceCap       int
+	traceStride    int
+	historyCap     int
 
 	// ready, when non-nil, receives the bound address once the API is
 	// serving; stop, when non-nil, replaces signal-based shutdown.
@@ -66,6 +76,10 @@ func main() {
 	flag.Float64Var(&cfg.stationaryTol, "stationary-tol", 1e-3, "Theorem-2 stationarity tolerance ending a solve early (<0 disables)")
 	flag.DurationVar(&cfg.debounce, "debounce", 25*time.Millisecond, "mutation coalescing window before a re-solve")
 	flag.StringVar(&cfg.eventsOut, "events-out", "", "write solver/server JSONL events to this file")
+	flag.Int64Var(&cfg.eventsMaxBytes, "events-max-bytes", 0, "rotate -events-out once it exceeds this size, keeping one predecessor (0 = unbounded)")
+	flag.IntVar(&cfg.traceCap, "trace-cap", 4096, "iteration-trace ring capacity served on /debug/trace (0 disables tracing)")
+	flag.IntVar(&cfg.traceStride, "trace-stride", 10, "keep every k-th iteration in the trace ring")
+	flag.IntVar(&cfg.historyCap, "history-cap", 64, "snapshot generations retained for /history (<0 disables)")
 	flag.Parse()
 	if err := realMain(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "admissiond:", err)
@@ -94,7 +108,7 @@ func realMain(cfg cliConfig) error {
 
 	var sink obs.Sink
 	if cfg.eventsOut != "" {
-		fs, err := obs.NewFileSink(cfg.eventsOut)
+		fs, err := obs.NewRotatingFileSink(cfg.eventsOut, cfg.eventsMaxBytes)
 		if err != nil {
 			return err
 		}
@@ -103,6 +117,11 @@ func realMain(cfg cliConfig) error {
 	rec := obs.NewRecorder(obs.NewRegistry(), sink)
 	defer rec.Close()
 
+	var ring *trace.Ring
+	if cfg.traceCap > 0 {
+		ring = trace.New(cfg.traceCap, cfg.traceStride)
+	}
+
 	s, err := server.New(p, server.Options{
 		Epsilon:       cfg.eps,
 		Eta:           cfg.eta,
@@ -110,6 +129,8 @@ func realMain(cfg cliConfig) error {
 		StationaryTol: cfg.stationaryTol,
 		Debounce:      cfg.debounce,
 		Recorder:      rec,
+		Trace:         ring,
+		HistoryCap:    cfg.historyCap,
 	})
 	if err != nil {
 		return err

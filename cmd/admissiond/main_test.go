@@ -44,6 +44,9 @@ func TestAdmissiondEndToEnd(t *testing.T) {
 			stationaryTol: 1e-3,
 			debounce:      2 * time.Millisecond,
 			eventsOut:     events,
+			traceCap:      1024,
+			traceStride:   2,
+			historyCap:    16,
 			ready:         func(a string) { addrCh <- a },
 			stop:          stop,
 		})
@@ -105,6 +108,86 @@ func TestAdmissiondEndToEnd(t *testing.T) {
 		t.Fatalf("rate update did not warm-start: %v", snap["warm"])
 	}
 
+	// Saturate the first commodity so the attribution has a bottleneck
+	// to name, then read it back through /explain (the acceptance path).
+	req, err = http.NewRequest(http.MethodPatch,
+		base+"/v1/commodities/"+name, bytes.NewReader([]byte(`{"maxRate": 1000}`)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	waitSnapshot(int64(snap["generation"].(float64)) + 1)
+
+	resp, err = http.Get(base + "/explain?commodity=0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var explained struct {
+		Generation int64 `json:"generation"`
+		Explain    struct {
+			Name     string  `json:"name"`
+			Admitted float64 `json:"admitted"`
+			Offered  float64 `json:"offered"`
+			Gap      float64 `json:"gap"`
+			Binding  []struct {
+				Name  string  `json:"name"`
+				Kind  string  `json:"kind"`
+				Price float64 `json:"price"`
+			} `json:"binding"`
+		} `json:"explain"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&explained)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /explain?commodity=0: status %d err %v", resp.StatusCode, err)
+	}
+	ex := explained.Explain
+	if ex.Name != name || ex.Admitted <= 0 || ex.Offered != 1000 {
+		t.Fatalf("explain payload wrong: %+v", ex)
+	}
+	if ex.Admitted > 999 {
+		t.Fatalf("offering λ=1000 did not saturate the instance: admitted %g", ex.Admitted)
+	}
+	if len(ex.Binding) == 0 || ex.Binding[0].Price <= 0 {
+		t.Fatalf("saturated commodity has no priced bottleneck: %+v", ex)
+	}
+
+	// /history shows the rate changes as admitted-rate deltas.
+	resp, err = http.Get(base + "/history")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hist struct {
+		Generations []map[string]any `json:"generations"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&hist)
+	resp.Body.Close()
+	if err != nil || len(hist.Generations) < 2 {
+		t.Fatalf("GET /history: err %v, %d generations", err, len(hist.Generations))
+	}
+
+	// /debug/trace serves the sampled iteration ring.
+	resp, err = http.Get(base + "/debug/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tr struct {
+		Stride  int              `json:"stride"`
+		Samples []map[string]any `json:"samples"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&tr)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /debug/trace: status %d err %v", resp.StatusCode, err)
+	}
+	if tr.Stride != 2 || len(tr.Samples) == 0 {
+		t.Fatalf("trace ring empty or misconfigured: stride %d, %d samples", tr.Stride, len(tr.Samples))
+	}
+
 	// Metrics are served from the same listener and count the solves.
 	resp, err = http.Get(base + "/metrics")
 	if err != nil {
@@ -146,5 +229,11 @@ func TestAdmissiondEndToEnd(t *testing.T) {
 	}
 	if !strings.Contains(string(evData), `"type":"server_mutation"`) {
 		t.Fatalf("events file has no server_mutation records:\n%.500s", evData)
+	}
+	if !strings.Contains(string(evData), `"type":"attribution"`) {
+		t.Fatalf("events file has no attribution records:\n%.500s", evData)
+	}
+	if !strings.Contains(string(evData), `"type":"server_trace"`) {
+		t.Fatalf("events file has no server_trace records:\n%.500s", evData)
 	}
 }

@@ -43,6 +43,7 @@ type cliConfig struct {
 	trace    bool
 	sample   int
 	validate bool
+	explain  bool
 
 	metricsAddr string
 	eventsOut   string
@@ -61,6 +62,7 @@ func main() {
 	flag.BoolVar(&cfg.trace, "trace", false, "print the convergence trace")
 	flag.IntVar(&cfg.sample, "sample", 0, "trace sampling stride (0 = default)")
 	flag.BoolVar(&cfg.validate, "validate", false, "replay the solution in the queue simulator (gradient algorithms only)")
+	flag.BoolVar(&cfg.explain, "explain", false, "print per-commodity bottleneck attribution (gradient algorithms only)")
 	flag.StringVar(&cfg.metricsAddr, "metrics-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address while solving (e.g. :9090)")
 	flag.StringVar(&cfg.eventsOut, "events-out", "", "write per-iteration JSONL events to this file")
 	flag.StringVar(&cfg.traceOut, "trace-out", "", "write the convergence trace as JSONL to this file")
@@ -116,6 +118,7 @@ func realMain(cfg cliConfig) error {
 		WithReference: cfg.ref,
 		SampleEvery:   cfg.sample,
 		Recorder:      rec,
+		Explain:       cfg.explain,
 	})
 	if err != nil {
 		return err
@@ -144,6 +147,14 @@ func realMain(cfg cliConfig) error {
 	}
 	if err := w.Flush(); err != nil {
 		return err
+	}
+
+	if cfg.explain {
+		if len(res.Explain) == 0 {
+			fmt.Printf("\n(-explain: algorithm %s exposes no attribution)\n", res.Algorithm)
+		} else {
+			printExplain(res.Explain)
+		}
 	}
 
 	if len(res.Usage) > 0 && cfg.topN > 0 {
@@ -194,6 +205,28 @@ func realMain(cfg cliConfig) error {
 		return w.Flush()
 	}
 	return nil
+}
+
+// printExplain renders the bottleneck attribution: per commodity its
+// admission marginals and each binding resource with its shadow price.
+func printExplain(explain []core.CommodityExplain) {
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "\ncommodity\tadmitted/offered\tU'(a)\tpath cost\tgap\tbottleneck")
+	for _, ce := range explain {
+		bottleneck := "(none: admission limited by offered rate)"
+		if len(ce.Binding) > 0 {
+			b := ce.Binding[0]
+			bottleneck = fmt.Sprintf("%s %s (price %.4f, util %.1f%%)",
+				b.Kind, b.Name, b.Price, 100*b.Utilization)
+		}
+		fmt.Fprintf(w, "%s\t%.4f/%.4f\t%.4f\t%.4f\t%.4f\t%s\n",
+			ce.Name, ce.Admitted, ce.Offered, ce.MarginalUtility, ce.PathCost, ce.Gap, bottleneck)
+		for _, b := range ce.Binding[1:] {
+			fmt.Fprintf(w, "\t\t\t\t\talso %s %s (price %.4f, util %.1f%%)\n",
+				b.Kind, b.Name, b.Price, 100*b.Utilization)
+		}
+	}
+	_ = w.Flush()
 }
 
 // tracePoint is the JSONL schema of one -trace-out line.

@@ -138,6 +138,53 @@ func TestRealMainObservability(t *testing.T) {
 	}
 }
 
+// captureStdout runs fn with os.Stdout redirected to a pipe and returns
+// what it printed.
+func captureStdout(t *testing.T, fn func() error) string {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	done := make(chan string, 1)
+	go func() {
+		var sb strings.Builder
+		_, _ = bufio.NewReader(r).WriteTo(&sb)
+		done <- sb.String()
+	}()
+	ferr := fn()
+	os.Stdout = old
+	w.Close()
+	out := <-done
+	if ferr != nil {
+		t.Fatalf("realMain: %v\noutput:\n%s", ferr, out)
+	}
+	return out
+}
+
+// TestRealMainExplain: -explain prints the attribution table with the
+// admission marginals and a named bottleneck column.
+func TestRealMainExplain(t *testing.T) {
+	cfg := base(writeInstance(t), "gradient", 1500)
+	cfg.explain = true
+	out := captureStdout(t, func() error { return realMain(cfg) })
+	for _, want := range []string{"bottleneck", "U'(a)", "path cost", "gap"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("-explain output missing %q:\n%s", want, out)
+		}
+	}
+
+	// Non-gradient algorithms have no flow evaluation to attribute.
+	cfg = base(writeInstance(t), "reference", 0)
+	cfg.explain = true
+	out = captureStdout(t, func() error { return realMain(cfg) })
+	if !strings.Contains(out, "no attribution") {
+		t.Fatalf("-explain on reference should say no attribution:\n%s", out)
+	}
+}
+
 // TestMetricsScrapeDuringSolve checks a live scrape against a server the
 // same way realMain wires it.
 func TestMetricsScrapeDuringSolve(t *testing.T) {

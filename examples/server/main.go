@@ -2,7 +2,10 @@
 // on a generated network, then drives it over real HTTP through a
 // scripted day-in-the-life — rate bursts, a node failure, recovery,
 // and a commodity departure — printing the evolving total utility and
-// whether each re-solve warm-started.
+// whether each re-solve warm-started. It finishes with the solver's
+// introspection endpoints: /explain (why each commodity is admitted at
+// its rate, and which resource binds it) and /history (how utility and
+// admission moved generation over generation).
 //
 //	go run ./examples/server
 package main
@@ -16,6 +19,7 @@ import (
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/obs/trace"
 	"repro/internal/randnet"
 	"repro/internal/server"
 )
@@ -44,7 +48,11 @@ func run() error {
 	}
 
 	rec := obs.NewRecorder(obs.NewRegistry(), nil)
-	s, err := server.New(p, server.Options{Debounce: 5 * time.Millisecond, Recorder: rec})
+	s, err := server.New(p, server.Options{
+		Debounce: 5 * time.Millisecond,
+		Recorder: rec,
+		Trace:    trace.New(2048, 5),
+	})
 	if err != nil {
 		return err
 	}
@@ -115,6 +123,80 @@ func run() error {
 			return err
 		}
 		report(step.what, snap)
+	}
+
+	if err := printExplain(base); err != nil {
+		return err
+	}
+	return printHistory(base)
+}
+
+// printExplain asks /explain why each surviving commodity is admitted
+// at its rate, and what binds it.
+func printExplain(base string) error {
+	resp, err := http.Get(base + "/explain")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	var out struct {
+		Explain []struct {
+			Name     string  `json:"name"`
+			Offered  float64 `json:"offered"`
+			Admitted float64 `json:"admitted"`
+			Gap      float64 `json:"gap"`
+			Binding  []struct {
+				Name        string  `json:"name"`
+				Kind        string  `json:"kind"`
+				Price       float64 `json:"price"`
+				Utilization float64 `json:"utilization"`
+			} `json:"binding"`
+		} `json:"explain"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return err
+	}
+	fmt.Println("\nbottleneck attribution (GET /explain):")
+	for _, ce := range out.Explain {
+		why := "admission limited only by its offered rate"
+		if len(ce.Binding) > 0 {
+			b := ce.Binding[0]
+			why = fmt.Sprintf("bound by %s %s (shadow price %.4f, %.0f%% utilized)",
+				b.Kind, b.Name, b.Price, 100*b.Utilization)
+		}
+		fmt.Printf("  %-6s admitted %6.2f of %6.2f  gap %+.4f  — %s\n",
+			ce.Name, ce.Admitted, ce.Offered, ce.Gap, why)
+	}
+	return nil
+}
+
+// printHistory shows how the operating point moved across the script's
+// generations.
+func printHistory(base string) error {
+	resp, err := http.Get(base + "/history")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	var out struct {
+		Generations []struct {
+			Generation   int64   `json:"generation"`
+			Warm         bool    `json:"warm"`
+			Utility      float64 `json:"utility"`
+			DeltaUtility float64 `json:"deltaUtility"`
+		} `json:"generations"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return err
+	}
+	fmt.Println("\ngeneration history (GET /history):")
+	for _, g := range out.Generations {
+		start := "cold"
+		if g.Warm {
+			start = "warm"
+		}
+		fmt.Printf("  gen %2d  utility %8.3f  Δ %+8.3f  (%s)\n",
+			g.Generation, g.Utility, g.DeltaUtility, start)
 	}
 	return nil
 }

@@ -97,6 +97,13 @@ type Options struct {
 	// events from the selected solver (see internal/obs). Nil — the
 	// default — adds no per-iteration work or allocations.
 	Recorder *obs.Recorder
+
+	// Explain, when true, attaches a per-commodity bottleneck
+	// attribution (Result.Explain) derived from the final flow
+	// evaluation: binding resources with shadow prices and the
+	// marginal-utility-vs-path-cost gap. Gradient-family algorithms
+	// only (the others do not expose a flow evaluation).
+	Explain bool
 }
 
 // TracePoint is one sample of the convergence curve (Figure 4).
@@ -122,6 +129,35 @@ type ResourcePrice struct {
 	Name  string
 	Kind  string // "server" or "link"
 	Price float64
+}
+
+// ExplainBinding is one saturated resource in a commodity's
+// attribution, mapped back to the original network.
+type ExplainBinding struct {
+	Name        string  `json:"name"`
+	Kind        string  `json:"kind"` // "server" or "link"
+	Utilization float64 `json:"utilization"`
+	// Price is the resource's live shadow price ε·D'_i(f_i): the
+	// marginal cost it adds per unit of flow through it.
+	Price float64 `json:"price"`
+}
+
+// CommodityExplain answers "why is this commodity admitted at this
+// rate?": the admission marginals of §5 plus the binding resources.
+type CommodityExplain struct {
+	Name     string  `json:"name"`
+	Offered  float64 `json:"offered"`
+	Admitted float64 `json:"admitted"`
+	Utility  float64 `json:"utility"`
+	// MarginalUtility is U'_j(a_j); PathCost the marginal cost of
+	// admitting one more unit; Gap their difference (≈0 when admission
+	// is capacity-priced, positive when fully admitted with headroom).
+	MarginalUtility float64 `json:"marginalUtility"`
+	PathCost        float64 `json:"pathCost"`
+	Gap             float64 `json:"gap"`
+	// Binding lists saturated resources, highest shadow price first;
+	// empty when the commodity is limited only by its offered rate.
+	Binding []ExplainBinding `json:"binding"`
 }
 
 // Result is the outcome of Solve.
@@ -153,6 +189,10 @@ type Result struct {
 	// optimum (populated whenever the reference optimum is computed),
 	// sorted by price descending.
 	Prices []ResourcePrice
+	// Explain is the per-commodity bottleneck attribution (only when
+	// Options.Explain is set and the algorithm exposes a final flow
+	// evaluation).
+	Explain []CommodityExplain
 }
 
 // ErrUnknownAlgorithm is returned for an unrecognized Options.Algorithm.
@@ -257,7 +297,7 @@ func solveGradient(p *stream.Problem, x *transform.Extended, opts Options, targe
 	res.Iterations = st.Iterations
 	res.Messages = st.Messages
 	res.Rounds = st.Rounds
-	finishFromUsage(p, x, eng.Solution(), res)
+	finishFromUsage(p, x, eng.Solution(), res, opts.Explain)
 	return nil
 }
 
@@ -279,7 +319,7 @@ func solveAdaptive(p *stream.Problem, x *transform.Extended, opts Options, targe
 			break
 		}
 	}
-	finishFromUsage(p, x, eng.Solution(), res)
+	finishFromUsage(p, x, eng.Solution(), res, opts.Explain)
 	return nil
 }
 
@@ -307,7 +347,7 @@ func solveDistributed(p *stream.Problem, x *transform.Extended, opts Options, ta
 			break
 		}
 	}
-	finishFromUsage(p, x, flow.Evaluate(rt.Routing()), res)
+	finishFromUsage(p, x, flow.Evaluate(rt.Routing()), res, opts.Explain)
 	return nil
 }
 
@@ -355,13 +395,62 @@ func recordTrace(res *Result, opts Options, i, maxIters int, tp TracePoint) {
 
 // finishFromUsage fills utility, admitted rates and the original-graph
 // usage report from a final flow evaluation.
-func finishFromUsage(p *stream.Problem, x *transform.Extended, u *flow.Usage, res *Result) {
+func finishFromUsage(p *stream.Problem, x *transform.Extended, u *flow.Usage, res *Result, explain bool) {
 	res.Utility = u.Utility()
 	res.Admitted = make([]float64, x.NumCommodities())
 	for j := range res.Admitted {
 		res.Admitted[j] = u.AdmittedRate(j)
 	}
 	res.Usage = UsageReport(p, x, u)
+	if explain {
+		res.Explain = Explain(p, x, u)
+	}
+}
+
+// Explain maps gradient.AttributeAll back onto the original network:
+// one entry per commodity with its admission marginals and its binding
+// servers/links named as the operator knows them. The admission server
+// publishes this per snapshot (the /explain endpoint); Solve embeds it
+// in Result.Explain when Options.Explain is set.
+func Explain(p *stream.Problem, x *transform.Extended, u *flow.Usage) []CommodityExplain {
+	out := make([]CommodityExplain, 0, x.NumCommodities())
+	for _, at := range gradient.AttributeAll(u) {
+		ce := CommodityExplain{
+			Name:            x.Commodities[at.Commodity].Name,
+			Offered:         at.Offered,
+			Admitted:        at.Admitted,
+			Utility:         at.Utility,
+			MarginalUtility: at.MarginalUtility,
+			PathCost:        at.PathCost,
+			Gap:             at.Gap,
+		}
+		for _, bn := range at.Binding {
+			name, kind, ok := resourceName(p, x, bn.Node)
+			if !ok {
+				continue // dummy-layer node; never capacitated
+			}
+			ce.Binding = append(ce.Binding, ExplainBinding{
+				Name: name, Kind: kind,
+				Utilization: bn.Utilization, Price: bn.Price,
+			})
+		}
+		out = append(out, ce)
+	}
+	return out
+}
+
+// resourceName maps an extended node back to an original server or
+// link name (the same mapping UsageReport uses).
+func resourceName(p *stream.Problem, x *transform.Extended, n graph.NodeID) (name, kind string, ok bool) {
+	switch x.Kinds[n] {
+	case transform.Proc:
+		return x.Names[n], "server", true
+	case transform.Bandwidth:
+		orig := x.OrigEdge[x.G.Out(n)[0]]
+		edge := p.Net.G.Edge(orig)
+		return p.Net.Names[edge.From] + "->" + p.Net.Names[edge.To], "link", true
+	}
+	return "", "", false
 }
 
 // UsageReport maps a flow evaluation back onto the original network:

@@ -230,6 +230,46 @@ func TestPricesReportedWithReference(t *testing.T) {
 	}
 }
 
+func TestSolveExplain(t *testing.T) {
+	// Figure 1 at these rates is capacity-limited: both commodities are
+	// partially rejected, so the attribution must name bottlenecks.
+	res, err := Solve(figure1(t), Options{MaxIters: 4000, Eta: 0.2, Explain: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Explain) != 2 {
+		t.Fatalf("explain entries = %d, want 2", len(res.Explain))
+	}
+	for j, ce := range res.Explain {
+		if ce.Name != res.Commodities[j] {
+			t.Fatalf("explain[%d] name %q != commodity %q", j, ce.Name, res.Commodities[j])
+		}
+		if math.Abs(ce.Admitted-res.Admitted[j]) > 1e-9 {
+			t.Fatalf("explain[%d] admitted %g != result %g", j, ce.Admitted, res.Admitted[j])
+		}
+		if ce.Admitted < ce.Offered-1 {
+			// Partially rejected: a bottleneck must be named, on the
+			// original network, with a positive shadow price.
+			if len(ce.Binding) == 0 {
+				t.Fatalf("explain[%d] rejected traffic but has no binding resource: %+v", j, ce)
+			}
+			top := ce.Binding[0]
+			if top.Price <= 0 || (top.Kind != "server" && top.Kind != "link") || top.Name == "" {
+				t.Fatalf("explain[%d] bad binding entry %+v", j, top)
+			}
+		}
+	}
+
+	// Off by default.
+	plain, err := Solve(figure1(t), Options{MaxIters: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Explain != nil {
+		t.Fatal("Explain populated without Options.Explain")
+	}
+}
+
 func TestStationaryTolStopsEarly(t *testing.T) {
 	res, err := Solve(figure1(t), Options{
 		MaxIters:      50000,

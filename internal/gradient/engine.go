@@ -72,6 +72,7 @@ type Engine struct {
 // (everything rejected; see flow.NewInitial).
 func New(x *transform.Extended, cfg Config) *Engine {
 	cfg.setDefaults()
+	cfg.Recorder.SetEta(cfg.Eta)
 	return &Engine{X: x, R: flow.NewInitial(x), cfg: cfg}
 }
 
@@ -91,6 +92,7 @@ func NewFrom(x *transform.Extended, r *flow.Routing, cfg Config) (*Engine, error
 	if err != nil {
 		return nil, fmt.Errorf("gradient: warm start: %w", err)
 	}
+	cfg.Recorder.SetEta(cfg.Eta)
 	return &Engine{X: x, R: bound, cfg: cfg}, nil
 }
 

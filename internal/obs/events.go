@@ -2,10 +2,12 @@ package obs
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
 	"io"
 	"os"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -38,6 +40,13 @@ const (
 	// published snapshot generation, whether it warm-started, its
 	// wall-clock, and the utility it settled at.
 	EventServerSolve EventType = "server_solve"
+	// EventAttribution is one commodity's bottleneck attribution at a
+	// published solution: admitted rate, marginal-utility gap, and the
+	// top binding resource with its shadow price.
+	EventAttribution EventType = "attribution"
+	// EventServerTrace reports the solver trace ring's occupancy when a
+	// snapshot is published.
+	EventServerTrace EventType = "server_trace"
 )
 
 // Event is one structured record. Fields not meaningful for a type are
@@ -79,6 +88,18 @@ type Event struct {
 	Kind       string  `json:"kind,omitempty"`  // mutation kind
 	Target     string  `json:"target,omitempty"`
 	Seconds    float64 `json:"seconds,omitempty"`
+
+	// Attribution fields.
+	Commodity  string  `json:"commodity,omitempty"`
+	Rate       float64 `json:"rate,omitempty"` // admitted rate a_j
+	Gap        float64 `json:"gap,omitempty"`  // U'_j(a_j) − path cost
+	Bottleneck string  `json:"bottleneck,omitempty"`
+	Price      float64 `json:"price,omitempty"`
+
+	// Trace-ring fields.
+	Samples  int `json:"samples,omitempty"`
+	TraceCap int `json:"trace_cap,omitempty"`
+	Stride   int `json:"stride,omitempty"`
 }
 
 // Sink consumes events. Implementations must be safe for concurrent
@@ -88,37 +109,130 @@ type Sink interface {
 	Close() error
 }
 
-// JSONLSink writes one JSON object per line to an io.Writer.
+// dropReporting is implemented by sinks that can lose events and count
+// the losses; NewRecorder wires a registry counter
+// (streamopt_events_dropped_total) into any such sink it is given.
+type dropReporting interface {
+	SetDropCounter(*Counter)
+}
+
+// JSONLSink writes one JSON object per line to an io.Writer. Events
+// that cannot be encoded or written are dropped — observability must
+// never fail the solve — but, unlike silent best-effort logging, every
+// drop is counted (Drops, and the streamopt_events_dropped_total
+// counter when the sink is attached to a recorder). File-backed sinks
+// can additionally rotate when a size cap is reached, so long soaks do
+// not grow an unbounded events file.
 type JSONLSink struct {
-	mu  sync.Mutex
-	enc *json.Encoder
-	buf *bufio.Writer // nil unless we own buffering
-	c   io.Closer     // nil unless we own the underlying file
+	mu      sync.Mutex
+	w       io.Writer // nil after an unrecoverable rotation failure
+	buf     *bufio.Writer
+	c       io.Closer
+	enc     *json.Encoder // bound to scratch
+	scratch bytes.Buffer
+
+	// Rotation state (zero maxBytes disables).
+	path     string
+	maxBytes int64
+	written  int64
+
+	drops   atomic.Uint64
+	counter *Counter // optional registry mirror of drops
 }
 
 // NewJSONLSink wraps a writer. The caller keeps ownership of the
 // writer; Close only flushes internal state.
 func NewJSONLSink(w io.Writer) *JSONLSink {
-	return &JSONLSink{enc: json.NewEncoder(w)}
+	s := &JSONLSink{w: w}
+	s.enc = json.NewEncoder(&s.scratch)
+	return s
 }
 
 // NewFileSink creates (truncating) the named file and returns a
 // buffered JSONL sink over it; Close flushes and closes the file.
 func NewFileSink(path string) (*JSONLSink, error) {
+	return NewRotatingFileSink(path, 0)
+}
+
+// NewRotatingFileSink is NewFileSink with a size cap: once the file
+// exceeds maxBytes, it is renamed to path+".1" (replacing any previous
+// rotation) and a fresh file is started, bounding total disk use at
+// roughly 2×maxBytes. maxBytes ≤ 0 disables rotation.
+func NewRotatingFileSink(path string, maxBytes int64) (*JSONLSink, error) {
 	f, err := os.Create(path)
 	if err != nil {
 		return nil, err
 	}
 	buf := bufio.NewWriterSize(f, 1<<16)
-	return &JSONLSink{enc: json.NewEncoder(buf), buf: buf, c: f}, nil
+	s := &JSONLSink{w: buf, buf: buf, c: f, path: path, maxBytes: maxBytes}
+	s.enc = json.NewEncoder(&s.scratch)
+	return s, nil
 }
 
-// Emit encodes the event as one line. Encoding errors are dropped:
-// observability must never fail the solve.
+// SetDropCounter mirrors future drops into a registry counter
+// (idempotent; called by NewRecorder).
+func (s *JSONLSink) SetDropCounter(c *Counter) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.counter = c
+}
+
+// Drops reports how many events were lost to encode or write errors.
+func (s *JSONLSink) Drops() uint64 { return s.drops.Load() }
+
+// drop counts one lost event; callers hold s.mu.
+func (s *JSONLSink) drop() {
+	s.drops.Add(1)
+	if s.counter != nil {
+		s.counter.Inc()
+	}
+}
+
+// Emit encodes the event as one line.
 func (s *JSONLSink) Emit(e Event) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	_ = s.enc.Encode(e)
+	if s.w == nil {
+		s.drop()
+		return
+	}
+	s.scratch.Reset()
+	if err := s.enc.Encode(e); err != nil {
+		s.drop()
+		return
+	}
+	n, err := s.w.Write(s.scratch.Bytes())
+	s.written += int64(n)
+	if err != nil {
+		s.drop()
+		return
+	}
+	if s.maxBytes > 0 && s.written >= s.maxBytes {
+		s.rotate()
+	}
+}
+
+// rotate moves the current file to path+".1" and starts a fresh one.
+// On failure the sink goes dead and subsequent emits count as drops —
+// better a bounded gap in the event stream than unbounded disk growth.
+// Callers hold s.mu.
+func (s *JSONLSink) rotate() {
+	if s.buf != nil {
+		_ = s.buf.Flush()
+	}
+	if s.c != nil {
+		_ = s.c.Close()
+	}
+	_ = os.Rename(s.path, s.path+".1")
+	f, err := os.Create(s.path)
+	if err != nil {
+		s.w, s.buf, s.c = nil, nil, nil
+		s.drop()
+		return
+	}
+	s.buf = bufio.NewWriterSize(f, 1<<16)
+	s.w, s.c = s.buf, f
+	s.written = 0
 }
 
 // Close flushes buffered output and closes the file when owned.
@@ -134,6 +248,7 @@ func (s *JSONLSink) Close() error {
 			err = cerr
 		}
 	}
+	s.w, s.buf, s.c = nil, nil, nil
 	return err
 }
 
@@ -144,6 +259,17 @@ type MultiSink []Sink
 func (m MultiSink) Emit(e Event) {
 	for _, s := range m {
 		s.Emit(e)
+	}
+}
+
+// SetDropCounter forwards the drop counter to every member sink that
+// counts drops, so a MultiSink wired into a recorder still reports
+// streamopt_events_dropped_total.
+func (m MultiSink) SetDropCounter(c *Counter) {
+	for _, s := range m {
+		if dr, ok := s.(dropReporting); ok {
+			dr.SetDropCounter(c)
+		}
 	}
 }
 

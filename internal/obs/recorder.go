@@ -23,6 +23,10 @@ const (
 	numPhases
 )
 
+// NumPhases is the number of timed Step phases; TraceSample.PhaseSeconds
+// is indexed by Phase.
+const NumPhases = int(numPhases)
+
 // String names the phase for metric labels.
 func (p Phase) String() string {
 	switch p {
@@ -38,14 +42,38 @@ func (p Phase) String() string {
 	return "unknown"
 }
 
+// TraceSample is the per-iteration solver state handed to a Tracer:
+// one row of the convergence trace, including how the iteration's
+// wall-clock split across the Step phases. Admitted aliases the
+// engine's buffer and is only valid during the TraceIteration call;
+// tracers that retain samples must copy it.
+type TraceSample struct {
+	Iter         int
+	Utility      float64
+	Cost         float64
+	Eta          float64
+	Feasible     bool
+	Admitted     []float64
+	PhaseSeconds [NumPhases]float64
+}
+
+// Tracer consumes per-iteration samples (see internal/obs/trace for the
+// bounded ring implementation). Implementations must be safe for use
+// from the solver goroutine; TraceIteration is called once per engine
+// iteration on an enabled recorder with a tracer attached.
+type Tracer interface {
+	TraceIteration(TraceSample)
+}
+
 // Recorder is the handle the optimizer loops thread through their
 // configs. A nil *Recorder is valid and means "observability off":
 // every method nil-checks and returns, costing one predicted branch on
 // the hot path and zero allocations (see recorder_test.go).
 type Recorder struct {
-	reg   *Registry
-	sink  Sink
-	start time.Time
+	reg    *Registry
+	sink   Sink
+	tracer Tracer
+	start  time.Time
 
 	iterations *Counter
 	utility    *Gauge
@@ -70,7 +98,13 @@ type Recorder struct {
 	srvColdLat    *Histogram
 	srvMutations  *Counter
 
+	traceSamples *Gauge
+	attributions *Counter
+
 	phase [numPhases]*Histogram
+	// phaseAcc accumulates the current iteration's per-phase seconds for
+	// the tracer; swapped to zero when Iteration fires a TraceSample.
+	phaseAcc [numPhases]Gauge
 
 	mu       sync.Mutex
 	admitted []*Gauge // per-commodity, grown on demand
@@ -105,12 +139,28 @@ func NewRecorder(reg *Registry, sink Sink) *Recorder {
 	r.srvColdLat = reg.Histogram("streamopt_server_solve_seconds",
 		"Wall-clock time of one admission-server re-solve.", DefaultTimeBuckets, "start", "cold")
 	r.srvMutations = reg.Counter("streamopt_server_mutations_total", "Accepted admission-server problem mutations.")
+	r.traceSamples = reg.Gauge("streamopt_trace_samples", "Samples currently held by the solver trace ring.")
+	r.attributions = reg.Counter("streamopt_attributions_total", "Per-commodity bottleneck attributions published.")
+	if dr, ok := sink.(dropReporting); ok {
+		dr.SetDropCounter(reg.Counter("streamopt_events_dropped_total",
+			"Events lost to sink write errors."))
+	}
 	for p := Phase(0); p < numPhases; p++ {
 		r.phase[p] = reg.Histogram("streamopt_step_phase_seconds",
 			"Wall-clock time of one gradient.Engine.Step phase.",
 			DefaultTimeBuckets, "phase", p.String())
 	}
 	return r
+}
+
+// SetTracer attaches a per-iteration tracer (e.g. a trace.Ring). It
+// must be called before the instrumented solve starts; a nil recorder
+// ignores the call. Passing nil detaches.
+func (r *Recorder) SetTracer(t Tracer) {
+	if r == nil {
+		return
+	}
+	r.tracer = t
 }
 
 // Registry exposes the underlying registry (nil for a nil recorder).
@@ -172,6 +222,16 @@ func (r *Recorder) Iteration(alg string, iter int, utility, cost float64, admitt
 	r.mu.Unlock()
 	for j, a := range admitted {
 		gauges[j].Set(a)
+	}
+	if r.tracer != nil {
+		s := TraceSample{
+			Iter: iter, Utility: utility, Cost: cost,
+			Eta: r.eta.Value(), Feasible: feasible, Admitted: admitted,
+		}
+		for p := range s.PhaseSeconds {
+			s.PhaseSeconds[p] = r.phaseAcc[p].Swap(0)
+		}
+		r.tracer.TraceIteration(s)
 	}
 	r.emit(Event{
 		Type: EventIteration, Alg: alg, Iter: iter,
@@ -258,6 +318,43 @@ func (r *Recorder) ServerSolve(generation int64, warm bool, seconds, utility flo
 	})
 }
 
+// Attribution records one commodity's bottleneck attribution at a
+// published operating point: the admitted rate, the marginal-utility-
+// vs-path-cost gap, and the top binding resource with its shadow price
+// (empty bottleneck means the commodity is not capacity-limited). It
+// updates per-commodity gauges and emits an "attribution" event.
+func (r *Recorder) Attribution(generation int64, commodity string, admitted, gap float64, bottleneck string, price float64) {
+	if r == nil {
+		return
+	}
+	r.attributions.Inc()
+	r.reg.Gauge("streamopt_commodity_gap",
+		"Marginal-utility-vs-path-cost gap per commodity at the latest published solution.",
+		"commodity", commodity).Set(gap)
+	r.reg.Gauge("streamopt_bottleneck_price",
+		"Shadow price of the top binding resource per commodity (0 when unconstrained).",
+		"commodity", commodity).Set(price)
+	r.emit(Event{
+		Type: EventAttribution, Alg: "server", Generation: generation,
+		Commodity: commodity, Rate: admitted, Gap: gap,
+		Bottleneck: bottleneck, Price: price,
+	})
+}
+
+// ServerTrace records the state of the solver trace ring when a
+// snapshot is published: how many samples it holds out of its capacity,
+// at which sampling stride.
+func (r *Recorder) ServerTrace(generation int64, samples, capacity, stride int) {
+	if r == nil {
+		return
+	}
+	r.traceSamples.Set(float64(samples))
+	r.emit(Event{
+		Type: EventServerTrace, Alg: "server", Generation: generation,
+		Samples: samples, TraceCap: capacity, Stride: stride,
+	})
+}
+
 // QsimTick records one sampled queue-simulator tick: total queued work
 // and this tick's delivered/dropped amounts.
 func (r *Recorder) QsimTick(tick int, queued, delivered, dropped float64) {
@@ -302,10 +399,16 @@ func (r *Recorder) StartPhase(p Phase) PhaseTiming {
 	return PhaseTiming{r: r, p: p, start: time.Now()}
 }
 
-// Done records the elapsed wall-clock into the phase histogram.
+// Done records the elapsed wall-clock into the phase histogram, and —
+// when a tracer is attached — into the current iteration's phase
+// accumulator so the next TraceSample carries the split.
 func (t PhaseTiming) Done() {
 	if t.r == nil {
 		return
 	}
-	t.r.phase[t.p].Observe(time.Since(t.start).Seconds())
+	sec := time.Since(t.start).Seconds()
+	t.r.phase[t.p].Observe(sec)
+	if t.r.tracer != nil {
+		t.r.phaseAcc[t.p].Add(sec)
+	}
 }

@@ -1,0 +1,131 @@
+package trace
+
+import (
+	"testing"
+
+	"repro/internal/obs"
+)
+
+func sample(iter int) obs.TraceSample {
+	return obs.TraceSample{
+		Iter: iter, Utility: float64(iter), Cost: 1,
+		Admitted: []float64{float64(iter), 2},
+	}
+}
+
+// TestNilRingIsSafe pins the nil-tracer contract.
+func TestNilRingIsSafe(t *testing.T) {
+	var r *Ring
+	r.TraceIteration(sample(0))
+	r.Reset()
+	if r.Samples() != nil || r.Len() != 0 || r.Cap() != 0 || r.Stride() != 0 || r.Seen() != 0 {
+		t.Fatal("nil ring must be inert")
+	}
+}
+
+// TestStrideSampling keeps every stride-th iteration only.
+func TestStrideSampling(t *testing.T) {
+	r := New(100, 3)
+	for i := 0; i < 10; i++ {
+		r.TraceIteration(sample(i))
+	}
+	got := r.Samples()
+	want := []int{0, 3, 6, 9}
+	if len(got) != len(want) {
+		t.Fatalf("retained %d samples, want %d: %+v", len(got), len(want), got)
+	}
+	for k, s := range got {
+		if s.Iter != want[k] || s.Seq != uint64(want[k]) {
+			t.Fatalf("sample %d = iter %d seq %d, want iter %d", k, s.Iter, s.Seq, want[k])
+		}
+	}
+	if r.Seen() != 10 {
+		t.Fatalf("Seen = %d, want 10", r.Seen())
+	}
+}
+
+// TestWraparoundKeepsNewestInOrder fills past capacity and checks the
+// oldest samples are evicted and order is preserved.
+func TestWraparoundKeepsNewestInOrder(t *testing.T) {
+	r := New(4, 1)
+	for i := 0; i < 11; i++ {
+		r.TraceIteration(sample(i))
+	}
+	got := r.Samples()
+	if len(got) != 4 {
+		t.Fatalf("retained %d samples, want 4", len(got))
+	}
+	for k, wantIter := range []int{7, 8, 9, 10} {
+		if got[k].Iter != wantIter {
+			t.Fatalf("after wrap, sample %d iter = %d, want %d (%+v)", k, got[k].Iter, wantIter, got)
+		}
+	}
+	if r.Len() != 4 || r.Cap() != 4 {
+		t.Fatalf("Len/Cap = %d/%d, want 4/4", r.Len(), r.Cap())
+	}
+}
+
+// TestAdmittedIsCopied asserts the ring does not alias the recorder's
+// admitted buffer (which engines reuse across iterations).
+func TestAdmittedIsCopied(t *testing.T) {
+	r := New(8, 1)
+	admitted := []float64{1, 2}
+	r.TraceIteration(obs.TraceSample{Iter: 0, Admitted: admitted})
+	admitted[0] = 99
+	if got := r.Samples()[0].Admitted[0]; got != 1 {
+		t.Fatalf("sample aliases caller buffer: admitted[0] = %g, want 1", got)
+	}
+}
+
+// TestResetClears restores an empty ring with the same shape.
+func TestResetClears(t *testing.T) {
+	r := New(4, 2)
+	for i := 0; i < 9; i++ {
+		r.TraceIteration(sample(i))
+	}
+	r.Reset()
+	if r.Len() != 0 || r.Seen() != 0 {
+		t.Fatalf("Reset left Len=%d Seen=%d", r.Len(), r.Seen())
+	}
+	r.TraceIteration(sample(0))
+	if got := r.Samples(); len(got) != 1 || got[0].Seq != 0 {
+		t.Fatalf("post-reset sampling broken: %+v", got)
+	}
+	if r.Cap() != 4 || r.Stride() != 2 {
+		t.Fatalf("Reset changed shape: cap %d stride %d", r.Cap(), r.Stride())
+	}
+}
+
+// TestRecorderFeedsRing is the integration contract: a recorder with a
+// ring attached forwards per-iteration state, including the eta gauge
+// and per-phase durations.
+func TestRecorderFeedsRing(t *testing.T) {
+	rec := obs.NewRecorder(obs.NewRegistry(), nil)
+	r := New(16, 1)
+	rec.SetTracer(r)
+	rec.SetEta(0.04)
+
+	tm := rec.StartPhase(obs.PhaseForecast)
+	tm.Done()
+	rec.Iteration("gradient", 0, 10, 3, []float64{1.5}, true)
+	rec.Iteration("gradient", 1, 11, 2, []float64{1.6}, false)
+
+	got := r.Samples()
+	if len(got) != 2 {
+		t.Fatalf("ring has %d samples, want 2", len(got))
+	}
+	if got[0].Eta != 0.04 || got[0].Utility != 10 || got[0].Admitted[0] != 1.5 || !got[0].Feasible {
+		t.Fatalf("bad first sample: %+v", got[0])
+	}
+	if got[0].PhaseSeconds[obs.PhaseForecast] <= 0 {
+		t.Fatalf("first sample missing forecast phase time: %+v", got[0].PhaseSeconds)
+	}
+	// The accumulator must reset between iterations: no phase timing ran
+	// before the second Iteration call.
+	if got[1].PhaseSeconds[obs.PhaseForecast] != 0 {
+		t.Fatalf("phase accumulator leaked across iterations: %+v", got[1].PhaseSeconds)
+	}
+	if got[1].Feasible {
+		t.Fatal("second sample should be infeasible")
+	}
+}

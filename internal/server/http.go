@@ -3,9 +3,11 @@ package server
 import (
 	"encoding/json"
 	"errors"
+	"fmt"
 	"io"
 	"net"
 	"net/http"
+	"strconv"
 	"strings"
 
 	"repro/internal/obs"
@@ -21,6 +23,9 @@ import (
 //	GET    /v1/admitted                    per-commodity admitted rates
 //	GET    /v1/usage                       per-server/link utilization
 //	GET    /v1/problem                     current problem (schema JSON)
+//	GET    /explain?commodity=NAME|IDX     bottleneck attribution (all when omitted)
+//	GET    /history                        generation-over-generation diffs
+//	GET    /debug/trace                    sampled per-iteration solver trace
 //	POST   /v1/commodities                 admit a commodity (schema JSON)
 //	DELETE /v1/commodities/{name}          remove a commodity
 //	PATCH  /v1/commodities/{name}          {"maxRate": λ} and/or {"utility": {...}}
@@ -72,6 +77,51 @@ func (s *Server) Handler(reg *obs.Registry) http.Handler {
 			"generation": snap.Generation,
 			"feasible":   snap.Feasible,
 			"usage":      snap.Usage,
+		})
+	})
+
+	mux.HandleFunc("GET /explain", func(w http.ResponseWriter, r *http.Request) {
+		snap := s.Snapshot()
+		if snap == nil {
+			writeError(w, http.StatusServiceUnavailable, errors.New("no snapshot yet"))
+			return
+		}
+		q := r.URL.Query().Get("commodity")
+		if q == "" {
+			writeJSON(w, http.StatusOK, map[string]any{
+				"generation": snap.Generation,
+				"explain":    snap.Explain,
+			})
+			return
+		}
+		idx, idxErr := strconv.Atoi(q)
+		for j, ce := range snap.Explain {
+			if ce.Name == q || (idxErr == nil && j == idx) {
+				writeJSON(w, http.StatusOK, map[string]any{
+					"generation": snap.Generation,
+					"explain":    ce,
+				})
+				return
+			}
+		}
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown commodity %q", q))
+	})
+
+	mux.HandleFunc("GET /history", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{"generations": s.historyDiffs()})
+	})
+
+	mux.HandleFunc("GET /debug/trace", func(w http.ResponseWriter, _ *http.Request) {
+		t := s.opts.Trace
+		if t == nil {
+			writeError(w, http.StatusNotFound, errors.New("tracing not enabled (Options.Trace)"))
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{
+			"capacity": t.Cap(),
+			"stride":   t.Stride(),
+			"seen":     t.Seen(),
+			"samples":  t.Samples(),
 		})
 	})
 
@@ -246,6 +296,60 @@ func readBody(w http.ResponseWriter, r *http.Request) ([]byte, error) {
 		return nil, err
 	}
 	return body, nil
+}
+
+// HistoryEntry is one retained generation in the GET /history response,
+// with its deltas against the previous retained generation: how much
+// total utility and each commodity's admitted rate moved when the
+// snapshot was republished. A commodity arriving (departing) between
+// generations shows its full (negated) rate as the delta.
+type HistoryEntry struct {
+	Generation   int64   `json:"generation"`
+	Rev          int64   `json:"rev"`
+	Warm         bool    `json:"warm"`
+	Iterations   int     `json:"iterations"`
+	SolveSeconds float64 `json:"solveSeconds"`
+	Utility      float64 `json:"utility"`
+	DeltaUtility float64 `json:"deltaUtility"`
+	// Admitted maps commodity name to admitted rate at this generation;
+	// DeltaAdmitted to the change since the previous retained one.
+	Admitted      map[string]float64 `json:"admitted"`
+	DeltaAdmitted map[string]float64 `json:"deltaAdmitted,omitempty"`
+}
+
+// historyDiffs renders the snapshot history ring as generation-over-
+// generation diffs, oldest first.
+func (s *Server) historyDiffs() []HistoryEntry {
+	snaps := s.History()
+	out := make([]HistoryEntry, 0, len(snaps))
+	var prev *Snapshot
+	for _, snap := range snaps {
+		e := HistoryEntry{
+			Generation:   snap.Generation,
+			Rev:          snap.Rev,
+			Warm:         snap.Warm,
+			Iterations:   snap.Iterations,
+			SolveSeconds: snap.SolveSeconds,
+			Utility:      snap.Utility,
+			Admitted:     make(map[string]float64, len(snap.Commodities)),
+		}
+		for _, c := range snap.Commodities {
+			e.Admitted[c.Name] = c.Admitted
+		}
+		if prev != nil {
+			e.DeltaUtility = snap.Utility - prev.Utility
+			e.DeltaAdmitted = make(map[string]float64, len(e.Admitted))
+			for name, rate := range e.Admitted {
+				e.DeltaAdmitted[name] = rate
+			}
+			for _, c := range prev.Commodities {
+				e.DeltaAdmitted[c.Name] -= c.Admitted
+			}
+		}
+		out = append(out, e)
+		prev = snap
+	}
+	return out
 }
 
 // statusForMutation maps "unknown X" validation errors to 404 and the

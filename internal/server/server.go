@@ -29,6 +29,7 @@ import (
 	"repro/internal/flow"
 	"repro/internal/gradient"
 	"repro/internal/obs"
+	"repro/internal/obs/trace"
 	"repro/internal/stream"
 	"repro/internal/transform"
 )
@@ -58,6 +59,14 @@ type Options struct {
 	// generation counter and the admitted-utility gauge through
 	// internal/obs. Nil disables (zero overhead).
 	Recorder *obs.Recorder
+	// Trace, when non-nil, receives sampled per-iteration solver state
+	// (utility, cost, step size, per-phase timings) across solves; the
+	// ring is served on GET /debug/trace. Requires a Recorder — one is
+	// created on a private registry if none was given.
+	Trace *trace.Ring
+	// HistoryCap bounds the retained snapshot generations served on
+	// GET /history. Default 64; <0 disables history.
+	HistoryCap int
 	// Logf receives warm-start fallback diagnostics and solve errors.
 	// Nil means log.Printf.
 	Logf func(format string, args ...any)
@@ -81,6 +90,12 @@ func (o *Options) setDefaults() {
 	}
 	if o.MaxDebounce <= 0 {
 		o.MaxDebounce = 20 * o.Debounce
+	}
+	if o.HistoryCap == 0 {
+		o.HistoryCap = 64
+	}
+	if o.Trace != nil && o.Recorder == nil {
+		o.Recorder = obs.NewRecorder(obs.NewRegistry(), nil)
 	}
 	if o.Logf == nil {
 		o.Logf = log.Printf
@@ -120,6 +135,10 @@ type Snapshot struct {
 	// allocation on the original network.
 	Commodities []CommodityStatus `json:"commodities"`
 	Usage       []core.NodeUsage  `json:"usage"`
+	// Explain is the per-commodity bottleneck attribution at this
+	// operating point: binding resources with shadow prices and the
+	// marginal-utility-vs-path-cost gap (served on GET /explain).
+	Explain []core.CommodityExplain `json:"explain,omitempty"`
 
 	// routing seeds the next warm start; problem is the clone this
 	// snapshot was solved on. Both are private to the solver loop and
@@ -141,6 +160,11 @@ type Server struct {
 	snap atomic.Pointer[Snapshot]
 	gen  atomic.Int64
 
+	histMu   sync.Mutex
+	hist     []*Snapshot // ring of recent generations, cap HistoryCap
+	histNext int
+	histFull bool
+
 	wake   chan struct{} // 1-buffered mutation signal
 	ctx    context.Context
 	cancel context.CancelFunc
@@ -159,6 +183,11 @@ func New(p *stream.Problem, opts Options) (*Server, error) {
 		if err := p.Validate(); err != nil {
 			return nil, err
 		}
+	}
+	if opts.Trace != nil {
+		// Attach before the solver loop starts so every iteration of
+		// every generation can be sampled.
+		opts.Recorder.SetTracer(opts.Trace)
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{
@@ -431,6 +460,7 @@ func (s *Server) solveOnce() {
 		Utility:      u.Utility(),
 		Feasible:     feasible,
 		Usage:        core.UsageReport(p, x, u),
+		Explain:      core.Explain(p, x, u),
 		routing:      eng.Routing(),
 		problem:      p,
 	}
@@ -467,11 +497,59 @@ func (s *Server) newEngine(x *transform.Extended, cfg gradient.Config) (*gradien
 	return gradient.New(x, cfg), false
 }
 
-// publish assigns the next generation and swaps the snapshot in.
+// publish assigns the next generation, swaps the snapshot in, appends
+// it to the history ring, and emits the generation's observability
+// events (solve summary, per-commodity attribution, trace fill level).
 func (s *Server) publish(snap *Snapshot, warm bool, iterations int) {
 	snap.Generation = s.gen.Add(1)
 	s.snap.Store(snap)
-	s.opts.Recorder.ServerSolve(snap.Generation, warm, snap.SolveSeconds, snap.Utility, iterations)
+	s.recordHistory(snap)
+	rec := s.opts.Recorder
+	rec.ServerSolve(snap.Generation, warm, snap.SolveSeconds, snap.Utility, iterations)
+	for _, ce := range snap.Explain {
+		bottleneck, price := "", 0.0
+		if len(ce.Binding) > 0 {
+			bottleneck = ce.Binding[0].Name
+			price = ce.Binding[0].Price
+		}
+		rec.Attribution(snap.Generation, ce.Name, ce.Admitted, ce.Gap, bottleneck, price)
+	}
+	if t := s.opts.Trace; t != nil {
+		rec.ServerTrace(snap.Generation, t.Len(), t.Cap(), t.Stride())
+	}
+}
+
+// recordHistory appends the snapshot to the bounded generation ring.
+func (s *Server) recordHistory(snap *Snapshot) {
+	if s.opts.HistoryCap < 0 {
+		return
+	}
+	s.histMu.Lock()
+	defer s.histMu.Unlock()
+	if s.hist == nil {
+		s.hist = make([]*Snapshot, s.opts.HistoryCap)
+	}
+	s.hist[s.histNext] = snap
+	s.histNext++
+	if s.histNext == len(s.hist) {
+		s.histNext = 0
+		s.histFull = true
+	}
+}
+
+// History returns the retained snapshot generations, oldest first.
+func (s *Server) History() []*Snapshot {
+	s.histMu.Lock()
+	defer s.histMu.Unlock()
+	if s.hist == nil {
+		return nil
+	}
+	var out []*Snapshot
+	if s.histFull {
+		out = append(out, s.hist[s.histNext:]...)
+	}
+	out = append(out, s.hist[:s.histNext]...)
+	return out
 }
 
 // WaitForGeneration blocks until a snapshot with Generation ≥ gen is
