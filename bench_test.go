@@ -6,6 +6,8 @@
 package repro
 
 import (
+	"fmt"
+	"runtime"
 	"testing"
 
 	"repro/internal/backpressure"
@@ -249,6 +251,49 @@ func BenchmarkFlowEvaluate(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		flow.Evaluate(r)
+	}
+}
+
+// BenchmarkEvaluate measures the workspace form: the same forward sweep
+// as BenchmarkFlowEvaluate but reusing one preallocated Usage, the way
+// the engines call it — the delta between the two benches is the
+// allocation cost the arena refactor removed.
+func BenchmarkEvaluate(b *testing.B) {
+	x := paperInstance(b)
+	r := flow.NewInitial(x)
+	u := flow.NewUsage(x)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		flow.EvaluateInto(u, r)
+	}
+}
+
+// BenchmarkStepParallel exercises the per-commodity worker pool on a
+// many-commodity instance (8 commodities, the E6 shape). Trajectories
+// are identical across worker counts (see internal/gradient's
+// determinism tests); only the wall clock may differ, and only on
+// multi-core hardware.
+func BenchmarkStepParallel(b *testing.B) {
+	p, err := randnet.Generate(randnet.Config{Seed: 5, Nodes: 32, Layers: 4, Commodities: 8})
+	if err != nil {
+		b.Fatal(err)
+	}
+	x, err := transform.Build(p, transform.Options{Epsilon: 0.2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	workerCounts := []int{1, 4}
+	if n := runtime.GOMAXPROCS(0); n != 1 && n != 4 {
+		workerCounts = append(workerCounts, n)
+	}
+	for _, workers := range workerCounts {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			eng := gradient.New(x, gradient.Config{Eta: 0.04, Workers: workers})
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				eng.Step()
+			}
+		})
 	}
 }
 

@@ -48,6 +48,7 @@ type cliConfig struct {
 	eta           float64
 	eps           float64
 	iters         int
+	workers       int
 	stationaryTol float64
 	debounce      time.Duration
 
@@ -73,6 +74,7 @@ func main() {
 	flag.Float64Var(&cfg.eta, "eta", 0.04, "gradient step scale η")
 	flag.Float64Var(&cfg.eps, "eps", 0.2, "penalty coefficient ε")
 	flag.IntVar(&cfg.iters, "iters", 4000, "per-solve iteration budget")
+	flag.IntVar(&cfg.workers, "workers", 0, "worker-pool bound for the per-commodity gradient waves (0 = GOMAXPROCS)")
 	flag.Float64Var(&cfg.stationaryTol, "stationary-tol", 1e-3, "Theorem-2 stationarity tolerance ending a solve early (<0 disables)")
 	flag.DurationVar(&cfg.debounce, "debounce", 25*time.Millisecond, "mutation coalescing window before a re-solve")
 	flag.StringVar(&cfg.eventsOut, "events-out", "", "write solver/server JSONL events to this file")
@@ -126,6 +128,7 @@ func realMain(cfg cliConfig) error {
 		Epsilon:       cfg.eps,
 		Eta:           cfg.eta,
 		MaxIters:      cfg.iters,
+		Workers:       cfg.workers,
 		StationaryTol: cfg.stationaryTol,
 		Debounce:      cfg.debounce,
 		Recorder:      rec,

@@ -127,13 +127,12 @@ func sinkPotential(x *transform.Extended, j int) float64 {
 	c := &x.Commodities[j]
 	g := make([]float64, x.G.NumNodes())
 	g[c.Dummy] = 1
-	member := x.Member[j]
 	for _, n := range x.Topo[j] {
 		if g[n] == 0 {
 			continue
 		}
-		for _, e := range x.G.Out(n) {
-			if !member[e] || e == c.DiffLink {
+		for _, e := range x.MemberOut(j, n) {
+			if e == c.DiffLink {
 				continue
 			}
 			head := x.G.Edge(e).To
@@ -200,10 +199,9 @@ func (e *Engine) Step() StepInfo {
 		// Collect positive-gain transfer options.
 		var options []transfer
 		for j := 0; j < nc; j++ {
-			member := x.Member[j]
 			diff := x.Commodities[j].DiffLink
-			for _, edge := range x.G.Out(node) {
-				if !member[edge] || edge == diff {
+			for _, edge := range x.MemberOut(j, node) {
+				if edge == diff {
 					continue
 				}
 				messages++ // head told this tail its buffer level

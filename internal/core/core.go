@@ -81,6 +81,10 @@ type Options struct {
 	// Gradient knobs (§5).
 	Eta             float64 // step scale η; default 0.04
 	DisableBlocking bool
+	// Workers bounds the engine's per-commodity wave pool
+	// (gradient.Config.Workers); zero means GOMAXPROCS. The trajectory
+	// is identical for any value.
+	Workers int
 
 	// Back-pressure knobs ([6]).
 	BufferCap float64
@@ -271,7 +275,7 @@ func gradientDefaults(opts *Options) {
 
 func solveGradient(p *stream.Problem, x *transform.Extended, opts Options, target float64, res *Result) error {
 	gradientDefaults(&opts)
-	eng := gradient.New(x, gradient.Config{Eta: opts.Eta, DisableBlocking: opts.DisableBlocking, Recorder: opts.Recorder})
+	eng := gradient.New(x, gradient.Config{Eta: opts.Eta, DisableBlocking: opts.DisableBlocking, Workers: opts.Workers, Recorder: opts.Recorder})
 	var det gradient.DivergenceDetector
 	for i := 0; i < opts.MaxIters; i++ {
 		info := eng.Step()
@@ -306,6 +310,7 @@ func solveAdaptive(p *stream.Problem, x *transform.Extended, opts Options, targe
 	eng := gradient.NewAdaptive(x, gradient.AdaptiveConfig{
 		InitialEta:      opts.Eta,
 		DisableBlocking: opts.DisableBlocking,
+		Workers:         opts.Workers,
 		Recorder:        opts.Recorder,
 	})
 	for i := 0; i < opts.MaxIters; i++ {

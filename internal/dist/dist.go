@@ -113,16 +113,12 @@ func NewFrom(x *transform.Extended, r *flow.Routing, cfg gradient.Config) *Runti
 		for j := range x.Commodities {
 			cs := &st.per[j]
 			cs.phi = make(map[graph.EdgeID]float64)
-			for _, e := range x.G.Out(node) {
-				if x.Member[j][e] {
-					cs.outEdges = append(cs.outEdges, e)
-					cs.phi[e] = r.Phi[j][e]
-				}
-			}
-			for _, e := range x.G.In(node) {
-				if x.Member[j][e] {
-					cs.inEdges = append(cs.inEdges, e)
-				}
+			// Alias the precomputed member adjacency (ascending edge-ID
+			// order, same as the filtered scans this replaced).
+			cs.outEdges = x.MemberOut(j, node)
+			cs.inEdges = x.MemberIn(j, node)
+			for _, e := range cs.outEdges {
+				cs.phi[e] = r.Phi[j][e]
 			}
 			cs.fEdge = make(map[graph.EdgeID]float64, len(cs.outEdges))
 			cs.rhoIn = make(map[graph.EdgeID]float64, len(cs.outEdges))

@@ -23,11 +23,15 @@ type Routing struct {
 	Phi [][]float64
 }
 
-// NewZero returns an all-zero routing-variable set.
+// NewZero returns an all-zero routing-variable set. The per-commodity
+// rows share one flat nc×ne backing array, so a routing used as an
+// iteration buffer stays cache-contiguous.
 func NewZero(x *transform.Extended) *Routing {
-	phi := make([][]float64, x.NumCommodities())
+	nc, ne := x.NumCommodities(), x.G.NumEdges()
+	back := make([]float64, nc*ne)
+	phi := make([][]float64, nc)
 	for j := range phi {
-		phi[j] = make([]float64, x.G.NumEdges())
+		phi[j] = back[j*ne : (j+1)*ne : (j+1)*ne]
 	}
 	return &Routing{X: x, Phi: phi}
 }
@@ -40,7 +44,6 @@ func NewInitial(x *transform.Extended) *Routing {
 	r := NewZero(x)
 	for j := range x.Commodities {
 		c := &x.Commodities[j]
-		member := x.Member[j]
 		for n := 0; n < x.G.NumNodes(); n++ {
 			node := graph.NodeID(n)
 			if node == c.Sink {
@@ -50,12 +53,7 @@ func NewInitial(x *transform.Extended) *Routing {
 				r.Phi[j][c.DiffLink] = 1
 				continue
 			}
-			var outs []graph.EdgeID
-			for _, e := range x.G.Out(node) {
-				if member[e] {
-					outs = append(outs, e)
-				}
-			}
+			outs := x.MemberOut(j, node)
 			for _, e := range outs {
 				r.Phi[j][e] = 1 / float64(len(outs))
 			}
@@ -128,12 +126,10 @@ func (r *Routing) Validate() error {
 			if node == x.Commodities[j].Sink {
 				continue
 			}
-			sum, hasMember := 0.0, false
-			for _, e := range x.G.Out(node) {
-				if member[e] {
-					hasMember = true
-					sum += r.Phi[j][e]
-				}
+			outs := x.MemberOut(j, node)
+			sum, hasMember := 0.0, len(outs) > 0
+			for _, e := range outs {
+				sum += r.Phi[j][e]
 			}
 			if hasMember && math.Abs(sum-1) > 1e-6 {
 				return fmt.Errorf("flow: commodity %d node %q: phi sums to %g", j, x.Names[n], sum)

@@ -4,6 +4,7 @@ import (
 	"math"
 
 	"repro/internal/graph"
+	"repro/internal/transform"
 )
 
 // Usage is the traffic and resource state induced by a routing set:
@@ -22,54 +23,96 @@ type Usage struct {
 	Arrive [][]float64
 	// FNode[n] is f_n = Σ_e Σ_j FEdge[j][e] over e ∈ out(n) (eq. 5).
 	FNode []float64
+
+	// Flat backing arrays of the row slices above (tBack is nc×nn,
+	// feBack and arBack are nc×ne). EvaluateInto zeroes them with
+	// single clear() passes instead of reallocating; they are nil for a
+	// Usage assembled by hand, in which case EvaluateInto falls back to
+	// row-by-row clearing.
+	tBack, feBack, arBack []float64
+}
+
+// NewUsage allocates a reusable evaluation workspace for the extended
+// problem x: one flat float64 array per field, row-sliced per
+// commodity, so repeated EvaluateInto calls touch contiguous memory and
+// allocate nothing.
+func NewUsage(x *transform.Extended) *Usage {
+	nn, ne, nc := x.G.NumNodes(), x.G.NumEdges(), x.NumCommodities()
+	u := &Usage{
+		T:      make([][]float64, nc),
+		FEdge:  make([][]float64, nc),
+		Arrive: make([][]float64, nc),
+		FNode:  make([]float64, nn),
+		tBack:  make([]float64, nc*nn),
+		feBack: make([]float64, nc*ne),
+		arBack: make([]float64, nc*ne),
+	}
+	for j := 0; j < nc; j++ {
+		u.T[j] = u.tBack[j*nn : (j+1)*nn : (j+1)*nn]
+		u.FEdge[j] = u.feBack[j*ne : (j+1)*ne : (j+1)*ne]
+		u.Arrive[j] = u.arBack[j*ne : (j+1)*ne : (j+1)*ne]
+	}
+	return u
 }
 
 // Evaluate solves the flow-balance equations by a forward sweep in
 // topological order of each commodity's member DAG (the routing set is
 // loop-free by construction, so eq. 3 has a unique solution computable
-// in one pass).
+// in one pass). It allocates a fresh Usage per call; iteration loops
+// use a NewUsage workspace with EvaluateInto instead.
 func Evaluate(r *Routing) *Usage {
+	u := NewUsage(r.X)
+	EvaluateInto(u, r)
+	return u
+}
+
+// EvaluateInto runs the forward sweep into the preallocated workspace
+// u, which must be shaped for r's extended problem (NewUsage). The
+// workspace is zeroed and refilled; the result is bit-identical to
+// Evaluate(r). After the call u.R is r.
+func EvaluateInto(u *Usage, r *Routing) {
 	x := r.X
-	nn, ne, nc := x.G.NumNodes(), x.G.NumEdges(), x.NumCommodities()
-	u := &Usage{
-		R:      r,
-		T:      make([][]float64, nc),
-		FEdge:  make([][]float64, nc),
-		Arrive: make([][]float64, nc),
-		FNode:  make([]float64, nn),
+	nn, nc := x.G.NumNodes(), x.NumCommodities()
+	if len(u.FNode) != nn || len(u.T) != nc {
+		panic("flow: EvaluateInto workspace shaped for a different extended problem")
 	}
+	if u.tBack != nil {
+		clear(u.tBack)
+		clear(u.feBack)
+		clear(u.arBack)
+	} else {
+		for j := 0; j < nc; j++ {
+			clear(u.T[j])
+			clear(u.FEdge[j])
+			clear(u.Arrive[j])
+		}
+	}
+	clear(u.FNode)
+	u.R = r
 	for j := 0; j < nc; j++ {
-		t := make([]float64, nn)
-		fe := make([]float64, ne)
-		ar := make([]float64, ne)
+		t, fe, ar := u.T[j], u.FEdge[j], u.Arrive[j]
+		cost, beta, phi := x.Cost[j], x.Beta[j], r.Phi[j]
 		c := &x.Commodities[j]
-		member := x.Member[j]
 		t[c.Dummy] = c.MaxRate // r_i(j) of eq. 2
 		for _, n := range x.Topo[j] {
-			if t[n] == 0 || n == c.Sink {
+			tn := t[n]
+			if tn == 0 || n == c.Sink {
 				continue
 			}
-			for _, e := range x.G.Out(n) {
-				if !member[e] {
+			for _, e := range x.MemberOut(j, n) {
+				p := phi[e]
+				if p == 0 {
 					continue
 				}
-				phi := r.Phi[j][e]
-				if phi == 0 {
-					continue
-				}
-				fe[e] = t[n] * phi * x.Cost[j][e]
-				ar[e] = t[n] * phi * x.Beta[j][e]
-				t[x.G.Edge(e).To] += ar[e]
+				f := tn * p * cost[e]
+				fe[e] = f
+				a := tn * p * beta[e]
+				ar[e] = a
+				t[x.G.Edge(e).To] += a
+				u.FNode[n] += f
 			}
 		}
-		u.T[j] = t
-		u.FEdge[j] = fe
-		u.Arrive[j] = ar
-		for e := 0; e < ne; e++ {
-			u.FNode[x.G.Edge(graph.EdgeID(e)).From] += fe[e]
-		}
 	}
-	return u
 }
 
 // AdmittedRate returns a_j: the rate the dummy node sends into the real

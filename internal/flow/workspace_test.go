@@ -1,0 +1,117 @@
+package flow
+
+import (
+	"testing"
+
+	"repro/internal/randnet"
+	"repro/internal/transform"
+)
+
+func buildRandnet(t *testing.T, seed int64) *transform.Extended {
+	t.Helper()
+	p, err := randnet.Generate(randnet.Config{Seed: seed, Nodes: 20, Commodities: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, err := transform.Build(p, transform.Options{Epsilon: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return x
+}
+
+// admitSome returns a copy of the initial routing with part of each
+// commodity's offered rate pushed into the real network, so the
+// evaluation exercises nonzero flow on interior edges.
+func admitSome(x *transform.Extended, frac float64) *Routing {
+	r := NewInitial(x)
+	for j := range x.Commodities {
+		c := &x.Commodities[j]
+		r.Phi[j][c.InputLink] = frac
+		r.Phi[j][c.DiffLink] = 1 - frac
+	}
+	return r
+}
+
+func sameBits(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func assertUsageBitwiseEqual(t *testing.T, got, want *Usage) {
+	t.Helper()
+	if !sameBits(got.FNode, want.FNode) {
+		t.Fatalf("FNode differs: %v vs %v", got.FNode, want.FNode)
+	}
+	for j := range want.T {
+		if !sameBits(got.T[j], want.T[j]) {
+			t.Fatalf("T[%d] differs", j)
+		}
+		if !sameBits(got.FEdge[j], want.FEdge[j]) {
+			t.Fatalf("FEdge[%d] differs", j)
+		}
+		if !sameBits(got.Arrive[j], want.Arrive[j]) {
+			t.Fatalf("Arrive[%d] differs", j)
+		}
+	}
+}
+
+func TestEvaluateIntoMatchesEvaluateBitwise(t *testing.T) {
+	x := buildRandnet(t, 11)
+	ws := NewUsage(x)
+	// Reuse the same workspace across several routings: each refill must
+	// match a fresh Evaluate bit for bit even though the backing arrays
+	// start dirty from the previous routing.
+	for _, frac := range []float64{0, 0.25, 0.8, 1} {
+		r := admitSome(x, frac)
+		EvaluateInto(ws, r)
+		assertUsageBitwiseEqual(t, ws, Evaluate(r))
+		if ws.R != r {
+			t.Fatalf("workspace routing not rebound")
+		}
+	}
+}
+
+func TestEvaluateIntoDoesNotAllocate(t *testing.T) {
+	x := buildRandnet(t, 11)
+	r := admitSome(x, 0.5)
+	ws := NewUsage(x)
+	if allocs := testing.AllocsPerRun(100, func() { EvaluateInto(ws, r) }); allocs != 0 {
+		t.Fatalf("EvaluateInto allocates %v objects per run, want 0", allocs)
+	}
+}
+
+func TestEvaluateIntoRejectsWrongShape(t *testing.T) {
+	x := buildRandnet(t, 11)
+	p, err := randnet.Generate(randnet.Config{Seed: 12, Nodes: 26, Commodities: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	other, err := transform.Build(p, transform.Options{Epsilon: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("EvaluateInto accepted a workspace of the wrong shape")
+		}
+	}()
+	EvaluateInto(NewUsage(x), NewInitial(other))
+}
+
+func TestNewInitialDoesNotAllocatePerNode(t *testing.T) {
+	x := buildRandnet(t, 11)
+	// One Routing (header + rows + flat backing) is 3 allocations; the
+	// member-adjacency rewrite removed the per-node scratch slice, so the
+	// count must stay flat no matter the node count.
+	if allocs := testing.AllocsPerRun(50, func() { NewInitial(x) }); allocs > 4 {
+		t.Fatalf("NewInitial allocates %v objects per run, want <= 4", allocs)
+	}
+}

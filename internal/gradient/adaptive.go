@@ -1,6 +1,8 @@
 package gradient
 
 import (
+	"runtime"
+
 	"repro/internal/flow"
 	"repro/internal/obs"
 	"repro/internal/transform"
@@ -30,6 +32,9 @@ type AdaptiveConfig struct {
 	GrowAfter    int
 	// DisableBlocking mirrors Config.DisableBlocking.
 	DisableBlocking bool
+	// Workers mirrors Config.Workers: the per-commodity wave pool
+	// bound, defaulting to GOMAXPROCS.
+	Workers int
 	// Recorder mirrors Config.Recorder; it additionally receives the
 	// current η and a counter of rejected (backtracked) steps.
 	Recorder *obs.Recorder
@@ -54,6 +59,9 @@ func (c *AdaptiveConfig) setDefaults() {
 	if c.GrowAfter <= 0 {
 		c.GrowAfter = 20
 	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
 }
 
 // AdaptiveEngine wraps the §5 iteration with backtracking step-size
@@ -68,6 +76,13 @@ type AdaptiveEngine struct {
 	descents int
 	iter     int
 
+	// Iteration workspaces, allocated once (see Engine): the usage of
+	// the current routing, the usage of the proposed step, the spare
+	// routing the accept path swaps in, and the wave arena.
+	u, uProposed *flow.Usage
+	spare        *flow.Routing
+	arena        *arena
+
 	// Backtracks counts rejected steps (η halvings).
 	Backtracks int
 }
@@ -77,19 +92,27 @@ type AdaptiveEngine struct {
 func NewAdaptive(x *transform.Extended, cfg AdaptiveConfig) *AdaptiveEngine {
 	cfg.setDefaults()
 	r := flow.NewInitial(x)
-	return &AdaptiveEngine{
-		X:        x,
-		cfg:      cfg,
-		eta:      cfg.InitialEta,
-		routing:  r,
-		lastCost: flow.Evaluate(r).TotalCost(),
+	e := &AdaptiveEngine{
+		X:         x,
+		cfg:       cfg,
+		eta:       cfg.InitialEta,
+		routing:   r,
+		u:         flow.NewUsage(x),
+		uProposed: flow.NewUsage(x),
+		spare:     flow.NewZero(x),
+		arena:     newArena(x, cfg.Workers),
 	}
+	flow.EvaluateInto(e.u, r)
+	e.lastCost = e.u.TotalCost()
+	return e
 }
 
 // Eta reports the current step scale.
 func (e *AdaptiveEngine) Eta() float64 { return e.eta }
 
-// Routing exposes the current routing variables (not a copy).
+// Routing exposes the current routing variables (not a copy). Like
+// Engine, the adaptive engine double-buffers, so the returned set is
+// only valid until the next Step.
 func (e *AdaptiveEngine) Routing() *flow.Routing { return e.routing }
 
 // Solution evaluates the current routing set.
@@ -102,30 +125,18 @@ func (e *AdaptiveEngine) Solution() *flow.Usage { return flow.Evaluate(e.routing
 func (e *AdaptiveEngine) Step() StepInfo {
 	rec := e.cfg.Recorder
 	tf := rec.StartPhase(obs.PhaseForecast)
-	u := flow.Evaluate(e.routing)
+	flow.EvaluateInto(e.u, e.routing)
 	tf.Done()
+	u := e.u
 
-	next := e.routing.Clone()
-	for j := range e.X.Commodities {
-		tm := rec.StartPhase(obs.PhaseMarginal)
-		m := ComputeMarginals(u, j)
-		tm.Done()
-		var tagged []bool
-		if !e.cfg.DisableBlocking {
-			tt := rec.StartPhase(obs.PhaseTagging)
-			tagged = ComputeTags(u, j, m, e.eta)
-			tt.Done()
-		}
-		tu := rec.StartPhase(obs.PhaseUpdate)
-		ApplyGamma(u, j, m, tagged, e.eta, next)
-		tu.Done()
-	}
+	next := e.spare
+	e.arena.runWave(u, e.eta, !e.cfg.DisableBlocking, false, rec, next)
 
-	proposed := flow.Evaluate(next)
-	cost := proposed.TotalCost()
+	flow.EvaluateInto(e.uProposed, next)
+	cost := e.uProposed.TotalCost()
 	if cost <= e.lastCost+1e-12 {
 		// Accept.
-		e.routing = next
+		e.spare, e.routing = e.routing, next
 		e.lastCost = cost
 		e.descents++
 		if e.descents >= e.cfg.GrowAfter {
@@ -134,7 +145,7 @@ func (e *AdaptiveEngine) Step() StepInfo {
 				e.eta = grown
 			}
 		}
-		u = proposed
+		u = e.uProposed
 	} else {
 		// Reject: keep the old routing, halve the step.
 		e.Backtracks++

@@ -1,0 +1,128 @@
+package gradient
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/flow"
+	"repro/internal/obs"
+	"repro/internal/transform"
+)
+
+// waveWorkspace is one commodity's scratch for the marginal→tag→update
+// chain of a single iteration, allocated once per engine and zeroed in
+// place each step by the *Into wave functions.
+type waveWorkspace struct {
+	m      Marginals
+	depth  []int
+	tagged []bool
+
+	// Per-commodity results of the last wave, reduced in fixed j order
+	// by runWave so the totals are independent of worker scheduling.
+	messages    int
+	rounds      int
+	taggedCount int
+}
+
+// arena owns the per-commodity workspaces and the worker pool that runs
+// the §5 waves. The paper's protocol phases are independent across
+// commodities — each commodity's marginal-cost wave reads only the
+// shared (read-only) usage and writes only its own φ row — so the pool
+// parallelizes them without changing a single bit of the trajectory:
+// every commodity computes in its own workspace, and the
+// messages/rounds/tag-count reduction happens afterwards in commodity
+// order.
+type arena struct {
+	ws      []waveWorkspace
+	workers int
+}
+
+func newArena(x *transform.Extended, workers int) *arena {
+	nn, ne := x.G.NumNodes(), x.G.NumEdges()
+	a := &arena{ws: make([]waveWorkspace, x.NumCommodities()), workers: workers}
+	for j := range a.ws {
+		a.ws[j] = waveWorkspace{
+			m:      Marginals{Rho: make([]float64, nn), LinkD: make([]float64, ne)},
+			depth:  make([]int, nn),
+			tagged: make([]bool, nn),
+		}
+	}
+	return a
+}
+
+// runWave executes the marginal-cost wave, the loop-freedom tagging
+// protocol (when blocking is true), and the routing update Γ for every
+// commodity against the evaluated usage u, writing each commodity's new
+// φ row into next (after seeding it with the current row, so next is a
+// full routing even though the engine double-buffers instead of
+// cloning). With workers > 1 commodities are processed concurrently by
+// a bounded pool; the returned totals (messages, the max of the wave
+// depths, tag count) are reduced in fixed commodity order afterwards,
+// so the results are bitwise-identical to the sequential execution.
+// Tag counting is skipped unless countTags is set (it is only consumed
+// by the recorder).
+func (a *arena) runWave(u *flow.Usage, eta float64, blocking, countTags bool, rec *obs.Recorder, next *flow.Routing) (messages, maxRounds, taggedCount int) {
+	nc := len(a.ws)
+	if workers := min(a.workers, nc); workers > 1 {
+		var idx atomic.Int64
+		var wg sync.WaitGroup
+		wg.Add(workers)
+		for i := 0; i < workers; i++ {
+			go func() {
+				defer wg.Done()
+				for {
+					j := int(idx.Add(1)) - 1
+					if j >= nc {
+						return
+					}
+					a.runOne(j, u, eta, blocking, countTags, rec, next)
+				}
+			}()
+		}
+		wg.Wait()
+	} else {
+		for j := 0; j < nc; j++ {
+			a.runOne(j, u, eta, blocking, countTags, rec, next)
+		}
+	}
+	for j := 0; j < nc; j++ {
+		w := &a.ws[j]
+		messages += w.messages
+		if w.rounds > maxRounds {
+			maxRounds = w.rounds
+		}
+		taggedCount += w.taggedCount
+	}
+	return messages, maxRounds, taggedCount
+}
+
+// runOne executes one commodity's wave chain into its workspace slot.
+// A named method rather than a closure so the sequential path stays
+// allocation-free (a closure shared with the goroutine launch would
+// escape to the heap on every Step).
+func (a *arena) runOne(j int, u *flow.Usage, eta float64, blocking, countTags bool, rec *obs.Recorder, next *flow.Routing) {
+	w := &a.ws[j]
+	tm := rec.StartPhase(obs.PhaseMarginal)
+	ComputeMarginalsInto(u, j, &w.m, w.depth)
+	tm.Done()
+	var tagged []bool
+	w.taggedCount = 0
+	if blocking {
+		tt := rec.StartPhase(obs.PhaseTagging)
+		tagged = ComputeTagsInto(u, j, &w.m, eta, w.tagged)
+		tt.Done()
+		if countTags {
+			for _, tag := range tagged {
+				if tag {
+					w.taggedCount++
+				}
+			}
+		}
+	}
+	tu := rec.StartPhase(obs.PhaseUpdate)
+	copy(next.Phi[j], u.R.Phi[j])
+	ApplyGamma(u, j, &w.m, tagged, eta, next)
+	tu.Done()
+	w.messages = w.m.Messages
+	w.rounds = w.m.Rounds
+}

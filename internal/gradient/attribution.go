@@ -97,7 +97,7 @@ func Attribute(u *flow.Usage, j int) Attribution {
 			continue
 		}
 		used := 0.0
-		for _, e := range x.G.Out(node) {
+		for _, e := range x.MemberOut(j, node) {
 			used += u.FEdge[j][e]
 		}
 		if used <= minFlow {

@@ -29,19 +29,23 @@ import (
 // faithfully anyway, and Config.DisableBlocking ablates it (bench
 // BenchmarkBlockingAblation).
 func ComputeTags(u *flow.Usage, j int, m *Marginals, eta float64) []bool {
+	return ComputeTagsInto(u, j, m, eta, make([]bool, u.R.X.G.NumNodes()))
+}
+
+// ComputeTagsInto is the workspace form of ComputeTags: tagged (sized
+// NumNodes) is zeroed, refilled, and returned.
+func ComputeTagsInto(u *flow.Usage, j int, m *Marginals, eta float64, tagged []bool) []bool {
 	x := u.R.X
-	member := x.Member[j]
-	tagged := make([]bool, x.G.NumNodes())
-	order := x.Topo[j]
+	clear(tagged)
 	sink := x.Commodities[j].Sink
-	for idx := len(order) - 1; idx >= 0; idx-- {
-		l := order[idx]
+	phi := u.R.Phi[j]
+	for _, l := range x.RevTopo(j) {
 		if l == sink {
 			continue
 		}
 		t := u.T[j][l]
-		for _, e := range x.G.Out(l) {
-			if !member[e] || u.R.Phi[j][e] <= 0 {
+		for _, e := range x.MemberOut(j, l) {
+			if phi[e] <= 0 {
 				continue
 			}
 			head := x.G.Edge(e).To

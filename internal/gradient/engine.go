@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"runtime"
 
 	"repro/internal/flow"
 	"repro/internal/obs"
@@ -20,6 +21,12 @@ type Config struct {
 	// Safe here because member subgraphs are DAGs; exists for the
 	// ablation benches.
 	DisableBlocking bool
+	// Workers bounds the worker pool that runs the per-commodity §5
+	// waves concurrently (the phases are independent across commodities,
+	// mirroring the paper's distributed execution). Zero or negative
+	// means GOMAXPROCS. Any value produces the same trajectory bit for
+	// bit; Workers: 1 runs the waves inline.
+	Workers int
 	// Recorder, when non-nil, receives per-iteration events, metrics,
 	// and per-phase wall-clock timings. Nil (the default) costs nothing
 	// on the hot path.
@@ -29,6 +36,9 @@ type Config struct {
 func (c *Config) setDefaults() {
 	if c.Eta <= 0 {
 		c.Eta = 0.04
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
 	}
 }
 
@@ -64,6 +74,13 @@ type Engine struct {
 	R   *flow.Routing
 	cfg Config
 
+	// Iteration workspaces, allocated once: the evaluated usage, the
+	// spare routing Step swaps with R (double-buffering in place of the
+	// old per-step Clone), and the per-commodity wave arena.
+	u     *flow.Usage
+	spare *flow.Routing
+	arena *arena
+
 	stats Stats
 	iter  int
 }
@@ -73,7 +90,16 @@ type Engine struct {
 func New(x *transform.Extended, cfg Config) *Engine {
 	cfg.setDefaults()
 	cfg.Recorder.SetEta(cfg.Eta)
-	return &Engine{X: x, R: flow.NewInitial(x), cfg: cfg}
+	cfg.Recorder.SetWorkers(cfg.Workers)
+	e := &Engine{X: x, R: flow.NewInitial(x), cfg: cfg}
+	e.initWorkspace()
+	return e
+}
+
+func (e *Engine) initWorkspace() {
+	e.u = flow.NewUsage(e.X)
+	e.spare = flow.NewZero(e.X)
+	e.arena = newArena(e.X, e.cfg.Workers)
 }
 
 // NewFrom starts from an explicit routing set (used for warm starts in
@@ -93,54 +119,39 @@ func NewFrom(x *transform.Extended, r *flow.Routing, cfg Config) (*Engine, error
 		return nil, fmt.Errorf("gradient: warm start: %w", err)
 	}
 	cfg.Recorder.SetEta(cfg.Eta)
-	return &Engine{X: x, R: bound, cfg: cfg}, nil
+	cfg.Recorder.SetWorkers(cfg.Workers)
+	e := &Engine{X: x, R: bound, cfg: cfg}
+	e.initWorkspace()
+	return e, nil
 }
 
 // Stats returns protocol accounting accumulated so far.
 func (e *Engine) Stats() Stats { return e.stats }
 
-// Routing exposes the current routing variables (not a copy).
+// Routing exposes the current routing variables (not a copy). The
+// engine double-buffers its routing, so the returned set is only valid
+// until the next Step; callers that need a durable snapshot Clone it.
 func (e *Engine) Routing() *flow.Routing { return e.R }
 
 // Step executes one full iteration — forecast, marginal-cost wave,
 // tagging, routing update — and returns the pre-update measurements.
+// All iteration state lives in workspaces allocated at construction, so
+// the steady-state step performs no heap allocation beyond the returned
+// Admitted slice.
 func (e *Engine) Step() StepInfo {
 	rec := e.cfg.Recorder
 	tf := rec.StartPhase(obs.PhaseForecast)
-	u := flow.Evaluate(e.R)
+	flow.EvaluateInto(e.u, e.R)
 	tf.Done()
+	u := e.u
 	info := e.measure(u)
 
-	next := e.R.Clone()
-	maxRounds, iterMessages, iterTagged := 0, 0, 0
-	for j := range e.X.Commodities {
-		tm := rec.StartPhase(obs.PhaseMarginal)
-		m := ComputeMarginals(u, j)
-		tm.Done()
-		var tagged []bool
-		if !e.cfg.DisableBlocking {
-			tt := rec.StartPhase(obs.PhaseTagging)
-			tagged = ComputeTags(u, j, m, e.cfg.Eta)
-			tt.Done()
-			if rec.Enabled() {
-				for _, tag := range tagged {
-					if tag {
-						iterTagged++
-					}
-				}
-			}
-		}
-		tu := rec.StartPhase(obs.PhaseUpdate)
-		ApplyGamma(u, j, m, tagged, e.cfg.Eta, next)
-		tu.Done()
-		// Forecast wave mirrors the marginal wave downstream: same
-		// message count, same depth.
-		iterMessages += 2 * m.Messages
-		if m.Rounds > maxRounds {
-			maxRounds = m.Rounds
-		}
-	}
-	e.R = next
+	next := e.spare
+	msgs, maxRounds, iterTagged := e.arena.runWave(u, e.cfg.Eta, !e.cfg.DisableBlocking, rec.Enabled(), rec, next)
+	e.spare, e.R = e.R, next
+	// Forecast wave mirrors the marginal wave downstream: same message
+	// count, same depth.
+	iterMessages := 2 * msgs
 	e.stats.Messages += iterMessages
 	e.stats.Rounds += 2 * maxRounds
 	e.stats.Iterations++

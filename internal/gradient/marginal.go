@@ -48,6 +48,8 @@ type Marginals struct {
 // evaluated usage u. Nodes are processed in reverse topological order
 // of the member DAG, which is exactly the order in which the
 // distributed protocol's "wait for all downstream values" rule fires.
+// It allocates fresh buffers per call; iteration loops reuse a
+// workspace through ComputeMarginalsInto.
 func ComputeMarginals(u *flow.Usage, j int) *Marginals {
 	x := u.R.X
 	nn, ne := x.G.NumNodes(), x.G.NumEdges()
@@ -55,12 +57,25 @@ func ComputeMarginals(u *flow.Usage, j int) *Marginals {
 		Rho:   make([]float64, nn),
 		LinkD: make([]float64, ne),
 	}
-	member := x.Member[j]
+	ComputeMarginalsInto(u, j, m, make([]int, nn))
+	return m
+}
+
+// ComputeMarginalsInto runs the marginal-cost wave into the
+// preallocated m (Rho sized NumNodes, LinkD sized NumEdges) using depth
+// (sized NumNodes) as scratch for the per-node wave-round counters. All
+// buffers are zeroed and refilled; the result is bit-identical to
+// ComputeMarginals.
+func ComputeMarginalsInto(u *flow.Usage, j int, m *Marginals, depth []int) {
+	x := u.R.X
+	clear(m.Rho)
+	clear(m.LinkD)
+	clear(depth)
+	m.Rounds, m.Messages = 0, 0
 	sink := x.Commodities[j].Sink
-	depth := make([]int, nn) // wave rounds below each node
-	order := x.Topo[j]
-	for idx := len(order) - 1; idx >= 0; idx-- {
-		n := order[idx]
+	phi := u.R.Phi[j]
+	beta := x.Beta[j]
+	for _, n := range x.RevTopo(j) {
 		if n == sink {
 			m.Rho[n] = 0 // convention ∂A/∂r_j(j) = 0
 			continue
@@ -69,14 +84,11 @@ func ComputeMarginals(u *flow.Usage, j int) *Marginals {
 			rho    float64
 			rounds int
 		)
-		for _, e := range x.G.Out(n) {
-			if !member[e] {
-				continue
-			}
+		for _, e := range x.MemberOut(j, n) {
 			head := x.G.Edge(e).To
-			d := marginalCostPerUnit(u, j, n, e) + x.Beta[j][e]*m.Rho[head]
+			d := marginalCostPerUnit(u, j, n, e) + beta[e]*m.Rho[head]
 			m.LinkD[e] = d
-			rho += u.R.Phi[j][e] * d
+			rho += phi[e] * d
 			m.Messages++ // head broadcasts rho to this tail
 			if depth[head]+1 > rounds {
 				rounds = depth[head] + 1
@@ -88,7 +100,6 @@ func ComputeMarginals(u *flow.Usage, j int) *Marginals {
 			m.Rounds = rounds
 		}
 	}
-	return m
 }
 
 // marginalCostPerUnit is ∂A_i/∂f_e·c_e(j): the direct cost of pushing

@@ -44,7 +44,6 @@ func CheckStationarity(u *flow.Usage) StationarityReport {
 	rep := StationarityReport{WorstNode: graph.Invalid, WorstCommodity: -1}
 	for j := range x.Commodities {
 		m := ComputeMarginals(u, j)
-		member := x.Member[j]
 		sink := x.Commodities[j].Sink
 		for n := 0; n < x.G.NumNodes(); n++ {
 			node := graph.NodeID(n)
@@ -52,18 +51,15 @@ func CheckStationarity(u *flow.Usage) StationarityReport {
 				continue
 			}
 			minD := math.Inf(1)
-			for _, e := range x.G.Out(node) {
-				if member[e] && m.LinkD[e] < minD {
+			for _, e := range x.MemberOut(j, node) {
+				if m.LinkD[e] < minD {
 					minD = m.LinkD[e]
 				}
 			}
 			if math.IsInf(minD, 1) {
 				continue
 			}
-			for _, e := range x.G.Out(node) {
-				if !member[e] {
-					continue
-				}
+			for _, e := range x.MemberOut(j, node) {
 				if u.R.Phi[j][e] > MinPhi {
 					gap := (m.LinkD[e] - minD) / (1 + minD)
 					if gap > rep.MaxUsedGap {

@@ -31,7 +31,6 @@ func ApplyGamma(u *flow.Usage, j int, m *Marginals, tagged []bool, eta float64, 
 
 func updateNode(u *flow.Usage, j int, m *Marginals, tagged []bool, eta float64, next *flow.Routing, n graph.NodeID) {
 	x := u.R.X
-	member := x.Member[j]
 	phi := u.R.Phi[j]
 
 	// Find the best (minimum-marginal) unblocked out-link; ties break
@@ -39,10 +38,8 @@ func updateNode(u *flow.Usage, j int, m *Marginals, tagged []bool, eta float64, 
 	// (k ∈ B_i(j)) when φ_ik = 0 and k's broadcast was tagged.
 	best := graph.EdgeID(graph.Invalid)
 	bestD := math.Inf(1)
-	for _, e := range x.G.Out(n) {
-		if !member[e] {
-			continue
-		}
+	outs := x.MemberOut(j, n)
+	for _, e := range outs {
 		if blocked(u, j, tagged, e) {
 			continue
 		}
@@ -57,8 +54,8 @@ func updateNode(u *flow.Usage, j int, m *Marginals, tagged []bool, eta float64, 
 
 	t := u.T[j][n]
 	moved := 0.0
-	for _, e := range x.G.Out(n) {
-		if !member[e] || e == best {
+	for _, e := range outs {
+		if e == best {
 			continue
 		}
 		if blocked(u, j, tagged, e) {

@@ -84,6 +84,7 @@ type Recorder struct {
 	tagged     *Counter
 	backtracks *Counter
 	eta        *Gauge
+	workers    *Gauge
 	diverged   *Counter
 
 	qsimQueue     *Gauge
@@ -126,6 +127,7 @@ func NewRecorder(reg *Registry, sink Sink) *Recorder {
 	r.tagged = reg.Counter("streamopt_blocking_tagged_total", "Loop-freedom tags raised.")
 	r.backtracks = reg.Counter("streamopt_adaptive_backtracks_total", "Adaptive step-size rollbacks.")
 	r.eta = reg.Gauge("streamopt_eta", "Current gradient step scale.")
+	r.workers = reg.Gauge("streamopt_step_workers", "Worker-pool bound for the per-commodity Step waves.")
 	r.diverged = reg.Counter("streamopt_divergence_total", "Trajectories declared diverged.")
 	r.qsimQueue = reg.Gauge("streamopt_qsim_queued", "Total queued work at the latest sampled tick.")
 	r.qsimDelivered = reg.Gauge("streamopt_qsim_delivered_total", "Cumulative qsim sink deliveries (sink units).")
@@ -274,6 +276,14 @@ func (r *Recorder) SetEta(eta float64) {
 		return
 	}
 	r.eta.Set(eta)
+}
+
+// SetWorkers publishes the engine's per-commodity wave worker bound.
+func (r *Recorder) SetWorkers(n int) {
+	if r == nil {
+		return
+	}
+	r.workers.Set(float64(n))
 }
 
 // Backtrack counts one adaptive step rollback.

@@ -45,6 +45,9 @@ type Options struct {
 	Eta           float64 // default 0.04
 	MaxIters      int     // default 4000
 	StationaryTol float64 // default 1e-3; <0 disables early stopping
+	// Workers bounds the solver's per-commodity wave pool
+	// (gradient.Config.Workers); 0 means GOMAXPROCS.
+	Workers int
 
 	// Debounce is how long the solver waits after a mutation for more
 	// mutations before re-solving; bursts within the window coalesce
@@ -423,7 +426,7 @@ func (s *Server) solveOnce() {
 		return
 	}
 
-	cfg := gradient.Config{Eta: s.opts.Eta, Recorder: s.opts.Recorder}
+	cfg := gradient.Config{Eta: s.opts.Eta, Workers: s.opts.Workers, Recorder: s.opts.Recorder}
 	eng, warm := s.newEngine(x, cfg)
 
 	iterations, converged := 0, false

@@ -100,6 +100,21 @@ type Extended struct {
 	// commodity j's member edges; every member subgraph is a DAG, so
 	// routing restricted to member edges is loop-free by construction.
 	Topo [][]graph.NodeID
+
+	// CSR-style member adjacency, built once by Build: for commodity j
+	// the member out-edges of node n are
+	// outEdges[j][outIdx[j][n]:outIdx[j][n+1]], in ascending edge-ID
+	// order (the same order a G.Out(n) scan filtered by Member[j]
+	// produces, so floating-point accumulation over it is bit-identical
+	// to the filtered scan). The hot solver loops iterate these flat
+	// slices through MemberOut/MemberIn instead of re-filtering the
+	// full adjacency every wave. revTopo[j] caches Topo[j] reversed for
+	// the upstream (marginal-cost) waves.
+	outIdx   [][]int32
+	outEdges [][]graph.EdgeID
+	inIdx    [][]int32
+	inEdges  [][]graph.EdgeID
+	revTopo  [][]graph.NodeID
 }
 
 // Options configures the transformation.
@@ -247,8 +262,79 @@ func Build(p *stream.Problem, opts Options) (*Extended, error) {
 		}
 		x.Topo[ci] = order
 	}
+	x.buildMemberAdjacency()
 	return x, nil
 }
+
+// buildMemberAdjacency precomputes the flat per-commodity member
+// adjacency (MemberOut/MemberIn) and the reverse topological orders.
+// Must run after trimToUseful and the Topo construction so the edge
+// sets and orders are final.
+func (x *Extended) buildMemberAdjacency() {
+	nc, nn := len(x.Commodities), x.G.NumNodes()
+	x.outIdx = make([][]int32, nc)
+	x.outEdges = make([][]graph.EdgeID, nc)
+	x.inIdx = make([][]int32, nc)
+	x.inEdges = make([][]graph.EdgeID, nc)
+	x.revTopo = make([][]graph.NodeID, nc)
+	for j := 0; j < nc; j++ {
+		member := x.Member[j]
+		count := 0
+		for e := range member {
+			if member[e] {
+				count++
+			}
+		}
+		outIdx := make([]int32, nn+1)
+		outEdges := make([]graph.EdgeID, 0, count)
+		inIdx := make([]int32, nn+1)
+		inEdges := make([]graph.EdgeID, 0, count)
+		for n := 0; n < nn; n++ {
+			outIdx[n] = int32(len(outEdges))
+			for _, e := range x.G.Out(graph.NodeID(n)) {
+				if member[e] {
+					outEdges = append(outEdges, e)
+				}
+			}
+			inIdx[n] = int32(len(inEdges))
+			for _, e := range x.G.In(graph.NodeID(n)) {
+				if member[e] {
+					inEdges = append(inEdges, e)
+				}
+			}
+		}
+		outIdx[nn] = int32(len(outEdges))
+		inIdx[nn] = int32(len(inEdges))
+		x.outIdx[j], x.outEdges[j] = outIdx, outEdges
+		x.inIdx[j], x.inEdges[j] = inIdx, inEdges
+
+		rev := make([]graph.NodeID, len(x.Topo[j]))
+		for i, n := range x.Topo[j] {
+			rev[len(rev)-1-i] = n
+		}
+		x.revTopo[j] = rev
+	}
+}
+
+// MemberOut returns commodity j's member out-edges of node n in
+// ascending edge-ID order. The slice aliases the precomputed adjacency;
+// callers must not modify it.
+func (x *Extended) MemberOut(j int, n graph.NodeID) []graph.EdgeID {
+	idx := x.outIdx[j]
+	return x.outEdges[j][idx[n]:idx[n+1]]
+}
+
+// MemberIn returns commodity j's member in-edges of node n in ascending
+// edge-ID order. The slice aliases the precomputed adjacency; callers
+// must not modify it.
+func (x *Extended) MemberIn(j int, n graph.NodeID) []graph.EdgeID {
+	idx := x.inIdx[j]
+	return x.inEdges[j][idx[n]:idx[n+1]]
+}
+
+// RevTopo returns the cached reverse of Topo[j], the processing order of
+// the upstream marginal-cost wave. Callers must not modify it.
+func (x *Extended) RevTopo(j int) []graph.NodeID { return x.revTopo[j] }
 
 // trimToUseful drops member edges that cannot carry source→sink flow
 // (tail unreachable from the dummy node or head unable to reach the

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"repro/internal/graph"
+	"repro/internal/randnet"
 	"repro/internal/stream"
 	"repro/internal/utility"
 )
@@ -266,4 +267,64 @@ func TestNodeKindString(t *testing.T) {
 	if got := NodeKind(99).String(); !strings.Contains(got, "99") {
 		t.Fatalf("unknown kind = %q", got)
 	}
+}
+
+func TestMemberAdjacencyMatchesFilteredScan(t *testing.T) {
+	p, err := randnet.Generate(randnet.Config{Seed: 7, Nodes: 20, Commodities: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := mustBuild(t, p, Options{})
+	for j := range x.Commodities {
+		member := x.Member[j]
+		for n := 0; n < x.G.NumNodes(); n++ {
+			node := graph.NodeID(n)
+			var wantOut, wantIn []graph.EdgeID
+			for _, e := range x.G.Out(node) {
+				if member[e] {
+					wantOut = append(wantOut, e)
+				}
+			}
+			for _, e := range x.G.In(node) {
+				if member[e] {
+					wantIn = append(wantIn, e)
+				}
+			}
+			if got := x.MemberOut(j, node); !equalEdges(got, wantOut) {
+				t.Fatalf("commodity %d node %d: MemberOut = %v, filtered scan = %v", j, n, got, wantOut)
+			}
+			if got := x.MemberIn(j, node); !equalEdges(got, wantIn) {
+				t.Fatalf("commodity %d node %d: MemberIn = %v, filtered scan = %v", j, n, got, wantIn)
+			}
+		}
+	}
+}
+
+func TestRevTopoIsReversedTopo(t *testing.T) {
+	p := twoPathProblem(t)
+	x := mustBuild(t, p, Options{})
+	for j := range x.Commodities {
+		topo, rev := x.Topo[j], x.RevTopo(j)
+		if len(rev) != len(topo) {
+			t.Fatalf("commodity %d: RevTopo has %d nodes, Topo has %d", j, len(rev), len(topo))
+		}
+		for i, n := range topo {
+			if rev[len(rev)-1-i] != n {
+				t.Fatalf("commodity %d: RevTopo[%d] = %d, want Topo[%d] = %d",
+					j, len(rev)-1-i, rev[len(rev)-1-i], i, n)
+			}
+		}
+	}
+}
+
+func equalEdges(a, b []graph.EdgeID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
