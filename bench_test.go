@@ -15,6 +15,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/flow"
 	"repro/internal/gradient"
+	"repro/internal/obs/span"
 	"repro/internal/placement"
 	"repro/internal/qsim"
 	"repro/internal/randnet"
@@ -462,5 +463,41 @@ func BenchmarkPlacementSearch(b *testing.B) {
 		if _, err := placement.Place(servers, streams, placement.Config{Seed: int64(i), Replication: 2, SwapBudget: 30}); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// --- Decision-lifecycle tracing (internal/obs/span) ---
+
+// BenchmarkDecisionSpan prices one traced decision: a root span with
+// two annotated children, the shape the admission server produces per
+// mutation. The ring is sized so the bench wraps it, covering the
+// steady-state (evicting) path.
+func BenchmarkDecisionSpan(b *testing.B) {
+	tr := span.New(1024, nil)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		root := tr.Start("decision", span.Context{})
+		solve := tr.Start("solve", root.Context())
+		solve.SetAttrInt("mutations_coalesced", 1)
+		solve.End()
+		root.SetAttrInt("generation", int64(i))
+		root.End()
+	}
+}
+
+// BenchmarkDecisionSpanNil is the disabled path — a nil tracer must
+// stay ≤1 alloc/op (it is in fact 0; benchdiff gates regressions).
+func BenchmarkDecisionSpanNil(b *testing.B) {
+	var tr *span.Tracer
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		root := tr.Start("decision", span.Context{})
+		solve := tr.Start("solve", root.Context())
+		solve.SetAttrInt("mutations_coalesced", 1)
+		solve.End()
+		root.SetAttrInt("generation", int64(i))
+		root.End()
 	}
 }

@@ -31,6 +31,7 @@ import (
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/obs/span"
 	"repro/internal/obs/trace"
 	"repro/internal/randnet"
 	"repro/internal/server"
@@ -56,6 +57,7 @@ type cliConfig struct {
 	eventsMaxBytes int64
 	traceCap       int
 	traceStride    int
+	spanCap        int
 	historyCap     int
 
 	// ready, when non-nil, receives the bound address once the API is
@@ -81,6 +83,7 @@ func main() {
 	flag.Int64Var(&cfg.eventsMaxBytes, "events-max-bytes", 0, "rotate -events-out once it exceeds this size, keeping one predecessor (0 = unbounded)")
 	flag.IntVar(&cfg.traceCap, "trace-cap", 4096, "iteration-trace ring capacity served on /debug/trace (0 disables tracing)")
 	flag.IntVar(&cfg.traceStride, "trace-stride", 10, "keep every k-th iteration in the trace ring")
+	flag.IntVar(&cfg.spanCap, "span-cap", span.DefaultCapacity, "decision-lifecycle span ring capacity served on /debug/spans (0 disables span tracing)")
 	flag.IntVar(&cfg.historyCap, "history-cap", 64, "snapshot generations retained for /history (<0 disables)")
 	flag.Parse()
 	if err := realMain(cfg); err != nil {
@@ -124,6 +127,11 @@ func realMain(cfg cliConfig) error {
 		ring = trace.New(cfg.traceCap, cfg.traceStride)
 	}
 
+	var spans *span.Tracer
+	if cfg.spanCap > 0 {
+		spans = span.New(cfg.spanCap, rec)
+	}
+
 	s, err := server.New(p, server.Options{
 		Epsilon:       cfg.eps,
 		Eta:           cfg.eta,
@@ -133,6 +141,7 @@ func realMain(cfg cliConfig) error {
 		Debounce:      cfg.debounce,
 		Recorder:      rec,
 		Trace:         ring,
+		Spans:         spans,
 		HistoryCap:    cfg.historyCap,
 	})
 	if err != nil {

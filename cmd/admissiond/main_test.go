@@ -46,6 +46,7 @@ func TestAdmissiondEndToEnd(t *testing.T) {
 			eventsOut:     events,
 			traceCap:      1024,
 			traceStride:   2,
+			spanCap:       512,
 			historyCap:    16,
 			ready:         func(a string) { addrCh <- a },
 			stop:          stop,
@@ -60,6 +61,32 @@ func TestAdmissiondEndToEnd(t *testing.T) {
 		t.Fatalf("daemon exited early: %v", err)
 	case <-time.After(30 * time.Second):
 		t.Fatal("daemon never became ready")
+	}
+
+	// /healthz answers immediately; /readyz flips to 200 once the first
+	// snapshot publishes (the nightly soak's startup wait).
+	resp0, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp0.Body.Close()
+	if resp0.StatusCode != http.StatusOK {
+		t.Fatalf("GET /healthz status %d", resp0.StatusCode)
+	}
+	readyDeadline := time.Now().Add(30 * time.Second)
+	for {
+		resp0, err = http.Get(base + "/readyz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp0.Body.Close()
+		if resp0.StatusCode == http.StatusOK {
+			break
+		}
+		if time.Now().After(readyDeadline) {
+			t.Fatalf("GET /readyz never turned 200 (last %d)", resp0.StatusCode)
+		}
+		time.Sleep(5 * time.Millisecond)
 	}
 
 	waitSnapshot := func(minGen int64) map[string]any {
@@ -88,12 +115,15 @@ func TestAdmissiondEndToEnd(t *testing.T) {
 	commodities := first["commodities"].([]any)
 	name := commodities[0].(map[string]any)["name"].(string)
 
-	// Live rate update over HTTP.
+	// Live rate update over HTTP, carrying a client trace context so the
+	// decision lifecycle is queryable under a known trace ID.
+	const clientTrace = "4bf92f3577b34da6a3ce929d0e0e4736"
 	req, err := http.NewRequest(http.MethodPatch,
 		base+"/v1/commodities/"+name, bytes.NewReader([]byte(`{"maxRate": 3.5}`)))
 	if err != nil {
 		t.Fatal(err)
 	}
+	req.Header.Set("traceparent", "00-"+clientTrace+"-00f067aa0ba902b7-01")
 	resp, err := http.DefaultClient.Do(req)
 	if err != nil {
 		t.Fatal(err)
@@ -106,6 +136,39 @@ func TestAdmissiondEndToEnd(t *testing.T) {
 	snap := waitSnapshot(int64(first["generation"].(float64)) + 1)
 	if snap["warm"] != true {
 		t.Fatalf("rate update did not warm-start: %v", snap["warm"])
+	}
+
+	// The decision tree for that mutation is served on /debug/spans.
+	resp, err = http.Get(base + "/debug/spans?trace=" + clientTrace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var spansPage struct {
+		Spans []struct {
+			Name  string            `json:"name"`
+			Attrs map[string]string `json:"attrs"`
+		} `json:"spans"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&spansPage)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /debug/spans: status %d err %v", resp.StatusCode, err)
+	}
+	spanNames := map[string]bool{}
+	var decisionLatency string
+	for _, sp := range spansPage.Spans {
+		spanNames[sp.Name] = true
+		if sp.Name == "decision" {
+			decisionLatency = sp.Attrs["decision_latency_s"]
+		}
+	}
+	for _, want := range []string{"decision", "ingress", "coalesce", "solve", "publish"} {
+		if !spanNames[want] {
+			t.Fatalf("trace %s missing %q span; got %v", clientTrace, want, spanNames)
+		}
+	}
+	if decisionLatency == "" {
+		t.Fatal("decision span has no decision_latency_s attribute")
 	}
 
 	// Saturate the first commodity so the attribution has a bottleneck
@@ -235,5 +298,11 @@ func TestAdmissiondEndToEnd(t *testing.T) {
 	}
 	if !strings.Contains(string(evData), `"type":"server_trace"`) {
 		t.Fatalf("events file has no server_trace records:\n%.500s", evData)
+	}
+	if !strings.Contains(string(evData), `"type":"span"`) {
+		t.Fatalf("events file has no span records:\n%.500s", evData)
+	}
+	if !strings.Contains(string(evData), `"type":"http_request"`) {
+		t.Fatalf("events file has no http_request records:\n%.500s", evData)
 	}
 }

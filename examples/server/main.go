@@ -4,8 +4,11 @@
 // and a commodity departure — printing the evolving total utility and
 // whether each re-solve warm-started. It finishes with the solver's
 // introspection endpoints: /explain (why each commodity is admitted at
-// its rate, and which resource binds it) and /history (how utility and
-// admission moved generation over generation).
+// its rate, and which resource binds it), /history (how utility and
+// admission moved generation over generation), and /debug/spans (the
+// full decision-lifecycle trace of the first mutation, from HTTP
+// ingress through coalescing and the solve phases to snapshot publish,
+// linked to the client's own W3C traceparent).
 //
 //	go run ./examples/server
 package main
@@ -16,9 +19,11 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"sort"
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/obs/span"
 	"repro/internal/obs/trace"
 	"repro/internal/randnet"
 	"repro/internal/server"
@@ -52,6 +57,7 @@ func run() error {
 		Debounce: 5 * time.Millisecond,
 		Recorder: rec,
 		Trace:    trace.New(2048, 5),
+		Spans:    span.New(1024, rec),
 	})
 	if err != nil {
 		return err
@@ -65,11 +71,19 @@ func run() error {
 	base := "http://" + h.Addr()
 	fmt.Printf("admission server on %s (also serving /metrics)\n\n", base)
 
-	snap, err := s.WaitForGeneration(1, timeout)
-	if err != nil {
+	// Readiness the way an orchestrator would check it: poll /readyz
+	// until the first snapshot has published.
+	if err := waitReady(base); err != nil {
 		return err
 	}
+	snap := s.Snapshot()
 	report("initial solve", snap)
+
+	// The first mutation carries an explicit W3C traceparent, as an
+	// instrumented client would; its decision lifecycle is read back
+	// from /debug/spans at the end.
+	const clientTrace = "4bf92f3577b34da6a3ce929d0e0e4736"
+	clientTraceparent := "00-" + clientTrace + "-00f067aa0ba902b7-01"
 
 	// The scripted stream of events. Each step is one or more API
 	// calls; the debounce window coalesces multi-call steps into a
@@ -79,9 +93,9 @@ func run() error {
 		do   func() error
 	}{
 		{"S1 rate burst (λ ×2)", func() error {
-			return patch(base+"/v1/commodities/S1", map[string]any{
+			return patchTraced(base+"/v1/commodities/S1", map[string]any{
 				"maxRate": p.Commodities[0].MaxRate * 2,
-			})
+			}, clientTraceparent)
 		}},
 		{"S2 + S3 drop to trickle", func() error {
 			if err := patch(base+"/v1/commodities/S2", map[string]any{"maxRate": 2.0}); err != nil {
@@ -128,7 +142,89 @@ func run() error {
 	if err := printExplain(base); err != nil {
 		return err
 	}
-	return printHistory(base)
+	if err := printHistory(base); err != nil {
+		return err
+	}
+	return printSpans(base, clientTrace)
+}
+
+// waitReady polls /readyz until the server reports its first published
+// snapshot.
+func waitReady(base string) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		resp, err := http.Get(base + "/readyz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("server never became ready")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// printSpans fetches the rate burst's decision lifecycle from
+// /debug/spans and prints it as an indented tree: the root decision
+// span (parented to the client's traceparent), the ingress and
+// coalescing children, the solve with its phase breakdown, and the
+// publish that resolved it.
+func printSpans(base, trace string) error {
+	resp, err := http.Get(base + "/debug/spans?trace=" + trace)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	var out struct {
+		Spans []struct {
+			ID         string            `json:"span"`
+			Parent     string            `json:"parent"`
+			Name       string            `json:"name"`
+			DurationMs float64           `json:"durationMs"`
+			Attrs      map[string]string `json:"attrs"`
+		} `json:"spans"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return err
+	}
+	fmt.Printf("\ndecision lifecycle for trace %s (GET /debug/spans?trace=...):\n", trace)
+	ids := map[string]bool{}
+	children := map[string][]int{}
+	for i, sp := range out.Spans {
+		ids[sp.ID] = true
+		children[sp.Parent] = append(children[sp.Parent], i)
+	}
+	var walk func(id string, depth int)
+	walk = func(id string, depth int) {
+		idx := children[id]
+		sort.Slice(idx, func(a, b int) bool { return out.Spans[idx[a]].Name < out.Spans[idx[b]].Name })
+		for _, i := range idx {
+			sp := out.Spans[i]
+			extra := ""
+			if lat := sp.Attrs["decision_latency_s"]; lat != "" {
+				extra += fmt.Sprintf("  decision_latency_s=%s gen=%s", lat, sp.Attrs["generation"])
+			}
+			if n := sp.Attrs["mutations_coalesced"]; n != "" {
+				extra += fmt.Sprintf("  mutations_coalesced=%s", n)
+			}
+			if st := sp.Attrs["start"]; st != "" {
+				extra += fmt.Sprintf("  start=%s", st)
+			}
+			fmt.Printf("  %*s%-11s %8.2fms%s\n", 2*depth, "", sp.Name, sp.DurationMs, extra)
+			walk(sp.ID, depth+1)
+		}
+	}
+	// Roots are spans whose parent is outside the retained set (the
+	// client's own span, or none).
+	for parent := range children {
+		if !ids[parent] {
+			walk(parent, 0)
+		}
+	}
+	return nil
 }
 
 // printExplain asks /explain why each surviving commodity is admitted
@@ -245,6 +341,10 @@ func busiestServer(base string) (string, error) {
 }
 
 func patch(url string, body map[string]any) error {
+	return patchTraced(url, body, "")
+}
+
+func patchTraced(url string, body map[string]any, traceparent string) error {
 	data, err := json.Marshal(body)
 	if err != nil {
 		return err
@@ -252,6 +352,9 @@ func patch(url string, body map[string]any) error {
 	req, err := http.NewRequest(http.MethodPatch, url, bytes.NewReader(data))
 	if err != nil {
 		return err
+	}
+	if traceparent != "" {
+		req.Header.Set("traceparent", traceparent)
 	}
 	return expect2xx(req)
 }

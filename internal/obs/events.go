@@ -47,6 +47,17 @@ const (
 	// EventServerTrace reports the solver trace ring's occupancy when a
 	// snapshot is published.
 	EventServerTrace EventType = "server_trace"
+	// EventSpan is one finished decision-lifecycle span (see
+	// internal/obs/span): trace/span/parent IDs, name, duration, attrs.
+	EventSpan EventType = "span"
+	// EventHTTPRequest is one served admission-API request: route
+	// pattern, method, path, status, latency, and the request's W3C
+	// trace ID when a traceparent header was sent.
+	EventHTTPRequest EventType = "http_request"
+	// EventAdmissionFlip is one commodity crossing the admitted↔rejected
+	// boundary between consecutive snapshot generations, attributed to
+	// the trace ID of the mutation batch that triggered the re-solve.
+	EventAdmissionFlip EventType = "admission_flip"
 )
 
 // Event is one structured record. Fields not meaningful for a type are
@@ -100,6 +111,24 @@ type Event struct {
 	Samples  int `json:"samples,omitempty"`
 	TraceCap int `json:"trace_cap,omitempty"`
 	Stride   int `json:"stride,omitempty"`
+
+	// Span fields (also Seconds for the duration). Trace doubles as the
+	// request trace ID on http_request and admission_flip events.
+	Trace  string            `json:"trace,omitempty"`
+	Span   string            `json:"span,omitempty"`
+	Parent string            `json:"parent,omitempty"`
+	Name   string            `json:"name,omitempty"`
+	Attrs  map[string]string `json:"attrs,omitempty"`
+
+	// HTTP request fields (also Seconds for the latency).
+	Method string `json:"method,omitempty"`
+	Path   string `json:"path,omitempty"`
+	Route  string `json:"route,omitempty"`
+	Code   int    `json:"code,omitempty"`
+
+	// Admission-flip fields (also Generation, Commodity, Rate, Trace):
+	// To is the new state, "admitted" or "rejected".
+	To string `json:"to,omitempty"`
 }
 
 // Sink consumes events. Implementations must be safe for concurrent

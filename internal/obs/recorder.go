@@ -102,6 +102,11 @@ type Recorder struct {
 	traceSamples *Gauge
 	attributions *Counter
 
+	decisionLat  *Histogram
+	flipAdmitted *Counter
+	flipRejected *Counter
+	spans        *Counter
+
 	phase [numPhases]*Histogram
 	// phaseAcc accumulates the current iteration's per-phase seconds for
 	// the tracer; swapped to zero when Iteration fires a TraceSample.
@@ -143,6 +148,13 @@ func NewRecorder(reg *Registry, sink Sink) *Recorder {
 	r.srvMutations = reg.Counter("streamopt_server_mutations_total", "Accepted admission-server problem mutations.")
 	r.traceSamples = reg.Gauge("streamopt_trace_samples", "Samples currently held by the solver trace ring.")
 	r.attributions = reg.Counter("streamopt_attributions_total", "Per-commodity bottleneck attributions published.")
+	r.decisionLat = reg.Histogram("streamopt_decision_latency_seconds",
+		"Mutation received to first published snapshot containing it.", DefaultTimeBuckets)
+	r.flipAdmitted = reg.Counter("streamopt_admission_flips_total",
+		"Commodities crossing the admitted/rejected boundary between generations.", "to", "admitted")
+	r.flipRejected = reg.Counter("streamopt_admission_flips_total",
+		"Commodities crossing the admitted/rejected boundary between generations.", "to", "rejected")
+	r.spans = reg.Counter("streamopt_spans_total", "Decision-lifecycle spans finished.")
 	if dr, ok := sink.(dropReporting); ok {
 		dr.SetDropCounter(reg.Counter("streamopt_events_dropped_total",
 			"Events lost to sink write errors."))
@@ -362,6 +374,71 @@ func (r *Recorder) ServerTrace(generation int64, samples, capacity, stride int) 
 	r.emit(Event{
 		Type: EventServerTrace, Alg: "server", Generation: generation,
 		Samples: samples, TraceCap: capacity, Stride: stride,
+	})
+}
+
+// Span exports one finished decision-lifecycle span as a JSONL event;
+// it is the span.Emitter implementation a span.Tracer is built over, so
+// spans ride the same sink (and rotation, and drop accounting) as every
+// other event.
+func (r *Recorder) Span(trace, spanID, parent, name string, seconds float64, attrs map[string]string) {
+	if r == nil {
+		return
+	}
+	r.spans.Inc()
+	r.emit(Event{
+		Type: EventSpan, Alg: "server",
+		Trace: trace, Span: spanID, Parent: parent, Name: name,
+		Seconds: seconds, Attrs: attrs,
+	})
+}
+
+// DecisionLatency records one mutation's ingress-to-published-snapshot
+// latency — the end-to-end number the span tree decomposes.
+func (r *Recorder) DecisionLatency(seconds float64) {
+	if r == nil {
+		return
+	}
+	r.decisionLat.Observe(seconds)
+}
+
+// AdmissionFlip records one commodity crossing the admitted↔rejected
+// boundary at a published generation, attributed to the triggering
+// mutation batch's trace ID (may be empty when untraced).
+func (r *Recorder) AdmissionFlip(generation int64, commodity string, admitted bool, rate float64, traceID string) {
+	if r == nil {
+		return
+	}
+	to := "rejected"
+	if admitted {
+		to = "admitted"
+		r.flipAdmitted.Inc()
+	} else {
+		r.flipRejected.Inc()
+	}
+	r.emit(Event{
+		Type: EventAdmissionFlip, Alg: "server", Generation: generation,
+		Commodity: commodity, Rate: rate, To: to, Trace: traceID,
+	})
+}
+
+// HTTPRequest records one served admission-API request: the per-route
+// counter and latency histogram, plus a structured request-log event
+// (method/path/status/duration/trace ID) through the sink.
+func (r *Recorder) HTTPRequest(route, method, path string, code int, seconds float64, traceID string) {
+	if r == nil {
+		return
+	}
+	r.reg.Counter("streamopt_http_requests_total",
+		"Admission-API requests served, by route pattern and status.",
+		"route", route, "code", strconv.Itoa(code)).Inc()
+	r.reg.Histogram("streamopt_http_request_seconds",
+		"Admission-API request latency by route pattern.",
+		DefaultTimeBuckets, "route", route).Observe(seconds)
+	r.emit(Event{
+		Type: EventHTTPRequest, Alg: "server",
+		Route: route, Method: method, Path: path, Code: code,
+		Seconds: seconds, Trace: traceID,
 	})
 }
 

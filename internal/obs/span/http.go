@@ -1,0 +1,71 @@
+package span
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// Attach mounts the span exposition on an existing mux, the way
+// obs.Attach mounts /metrics (the span ring cannot live in obs itself —
+// span imports obs for the sink machinery):
+//
+//	GET /debug/spans                 all retained spans, oldest first
+//	  ?trace=<32 hex>                one decision lifecycle's span tree
+//	  ?name=<span name>              e.g. name=solve
+//	  ?commodity=<name>              spans annotated with that commodity
+//	  ?min_ms=<float>                spans at least this long
+//
+// The response is {"capacity","retained","started","finished","spans"}.
+// A span tree is reassembled client-side from the parent links: every
+// span of one trace shares the trace ID, and Parent names the span it
+// hangs under.
+func Attach(mux *http.ServeMux, t *Tracer) {
+	mux.HandleFunc("GET /debug/spans", Handler(t))
+}
+
+// Handler returns the GET /debug/spans handler for mounting on muxes
+// that cannot use Attach. A nil tracer serves 404.
+func Handler(t *Tracer) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if t == nil {
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusNotFound)
+			_ = json.NewEncoder(w).Encode(map[string]string{
+				"error": "span tracing not enabled",
+			})
+			return
+		}
+		q := r.URL.Query()
+		f := Filter{
+			Trace: q.Get("trace"),
+			Name:  q.Get("name"),
+		}
+		if c := q.Get("commodity"); c != "" {
+			f.AttrKey, f.AttrVal = "commodity", c
+		}
+		if ms := q.Get("min_ms"); ms != "" {
+			v, err := strconv.ParseFloat(ms, 64)
+			if err != nil || v < 0 {
+				w.Header().Set("Content-Type", "application/json")
+				w.WriteHeader(http.StatusBadRequest)
+				_ = json.NewEncoder(w).Encode(map[string]string{
+					"error": "min_ms must be a non-negative number",
+				})
+				return
+			}
+			f.MinDuration = time.Duration(v * float64(time.Millisecond))
+		}
+		started, finished := t.Stats()
+		spans := t.Spans(f)
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(map[string]any{
+			"capacity": t.Cap(),
+			"retained": t.Len(),
+			"started":  started,
+			"finished": finished,
+			"spans":    spans,
+		})
+	}
+}

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -9,8 +10,10 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/obs"
+	"repro/internal/obs/span"
 )
 
 // Handler returns the service's HTTP API. Reads are served lock-free
@@ -18,14 +21,26 @@ import (
 // commit on success. When reg is non-nil the obs exposition endpoints
 // (/metrics, /debug/vars, /debug/pprof) are mounted on the same mux.
 //
-//	GET    /v1/healthz                     liveness + generation
+// Every request passes through the metrics middleware: per-route
+// streamopt_http_requests_total{route,code} and latency histograms,
+// plus a structured request-log event (method/path/status/duration/
+// trace ID) through the recorder's sink. Mutation routes honor the W3C
+// `traceparent` header: when span tracing is on (Options.Spans), the
+// accepted mutation's decision trace continues the client's trace, and
+// the full ingress→coalesce→solve→publish tree is queryable on
+// GET /debug/spans?trace=<id>.
+//
+//	GET    /healthz                        liveness (alias /v1/healthz)
+//	GET    /readyz                         readiness: 200 once the first snapshot published
 //	GET    /v1/snapshot                    full converged snapshot
 //	GET    /v1/admitted                    per-commodity admitted rates
 //	GET    /v1/usage                       per-server/link utilization
+//	GET    /v1/flips                       recent admitted↔rejected transitions
 //	GET    /v1/problem                     current problem (schema JSON)
 //	GET    /explain?commodity=NAME|IDX     bottleneck attribution (all when omitted)
 //	GET    /history                        generation-over-generation diffs
 //	GET    /debug/trace                    sampled per-iteration solver trace
+//	GET    /debug/spans                    decision-lifecycle spans (trace/commodity/min_ms filters)
 //	POST   /v1/commodities                 admit a commodity (schema JSON)
 //	DELETE /v1/commodities/{name}          remove a commodity
 //	PATCH  /v1/commodities/{name}          {"maxRate": λ} and/or {"utility": {...}}
@@ -36,13 +51,29 @@ func (s *Server) Handler(reg *obs.Registry) http.Handler {
 	if reg != nil {
 		obs.Attach(mux, reg)
 	}
+	span.Attach(mux, s.opts.Spans) // serves 404 when tracing is off
 
-	mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, _ *http.Request) {
+	healthz := func(w http.ResponseWriter, _ *http.Request) {
 		var gen int64
 		if snap := s.Snapshot(); snap != nil {
 			gen = snap.Generation
 		}
 		writeJSON(w, http.StatusOK, map[string]any{"ok": true, "generation": gen, "rev": s.Rev()})
+	}
+	mux.HandleFunc("GET /healthz", healthz)
+	mux.HandleFunc("GET /v1/healthz", healthz)
+
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, _ *http.Request) {
+		snap := s.Snapshot()
+		if snap == nil {
+			writeJSON(w, http.StatusServiceUnavailable, map[string]any{"ready": false})
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"ready": true, "generation": snap.Generation})
+	})
+
+	mux.HandleFunc("GET /v1/flips", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{"flips": s.Flips()})
 	})
 
 	mux.HandleFunc("GET /v1/snapshot", func(w http.ResponseWriter, _ *http.Request) {
@@ -140,7 +171,7 @@ func (s *Server) Handler(reg *obs.Registry) http.Handler {
 		if err != nil {
 			return
 		}
-		rev, err := s.AddCommodityJSON(body)
+		rev, err := s.addCommodityJSON(ingressFrom(r), body)
 		if err != nil {
 			writeError(w, http.StatusBadRequest, err)
 			return
@@ -149,7 +180,7 @@ func (s *Server) Handler(reg *obs.Registry) http.Handler {
 	})
 
 	mux.HandleFunc("DELETE /v1/commodities/{name}", func(w http.ResponseWriter, r *http.Request) {
-		rev, err := s.RemoveCommodity(r.PathValue("name"))
+		rev, err := s.removeCommodity(ingressFrom(r), r.PathValue("name"))
 		if err != nil {
 			writeError(w, http.StatusNotFound, err)
 			return
@@ -175,15 +206,16 @@ func (s *Server) Handler(reg *obs.Registry) http.Handler {
 			writeError(w, http.StatusBadRequest, errors.New("patch must set maxRate and/or utility"))
 			return
 		}
+		ing := ingressFrom(r)
 		var rev int64
 		if patch.MaxRate != nil {
-			if rev, err = s.SetMaxRate(name, *patch.MaxRate); err != nil {
+			if rev, err = s.setMaxRate(ing, name, *patch.MaxRate); err != nil {
 				writeError(w, statusForMutation(err), err)
 				return
 			}
 		}
 		if patch.Utility != nil {
-			if rev, err = s.SetUtilityJSON(name, patch.Utility); err != nil {
+			if rev, err = s.setUtilityJSON(ing, name, patch.Utility); err != nil {
 				writeError(w, statusForMutation(err), err)
 				return
 			}
@@ -197,12 +229,13 @@ func (s *Server) Handler(reg *obs.Registry) http.Handler {
 		if !ok {
 			return
 		}
+		ing := ingressFrom(r)
 		var rev int64
 		var err error
 		if scale != 0 {
-			rev, err = s.ScaleCapacity(name, scale)
+			rev, err = s.scaleCapacity(ing, name, scale)
 		} else {
-			rev, err = s.SetCapacity(name, abs)
+			rev, err = s.setCapacity(ing, name, abs)
 		}
 		if err != nil {
 			writeError(w, statusForMutation(err), err)
@@ -217,12 +250,13 @@ func (s *Server) Handler(reg *obs.Registry) http.Handler {
 		if !ok {
 			return
 		}
+		ing := ingressFrom(r)
 		var rev int64
 		var err error
 		if scale != 0 {
-			rev, err = s.ScaleBandwidth(from, to, scale)
+			rev, err = s.scaleBandwidth(ing, from, to, scale)
 		} else {
-			rev, err = s.SetBandwidth(from, to, abs)
+			rev, err = s.setBandwidth(ing, from, to, abs)
 		}
 		if err != nil {
 			writeError(w, statusForMutation(err), err)
@@ -231,7 +265,63 @@ func (s *Server) Handler(reg *obs.Registry) http.Handler {
 		writeJSON(w, http.StatusOK, map[string]any{"rev": rev})
 	})
 
-	return mux
+	return s.instrument(mux)
+}
+
+// ingressKey carries the request's ingress through the context from the
+// instrumentation middleware (which parses traceparent and stamps the
+// arrival time once) to the mutation handlers.
+type ingressKey struct{}
+
+// ingressFrom recovers the ingress stashed by the middleware; a handler
+// invoked outside instrument (e.g. straight from a test mux) degrades
+// to an untraced ingress stamped now.
+func ingressFrom(r *http.Request) ingress {
+	if ing, ok := r.Context().Value(ingressKey{}).(ingress); ok {
+		return ing
+	}
+	return ingress{at: time.Now()}
+}
+
+// statusWriter captures the response code for the request metrics;
+// handlers that never call WriteHeader implicitly answer 200.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// instrument wraps the API mux with the observability middleware: it
+// parses the W3C traceparent header once and stashes the resulting
+// ingress in the request context, then records per-route request
+// counters and latency histograms (streamopt_http_requests_total,
+// streamopt_http_request_seconds) and emits one http_request event per
+// served request through the recorder's sink. The route label is the
+// mux pattern (e.g. "PATCH /v1/commodities/{name}"), not the raw path,
+// so label cardinality stays bounded.
+func (s *Server) instrument(mux *http.ServeMux) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		ing := ingress{at: start}
+		if tp := r.Header.Get("traceparent"); tp != "" {
+			if tc, err := span.ParseTraceparent(tp); err == nil {
+				ing.tc = tc
+			}
+		}
+		r = r.WithContext(context.WithValue(r.Context(), ingressKey{}, ing))
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		mux.ServeHTTP(sw, r)
+		_, route := mux.Handler(r)
+		if route == "" {
+			route = "unmatched"
+		}
+		s.opts.Recorder.HTTPRequest(route, r.Method, r.URL.Path, sw.code,
+			time.Since(start).Seconds(), ing.tc.TraceHex())
+	})
 }
 
 // Serve binds addr and serves Handler(reg) until the returned

@@ -29,6 +29,7 @@ import (
 	"repro/internal/flow"
 	"repro/internal/gradient"
 	"repro/internal/obs"
+	"repro/internal/obs/span"
 	"repro/internal/obs/trace"
 	"repro/internal/stream"
 	"repro/internal/transform"
@@ -67,9 +68,21 @@ type Options struct {
 	// ring is served on GET /debug/trace. Requires a Recorder — one is
 	// created on a private registry if none was given.
 	Trace *trace.Ring
+	// Spans, when non-nil, traces the decision lifecycle: a root
+	// "decision" span per accepted mutation (adopting the client's W3C
+	// traceparent at HTTP ingress), children covering the coalescing
+	// wait and the solve phases, closed at snapshot publish. The ring is
+	// served on GET /debug/spans; finished spans also flow through the
+	// Recorder's event sink as "span" JSONL records. Like Trace, it
+	// requires a Recorder — one is created on a private registry if none
+	// was given. Nil disables (zero overhead on every path).
+	Spans *span.Tracer
 	// HistoryCap bounds the retained snapshot generations served on
 	// GET /history. Default 64; <0 disables history.
 	HistoryCap int
+	// FlipCap bounds the recent admitted↔rejected transition ring
+	// served on GET /v1/flips. Default 256; <0 disables.
+	FlipCap int
 	// Logf receives warm-start fallback diagnostics and solve errors.
 	// Nil means log.Printf.
 	Logf func(format string, args ...any)
@@ -97,7 +110,10 @@ func (o *Options) setDefaults() {
 	if o.HistoryCap == 0 {
 		o.HistoryCap = 64
 	}
-	if o.Trace != nil && o.Recorder == nil {
+	if o.FlipCap == 0 {
+		o.FlipCap = 256
+	}
+	if (o.Trace != nil || o.Spans != nil) && o.Recorder == nil {
 		o.Recorder = obs.NewRecorder(obs.NewRegistry(), nil)
 	}
 	if o.Logf == nil {
@@ -159,6 +175,7 @@ type Server struct {
 	mu      sync.Mutex
 	problem *stream.Problem // desired state; edited under mu
 	rev     int64           // bumped per accepted mutation
+	pending []*decision     // traced mutations awaiting a snapshot; under mu
 
 	snap atomic.Pointer[Snapshot]
 	gen  atomic.Int64
@@ -168,10 +185,81 @@ type Server struct {
 	histNext int
 	histFull bool
 
+	flipMu   sync.Mutex
+	flips    []AdmissionFlip // ring of recent transitions, cap FlipCap
+	flipNext int
+	flipFull bool
+
+	// phases aggregates the recorder's per-phase hooks across one solve
+	// for the iterate span; solver-goroutine only.
+	phases *phaseTee
+
 	wake   chan struct{} // 1-buffered mutation signal
 	ctx    context.Context
 	cancel context.CancelFunc
 	done   chan struct{}
+}
+
+// decision is one traced mutation in flight: accepted (rev bumped) but
+// not yet incorporated into a published snapshot. The root span opened
+// at ingress; the coalesce child closes when a solve picks the batch
+// up; the root closes at publish with the decision latency.
+type decision struct {
+	rev      int64
+	received time.Time
+	root     *span.Active
+	coalesce *span.Active
+}
+
+// maxPendingDecisions bounds the traced-mutation backlog: if the solver
+// cannot keep up, the oldest decisions are closed early (attribute
+// dropped=true) rather than growing without bound.
+const maxPendingDecisions = 4096
+
+// AdmissionFlip is one commodity crossing the admitted↔rejected
+// boundary between consecutive generations — the events streamtop
+// tails. A commodity counts as rejected when its admitted rate is
+// negligible against its offered rate (below 1% or absolute 1e-9).
+type AdmissionFlip struct {
+	Generation int64     `json:"generation"`
+	Commodity  string    `json:"commodity"`
+	Admitted   bool      `json:"admitted"` // new state
+	Rate       float64   `json:"rate"`     // admitted rate a_j at the flip
+	Offered    float64   `json:"offered"`
+	Trace      string    `json:"trace,omitempty"` // triggering mutation batch's trace ID
+	At         time.Time `json:"at"`
+}
+
+// rejected is the admitted↔rejected boundary used for flip detection.
+func rejected(admitted, offered float64) bool {
+	return admitted < 1e-9 || admitted < 0.01*offered
+}
+
+// phaseTee implements obs.Tracer: it sums the per-phase wall-clock of
+// every iteration (fed by the recorder's StartPhase/Done hooks) so the
+// solve's iterate span can carry the aggregate split, then forwards the
+// sample to the user's trace ring. Solver-goroutine only — engines call
+// TraceIteration from Step, and solveOnce drains between solves on the
+// same goroutine.
+type phaseTee struct {
+	next  obs.Tracer
+	phase [obs.NumPhases]float64
+}
+
+func (t *phaseTee) TraceIteration(s obs.TraceSample) {
+	for p, sec := range s.PhaseSeconds {
+		t.phase[p] += sec
+	}
+	if t.next != nil {
+		t.next.TraceIteration(s)
+	}
+}
+
+// take returns and resets the accumulated per-phase seconds.
+func (t *phaseTee) take() [obs.NumPhases]float64 {
+	ph := t.phase
+	t.phase = [obs.NumPhases]float64{}
+	return ph
 }
 
 // New starts the solver loop over an initial problem (which may have
@@ -187,11 +275,6 @@ func New(p *stream.Problem, opts Options) (*Server, error) {
 			return nil, err
 		}
 	}
-	if opts.Trace != nil {
-		// Attach before the solver loop starts so every iteration of
-		// every generation can be sampled.
-		opts.Recorder.SetTracer(opts.Trace)
-	}
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{
 		opts:    opts,
@@ -200,6 +283,17 @@ func New(p *stream.Problem, opts Options) (*Server, error) {
 		ctx:     ctx,
 		cancel:  cancel,
 		done:    make(chan struct{}),
+	}
+	if opts.Trace != nil || opts.Spans != nil {
+		// Attach before the solver loop starts so every iteration of
+		// every generation can be sampled. The tee keeps the per-solve
+		// phase aggregate for the iterate span and forwards to the
+		// user's trace ring, if any.
+		s.phases = &phaseTee{}
+		if opts.Trace != nil {
+			s.phases.next = opts.Trace
+		}
+		opts.Recorder.SetTracer(s.phases)
 	}
 	if len(p.Commodities) > 0 {
 		s.rev = 1
@@ -247,10 +341,23 @@ func (s *Server) signal() {
 	}
 }
 
+// ingress carries a mutation's arrival context: the client's W3C trace
+// context (zero when no traceparent was sent — a fresh trace starts)
+// and when the request was received (zero means now). The HTTP layer
+// fills it from the request; direct API callers pass the zero value.
+type ingress struct {
+	tc span.Context
+	at time.Time
+}
+
 // mutate applies fn transactionally: it runs against a clone of the
 // desired problem, and only a nil error swaps the clone in, bumps the
-// revision, and wakes the solver. A failed mutation leaves no trace.
-func (s *Server) mutate(kind, target string, fn func(p *stream.Problem) error) (int64, error) {
+// revision, opens the decision's trace, and wakes the solver. A failed
+// mutation leaves no trace. Registering the decision under mu is what
+// makes attribution exact: the solver also captures (problem, rev,
+// pending) under mu, so a decision is always either in the batch of the
+// solve that saw its revision, or still pending.
+func (s *Server) mutate(ing ingress, kind, target string, fn func(p *stream.Problem) error) (int64, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	next := s.problem.Clone()
@@ -260,19 +367,56 @@ func (s *Server) mutate(kind, target string, fn func(p *stream.Problem) error) (
 	s.problem = next
 	s.rev++
 	s.opts.Recorder.ServerMutation(kind, target)
+	s.trackDecisionLocked(ing, kind, target)
 	s.signal()
 	return s.rev, nil
+}
+
+// trackDecisionLocked opens the decision-lifecycle spans for one
+// accepted mutation: the root "decision" span (under the client's
+// traceparent when given), an "ingress" child backdated to the request
+// arrival, and the open "coalesce" child the solver closes when it
+// picks the mutation up. Callers hold s.mu; a nil tracer is free.
+func (s *Server) trackDecisionLocked(ing ingress, kind, target string) {
+	tr := s.opts.Spans
+	if tr == nil {
+		return
+	}
+	at := ing.at
+	if at.IsZero() {
+		at = time.Now()
+	}
+	root := tr.StartAt("decision", ing.tc, at)
+	root.SetAttr("kind", kind)
+	root.SetAttr("target", target)
+	root.SetAttrInt("rev", s.rev)
+	in := tr.StartAt("ingress", root.Context(), at)
+	in.SetAttr("kind", kind)
+	in.End()
+	co := tr.Start("coalesce", root.Context())
+	s.pending = append(s.pending, &decision{rev: s.rev, received: at, root: root, coalesce: co})
+	if len(s.pending) > maxPendingDecisions {
+		d := s.pending[0]
+		s.pending = append(s.pending[:0], s.pending[1:]...)
+		d.coalesce.End()
+		d.root.SetAttrBool("dropped", true)
+		d.root.End()
+	}
 }
 
 // AddCommodityJSON admits a new commodity described in the problem
 // schema's JSON form (see internal/stream). The extended topology
 // changes, so the next solve cold-starts.
 func (s *Server) AddCommodityJSON(spec []byte) (int64, error) {
+	return s.addCommodityJSON(ingress{}, spec)
+}
+
+func (s *Server) addCommodityJSON(ing ingress, spec []byte) (int64, error) {
 	var meta struct {
 		Name string `json:"name"`
 	}
 	_ = json.Unmarshal(spec, &meta) // best-effort label; full parse validates
-	return s.mutate("add_commodity", meta.Name, func(p *stream.Problem) error {
+	return s.mutate(ing, "add_commodity", meta.Name, func(p *stream.Problem) error {
 		_, err := p.AddCommodityFromJSON(spec)
 		return err
 	})
@@ -280,7 +424,11 @@ func (s *Server) AddCommodityJSON(spec []byte) (int64, error) {
 
 // RemoveCommodity ends a commodity's session.
 func (s *Server) RemoveCommodity(name string) (int64, error) {
-	return s.mutate("remove_commodity", name, func(p *stream.Problem) error {
+	return s.removeCommodity(ingress{}, name)
+}
+
+func (s *Server) removeCommodity(ing ingress, name string) (int64, error) {
+	return s.mutate(ing, "remove_commodity", name, func(p *stream.Problem) error {
 		if !p.RemoveCommodity(name) {
 			return fmt.Errorf("server: unknown commodity %q", name)
 		}
@@ -291,7 +439,11 @@ func (s *Server) RemoveCommodity(name string) (int64, error) {
 // SetMaxRate updates a commodity's offered rate λ_j. Same topology, so
 // the next solve warm-starts.
 func (s *Server) SetMaxRate(name string, rate float64) (int64, error) {
-	return s.mutate("set_rate", name, func(p *stream.Problem) error {
+	return s.setMaxRate(ingress{}, name, rate)
+}
+
+func (s *Server) setMaxRate(ing ingress, name string, rate float64) (int64, error) {
+	return s.mutate(ing, "set_rate", name, func(p *stream.Problem) error {
 		return p.SetMaxRate(name, rate)
 	})
 }
@@ -299,7 +451,11 @@ func (s *Server) SetMaxRate(name string, rate float64) (int64, error) {
 // SetUtilityJSON replaces a commodity's utility function (its admission
 // weight/priority) from the schema's utility JSON form.
 func (s *Server) SetUtilityJSON(name string, spec []byte) (int64, error) {
-	return s.mutate("set_utility", name, func(p *stream.Problem) error {
+	return s.setUtilityJSON(ingress{}, name, spec)
+}
+
+func (s *Server) setUtilityJSON(ing ingress, name string, spec []byte) (int64, error) {
+	return s.mutate(ing, "set_utility", name, func(p *stream.Problem) error {
 		u, err := stream.ParseUtilityJSON(spec)
 		if err != nil {
 			return err
@@ -312,14 +468,22 @@ func (s *Server) SetUtilityJSON(name string, spec []byte) (int64, error) {
 // recovery injection primitive (E8 semantics: cut to a fraction, later
 // restore).
 func (s *Server) SetCapacity(node string, capacity float64) (int64, error) {
-	return s.mutate("set_capacity", node, func(p *stream.Problem) error {
+	return s.setCapacity(ingress{}, node, capacity)
+}
+
+func (s *Server) setCapacity(ing ingress, node string, capacity float64) (int64, error) {
+	return s.mutate(ing, "set_capacity", node, func(p *stream.Problem) error {
 		return p.Net.SetCapacity(node, capacity)
 	})
 }
 
 // SetBandwidth changes a link's bandwidth.
 func (s *Server) SetBandwidth(from, to string, bandwidth float64) (int64, error) {
-	return s.mutate("set_bandwidth", from+"->"+to, func(p *stream.Problem) error {
+	return s.setBandwidth(ingress{}, from, to, bandwidth)
+}
+
+func (s *Server) setBandwidth(ing ingress, from, to string, bandwidth float64) (int64, error) {
+	return s.mutate(ing, "set_bandwidth", from+"->"+to, func(p *stream.Problem) error {
 		return p.Net.SetBandwidth(from, to, bandwidth)
 	})
 }
@@ -328,7 +492,11 @@ func (s *Server) SetBandwidth(from, to string, bandwidth float64) (int64, error)
 // failure-injection idiom (0.25 models a three-quarter outage, a later
 // 4.0 restores it).
 func (s *Server) ScaleCapacity(node string, factor float64) (int64, error) {
-	return s.mutate("scale_capacity", node, func(p *stream.Problem) error {
+	return s.scaleCapacity(ingress{}, node, factor)
+}
+
+func (s *Server) scaleCapacity(ing ingress, node string, factor float64) (int64, error) {
+	return s.mutate(ing, "scale_capacity", node, func(p *stream.Problem) error {
 		id, ok := p.Net.NodeByName(node)
 		if !ok {
 			return fmt.Errorf("server: unknown node %q", node)
@@ -339,7 +507,11 @@ func (s *Server) ScaleCapacity(node string, factor float64) (int64, error) {
 
 // ScaleBandwidth multiplies a link's bandwidth by factor.
 func (s *Server) ScaleBandwidth(from, to string, factor float64) (int64, error) {
-	return s.mutate("scale_bandwidth", from+"->"+to, func(p *stream.Problem) error {
+	return s.scaleBandwidth(ingress{}, from, to, factor)
+}
+
+func (s *Server) scaleBandwidth(ing ingress, from, to string, factor float64) (int64, error) {
+	return s.mutate(ing, "scale_bandwidth", from+"->"+to, func(p *stream.Problem) error {
 		f, ok := p.Net.NodeByName(from)
 		if !ok {
 			return fmt.Errorf("server: unknown node %q", from)
@@ -360,6 +532,7 @@ func (s *Server) ScaleBandwidth(from, to string, factor float64) (int64, error) 
 // burst, solve, publish, repeat.
 func (s *Server) loop() {
 	defer close(s.done)
+	defer s.abandonPending()
 	for {
 		select {
 		case <-s.ctx.Done():
@@ -368,6 +541,20 @@ func (s *Server) loop() {
 		}
 		s.debounce()
 		s.solveOnce()
+	}
+}
+
+// abandonPending closes the spans of decisions the server shut down
+// before answering, so a drained close leaves no dangling spans.
+func (s *Server) abandonPending() {
+	s.mu.Lock()
+	batch := s.pending
+	s.pending = nil
+	s.mu.Unlock()
+	for _, d := range batch {
+		d.coalesce.End()
+		d.root.SetAttrBool("abandoned", true)
+		d.root.End()
 	}
 }
 
@@ -398,13 +585,42 @@ func (s *Server) debounce() {
 	}
 }
 
-// solveOnce clones the desired problem, re-solves (warm when the
-// extended topology is unchanged), and publishes a new snapshot.
+// solveOnce clones the desired problem, takes the pending traced
+// mutations it will incorporate, re-solves (warm when the extended
+// topology is unchanged), and publishes a new snapshot. The solve's
+// phases — build, engine init (warm-or-cold), iterate, publish — are
+// child spans of a "solve" span parented to the first coalesced
+// mutation's decision trace.
 func (s *Server) solveOnce() {
 	s.mu.Lock()
 	p := s.problem.Clone()
 	rev := s.rev
+	// Every pending decision has rev ≤ s.rev, so this solve will
+	// incorporate all of them: take the whole batch.
+	batch := s.pending
+	s.pending = nil
 	s.mu.Unlock()
+
+	tr := s.opts.Spans
+	var solveSpan *span.Active
+	if tr != nil {
+		parent := span.Context{}
+		if len(batch) > 0 {
+			parent = batch[0].root.Context()
+		}
+		solveSpan = tr.Start("solve", parent)
+		solveSpan.SetAttrInt("rev", rev)
+		solveSpan.SetAttrInt("mutations_coalesced", int64(len(batch)))
+		for _, d := range batch {
+			d.coalesce.SetAttrInt("mutations_coalesced", int64(len(batch)))
+			d.coalesce.End()
+			if d != batch[0] {
+				// Coalesced siblings record which trace carries the
+				// shared solve subtree.
+				d.root.SetAttr("solve_trace", solveSpan.Context().TraceHex())
+			}
+		}
+	}
 
 	start := time.Now()
 	if len(p.Commodities) == 0 {
@@ -414,21 +630,41 @@ func (s *Server) solveOnce() {
 			Rev: rev, Warm: false, Converged: true, Feasible: true,
 			SolveSeconds: time.Since(start).Seconds(),
 			problem:      p,
-		}, false, 0)
+		}, false, 0, batch, solveSpan)
 		return
 	}
 
+	bs := tr.Start("build", solveSpan.Context())
 	x, err := transform.Build(p, transform.Options{Epsilon: s.opts.Epsilon})
+	bs.End()
 	if err != nil {
 		// Mutations are validated before acceptance, so this is a bug,
 		// not an operator error; keep the last good snapshot and log.
 		s.opts.Logf("server: transform failed at rev %d: %v", rev, err)
+		solveSpan.SetAttr("error", err.Error())
+		solveSpan.End()
+		for _, d := range batch {
+			d.root.SetAttr("error", err.Error())
+			d.root.End()
+		}
 		return
 	}
 
 	cfg := gradient.Config{Eta: s.opts.Eta, Workers: s.opts.Workers, Recorder: s.opts.Recorder}
+	es := tr.Start("engine_init", solveSpan.Context())
 	eng, warm := s.newEngine(x, cfg)
+	startKind := "cold"
+	if warm {
+		startKind = "warm"
+	}
+	es.SetAttr("start", startKind)
+	es.End()
+	solveSpan.SetAttr("start", startKind)
 
+	if s.phases != nil {
+		s.phases.take() // discard any leftovers from an aborted solve
+	}
+	it := tr.Start("iterate", solveSpan.Context())
 	iterations, converged := 0, false
 	var det gradient.DivergenceDetector
 	const stationaryEvery = 25
@@ -451,6 +687,15 @@ func (s *Server) solveOnce() {
 			}
 		}
 	}
+	it.SetAttrInt("iterations", int64(iterations))
+	it.SetAttrBool("converged", converged)
+	if it != nil && s.phases != nil {
+		// Aggregate per-phase split from the recorder's phase hooks.
+		for ph, sec := range s.phases.take() {
+			it.SetAttrFloat("phase_"+obs.Phase(ph).String()+"_s", sec)
+		}
+	}
+	it.End()
 
 	u := eng.Solution()
 	feasible, _ := u.Feasible()
@@ -477,7 +722,7 @@ func (s *Server) solveOnce() {
 			Utility:  c.Utility.Value(a),
 		})
 	}
-	s.publish(snap, warm, iterations)
+	s.publish(snap, warm, iterations, batch, solveSpan)
 }
 
 // newEngine warm-starts from the previous snapshot's routing when it
@@ -501,9 +746,14 @@ func (s *Server) newEngine(x *transform.Extended, cfg gradient.Config) (*gradien
 }
 
 // publish assigns the next generation, swaps the snapshot in, appends
-// it to the history ring, and emits the generation's observability
-// events (solve summary, per-commodity attribution, trace fill level).
-func (s *Server) publish(snap *Snapshot, warm bool, iterations int) {
+// it to the history ring, emits the generation's observability events
+// (solve summary, per-commodity attribution, trace fill level,
+// admission flips), and closes the decision lifecycle: every mutation
+// in the incorporated batch observes streamopt_decision_latency_seconds
+// and ends its root span stamped with the generation that answered it.
+func (s *Server) publish(snap *Snapshot, warm bool, iterations int, batch []*decision, solveSpan *span.Active) {
+	ps := s.opts.Spans.Start("publish", solveSpan.Context())
+	prev := s.snap.Load()
 	snap.Generation = s.gen.Add(1)
 	s.snap.Store(snap)
 	s.recordHistory(snap)
@@ -520,6 +770,85 @@ func (s *Server) publish(snap *Snapshot, warm bool, iterations int) {
 	if t := s.opts.Trace; t != nil {
 		rec.ServerTrace(snap.Generation, t.Len(), t.Cap(), t.Stride())
 	}
+
+	trigger := ""
+	if len(batch) > 0 {
+		trigger = batch[0].root.Context().TraceHex()
+	}
+	s.recordFlips(prev, snap, trigger)
+
+	for _, d := range batch {
+		lat := time.Since(d.received).Seconds()
+		rec.DecisionLatency(lat)
+		d.root.SetAttrInt("generation", snap.Generation)
+		d.root.SetAttrFloat("decision_latency_s", lat)
+		d.root.End()
+	}
+	ps.End()
+	solveSpan.SetAttrInt("generation", snap.Generation)
+	solveSpan.End()
+}
+
+// recordFlips diffs consecutive generations' admission states and
+// records every admitted↔rejected transition — to the bounded ring
+// served on GET /v1/flips, the streamopt_admission_flips_total counter,
+// and the event sink — attributed to the triggering batch's trace ID.
+func (s *Server) recordFlips(prev, snap *Snapshot, trigger string) {
+	if prev == nil || s.opts.FlipCap < 0 {
+		return
+	}
+	was := make(map[string]bool, len(prev.Commodities))
+	for _, c := range prev.Commodities {
+		was[c.Name] = !rejected(c.Admitted, c.Offered)
+	}
+	now := time.Now()
+	for _, c := range snap.Commodities {
+		admitted := !rejected(c.Admitted, c.Offered)
+		before, known := was[c.Name]
+		if !known || before == admitted {
+			continue
+		}
+		s.appendFlip(AdmissionFlip{
+			Generation: snap.Generation,
+			Commodity:  c.Name,
+			Admitted:   admitted,
+			Rate:       c.Admitted,
+			Offered:    c.Offered,
+			Trace:      trigger,
+			At:         now,
+		})
+		s.opts.Recorder.AdmissionFlip(snap.Generation, c.Name, admitted, c.Admitted, trigger)
+	}
+}
+
+// appendFlip adds one transition to the bounded flip ring.
+func (s *Server) appendFlip(f AdmissionFlip) {
+	s.flipMu.Lock()
+	defer s.flipMu.Unlock()
+	if s.flips == nil {
+		s.flips = make([]AdmissionFlip, s.opts.FlipCap)
+	}
+	s.flips[s.flipNext] = f
+	s.flipNext++
+	if s.flipNext == len(s.flips) {
+		s.flipNext = 0
+		s.flipFull = true
+	}
+}
+
+// Flips returns the retained admission transitions, oldest first.
+func (s *Server) Flips() []AdmissionFlip {
+	s.flipMu.Lock()
+	defer s.flipMu.Unlock()
+	if s.flips == nil {
+		return nil
+	}
+	var out []AdmissionFlip
+	if s.flipFull {
+		out = append(out, s.flips[s.flipNext:]...)
+	}
+	out = append(out, s.flips[:s.flipNext]...)
+	return out
 }
 
 // recordHistory appends the snapshot to the bounded generation ring.
@@ -560,18 +889,28 @@ func (s *Server) History() []*Snapshot {
 // (previous generation)+1 is the read-your-write recipe tests and
 // scripted demos use; a coalesced burst of mutations still lands in
 // that one next generation.
+//
+// Semantics under concurrent publishes: generations are assigned and
+// stored by the single solver goroutine, so the published generation is
+// monotone and a successful return carries the first snapshot this
+// waiter observed at or past gen (possibly further along if publishes
+// raced the wake-up — never behind). On timeout or server close the
+// error is non-nil and the latest published snapshot (nil if none yet)
+// is returned alongside it, so callers can degrade to stale-but-safe
+// reads instead of losing the state they already had.
 func (s *Server) WaitForGeneration(gen int64, timeout time.Duration) (*Snapshot, error) {
 	deadline := time.Now().Add(timeout)
 	for {
-		if snap := s.snap.Load(); snap != nil && snap.Generation >= gen {
+		snap := s.snap.Load()
+		if snap != nil && snap.Generation >= gen {
 			return snap, nil
 		}
 		if time.Now().After(deadline) {
-			return nil, fmt.Errorf("server: no snapshot generation ≥ %d within %v", gen, timeout)
+			return snap, fmt.Errorf("server: no snapshot generation ≥ %d within %v", gen, timeout)
 		}
 		select {
 		case <-s.ctx.Done():
-			return nil, fmt.Errorf("server: closed while waiting for generation %d", gen)
+			return s.snap.Load(), fmt.Errorf("server: closed while waiting for generation %d", gen)
 		case <-time.After(time.Millisecond):
 		}
 	}

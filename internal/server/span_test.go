@@ -1,0 +1,466 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/obs/span"
+)
+
+// startTracedServer is startServer with decision-span tracing enabled.
+func startTracedServer(t *testing.T, rec *obs.Recorder, spanCap int) (*Server, *span.Tracer, *httptest.Server) {
+	t.Helper()
+	tr := span.New(spanCap, rec)
+	opts := testOptions(rec)
+	opts.Spans = tr
+	s, err := New(toyProblem(t), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = s.Close() })
+	var reg *obs.Registry
+	if rec != nil {
+		reg = rec.Registry()
+	}
+	ts := httptest.NewServer(s.Handler(reg))
+	t.Cleanup(ts.Close)
+	return s, tr, ts
+}
+
+const clientTraceparent = "00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01"
+
+// TestDecisionLifecycleSpans is the acceptance demo as a test: POST a
+// rate mutation carrying a W3C traceparent, then read back the full
+// ingress → coalesce → solve-phases → publish tree from /debug/spans
+// under the client's trace ID, with decision latency populated.
+func TestDecisionLifecycleSpans(t *testing.T) {
+	rec := obs.NewRecorder(obs.NewRegistry(), nil)
+	s, _, ts := startTracedServer(t, rec, 256)
+
+	first, err := s.WaitForGeneration(1, waitBudget)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	req, err := http.NewRequest("PATCH", ts.URL+"/v1/commodities/c1",
+		strings.NewReader(`{"maxRate": 5}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("traceparent", clientTraceparent)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("PATCH status = %d", resp.StatusCode)
+	}
+	if _, err := s.WaitForGeneration(first.Generation+1, waitBudget); err != nil {
+		t.Fatal(err)
+	}
+
+	const wantTrace = "0af7651916cd43dd8448eb211c80319c"
+	resp, body := doReq(t, "GET", ts.URL+"/debug/spans?trace="+wantTrace, nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /debug/spans status = %d: %s", resp.StatusCode, body)
+	}
+	var page struct {
+		Spans []span.Span `json:"spans"`
+	}
+	if err := json.Unmarshal(body, &page); err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]span.Span{}
+	for _, sp := range page.Spans {
+		if sp.Trace != wantTrace {
+			t.Errorf("span %s carries trace %s, want %s", sp.Name, sp.Trace, wantTrace)
+		}
+		byName[sp.Name] = sp
+	}
+	for _, name := range []string{"decision", "ingress", "coalesce", "solve", "build", "engine_init", "iterate", "publish"} {
+		if _, ok := byName[name]; !ok {
+			t.Errorf("missing %q span in trace (got %d spans)", name, len(page.Spans))
+		}
+	}
+	if t.Failed() {
+		t.Fatalf("spans: %+v", page.Spans)
+	}
+
+	// Parent links: decision continues the client's span; ingress,
+	// coalesce and solve hang under decision; phases under solve.
+	dec := byName["decision"]
+	if dec.Parent != "b7ad6b7169203331" {
+		t.Errorf("decision parent = %q, want the client's span ID", dec.Parent)
+	}
+	for _, name := range []string{"ingress", "coalesce", "solve"} {
+		if got := byName[name].Parent; got != dec.ID {
+			t.Errorf("%s parent = %q, want decision %q", name, got, dec.ID)
+		}
+	}
+	for _, name := range []string{"build", "engine_init", "iterate", "publish"} {
+		if got := byName[name].Parent; got != byName["solve"].ID {
+			t.Errorf("%s parent = %q, want solve %q", name, got, byName["solve"].ID)
+		}
+	}
+
+	// The root records which generation resolved it and its latency.
+	if dec.Attrs["generation"] == "" {
+		t.Error("decision span missing generation attr")
+	}
+	if dec.Attrs["decision_latency_s"] == "" {
+		t.Error("decision span missing decision_latency_s attr")
+	}
+	if dec.Attrs["kind"] != "set_rate" {
+		t.Errorf("decision kind = %q, want set_rate", dec.Attrs["kind"])
+	}
+	if byName["solve"].Attrs["mutations_coalesced"] == "" {
+		t.Error("solve span missing mutations_coalesced attr")
+	}
+	if byName["iterate"].Attrs["iterations"] == "" {
+		t.Error("iterate span missing iterations attr")
+	}
+	if st := byName["engine_init"].Attrs["start"]; st != "warm" && st != "cold" {
+		t.Errorf("engine_init start = %q, want warm|cold", st)
+	}
+
+	// The decision-latency histogram saw the decision.
+	var metrics strings.Builder
+	if err := rec.Registry().WritePrometheus(&metrics); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(metrics.String(), "streamopt_decision_latency_seconds_count") ||
+		strings.Contains(metrics.String(), "streamopt_decision_latency_seconds_count 0\n") {
+		t.Error("decision latency histogram not populated")
+	}
+}
+
+// TestUntracedMutationStartsFreshTrace verifies a mutation without a
+// traceparent still gets a full decision tree under a server-minted
+// trace ID.
+func TestUntracedMutationStartsFreshTrace(t *testing.T) {
+	rec := obs.NewRecorder(obs.NewRegistry(), nil)
+	s, tr, ts := startTracedServer(t, rec, 256)
+	first, err := s.WaitForGeneration(1, waitBudget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, _ := doReq(t, "PATCH", ts.URL+"/v1/commodities/c1", map[string]any{"maxRate": 6.0})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("PATCH status = %d", resp.StatusCode)
+	}
+	if _, err := s.WaitForGeneration(first.Generation+1, waitBudget); err != nil {
+		t.Fatal(err)
+	}
+	roots := tr.Spans(span.Filter{Name: "decision"})
+	if len(roots) == 0 {
+		t.Fatal("no decision span recorded")
+	}
+	root := roots[len(roots)-1]
+	if root.Trace == "" || root.Parent != "" {
+		t.Errorf("fresh-trace root = trace %q parent %q, want minted trace and no parent", root.Trace, root.Parent)
+	}
+}
+
+// TestHealthAndReadyEndpoints covers liveness (always 200) and
+// readiness flipping once the first snapshot publishes.
+func TestHealthAndReadyEndpoints(t *testing.T) {
+	// A handler over a server that never solved: ready must be 503,
+	// healthz still 200.
+	cold := &Server{}
+	cold.opts.Logf = func(string, ...any) {}
+	ch := cold.Handler(nil)
+	for path, want := range map[string]int{"/healthz": 200, "/v1/healthz": 200, "/readyz": 503} {
+		rr := httptest.NewRecorder()
+		ch.ServeHTTP(rr, httptest.NewRequest("GET", path, nil))
+		if rr.Code != want {
+			t.Errorf("cold %s = %d, want %d", path, rr.Code, want)
+		}
+	}
+
+	// A served first snapshot flips readiness.
+	s, ts := startServer(t, nil)
+	if _, err := s.WaitForGeneration(1, waitBudget); err != nil {
+		t.Fatal(err)
+	}
+	resp, body := doReq(t, "GET", ts.URL+"/readyz", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("readyz after first snapshot = %d", resp.StatusCode)
+	}
+	var ready struct {
+		Ready      bool  `json:"ready"`
+		Generation int64 `json:"generation"`
+	}
+	if err := json.Unmarshal(body, &ready); err != nil {
+		t.Fatal(err)
+	}
+	if !ready.Ready || ready.Generation < 1 {
+		t.Errorf("readyz payload = %+v", ready)
+	}
+}
+
+// TestAdmissionFlips drives c1 across the admitted↔rejected boundary
+// by crushing node a's capacity and restoring it, and checks both the
+// in-memory ring and the /v1/flips endpoint, including the triggering
+// trace ID.
+func TestAdmissionFlips(t *testing.T) {
+	rec := obs.NewRecorder(obs.NewRegistry(), nil)
+	s, _, ts := startTracedServer(t, rec, 256)
+	first, err := s.WaitForGeneration(1, waitBudget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rejected(first.Commodities[0].Admitted, first.Commodities[0].Offered) {
+		t.Fatalf("c1 should start admitted, snapshot %+v", first.Commodities[0])
+	}
+
+	req, err := http.NewRequest("POST", ts.URL+"/v1/nodes/a/capacity",
+		strings.NewReader(`{"capacity": 0.0001}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("traceparent", clientTraceparent)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("capacity POST status = %d", resp.StatusCode)
+	}
+	deadline := time.Now().Add(waitBudget)
+	gen := first.Generation
+	for {
+		snap, err := s.WaitForGeneration(gen+1, waitBudget)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gen = snap.Generation
+		if rejected(snap.Commodities[0].Admitted, snap.Commodities[0].Offered) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("c1 never became rejected; admitted=%v", snap.Commodities[0].Admitted)
+		}
+	}
+
+	flips := s.Flips()
+	if len(flips) == 0 {
+		t.Fatal("no admission flips recorded")
+	}
+	last := flips[len(flips)-1]
+	if last.Commodity != "c1" || last.Admitted {
+		t.Errorf("flip = %+v, want c1 → rejected", last)
+	}
+	if last.Trace != "0af7651916cd43dd8448eb211c80319c" {
+		t.Errorf("flip trace = %q, want the client's trace ID", last.Trace)
+	}
+
+	// Restore capacity: flips back to admitted.
+	resp, _ = doReq(t, "POST", ts.URL+"/v1/nodes/a/capacity", map[string]any{"capacity": 10.0})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("restore POST status = %d", resp.StatusCode)
+	}
+	deadline = time.Now().Add(waitBudget)
+	for {
+		snap, err := s.WaitForGeneration(gen+1, waitBudget)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gen = snap.Generation
+		if !rejected(snap.Commodities[0].Admitted, snap.Commodities[0].Offered) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("c1 never re-admitted")
+		}
+	}
+	flips = s.Flips()
+	last = flips[len(flips)-1]
+	if last.Commodity != "c1" || !last.Admitted {
+		t.Errorf("restore flip = %+v, want c1 → admitted", last)
+	}
+
+	resp, body := doReq(t, "GET", ts.URL+"/v1/flips", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /v1/flips = %d", resp.StatusCode)
+	}
+	var page struct {
+		Flips []AdmissionFlip `json:"flips"`
+	}
+	if err := json.Unmarshal(body, &page); err != nil {
+		t.Fatal(err)
+	}
+	if len(page.Flips) != len(flips) {
+		t.Errorf("endpoint returned %d flips, ring has %d", len(page.Flips), len(flips))
+	}
+}
+
+// TestHTTPMiddlewareMetrics checks the per-route counters, latency
+// histograms and request-log events the middleware produces.
+func TestHTTPMiddlewareMetrics(t *testing.T) {
+	var buf syncBuffer
+	rec := obs.NewRecorder(obs.NewRegistry(), obs.NewJSONLSink(&buf))
+	s, ts := startServer(t, rec)
+	if _, err := s.WaitForGeneration(1, waitBudget); err != nil {
+		t.Fatal(err)
+	}
+
+	req, err := http.NewRequest("GET", ts.URL+"/v1/admitted", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("traceparent", clientTraceparent)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /v1/admitted = %d", resp.StatusCode)
+	}
+	resp, _ = doReq(t, "GET", ts.URL+"/no/such/route", nil)
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unmatched route = %d", resp.StatusCode)
+	}
+
+	var metrics strings.Builder
+	if err := rec.Registry().WritePrometheus(&metrics); err != nil {
+		t.Fatal(err)
+	}
+	text := metrics.String()
+	for _, want := range []string{
+		"streamopt_http_requests_total",
+		`route="GET /v1/admitted"`,
+		`code="200"`,
+		`route="unmatched"`,
+		"streamopt_http_request_seconds",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics missing %s", want)
+		}
+	}
+
+	// The sink saw http_request events, the traced one carrying the
+	// client's trace ID.
+	var sawTraced bool
+	for _, line := range strings.Split(buf.String(), "\n") {
+		if line == "" {
+			continue
+		}
+		var ev struct {
+			Type  string `json:"type"`
+			Route string `json:"route"`
+			Trace string `json:"trace"`
+			Code  int    `json:"code"`
+		}
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			t.Fatalf("bad event line %q: %v", line, err)
+		}
+		if ev.Type == "http_request" && ev.Route == "GET /v1/admitted" &&
+			ev.Trace == "0af7651916cd43dd8448eb211c80319c" && ev.Code == 200 {
+			sawTraced = true
+		}
+	}
+	if !sawTraced {
+		t.Errorf("no traced http_request event in sink:\n%s", buf.String())
+	}
+}
+
+// syncBuffer is a strings.Builder safe for the sink's concurrent Emit.
+type syncBuffer struct {
+	mu sync.Mutex
+	b  strings.Builder
+}
+
+func (s *syncBuffer) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuffer) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+// TestWaitForGenerationTimeoutReturnsLatest pins the audited contract:
+// on timeout the call reports the newest published snapshot alongside
+// the error, so callers can degrade to stale-but-consistent data.
+func TestWaitForGenerationTimeoutReturnsLatest(t *testing.T) {
+	rec := obs.NewRecorder(obs.NewRegistry(), nil)
+	s, _ := startServer(t, rec)
+	first, err := s.WaitForGeneration(1, waitBudget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, err := s.WaitForGeneration(first.Generation+1000, 20*time.Millisecond)
+	if err == nil {
+		t.Fatal("expected timeout error")
+	}
+	if snap == nil {
+		t.Fatal("timeout must still return the latest snapshot")
+	}
+	if snap.Generation < first.Generation {
+		t.Errorf("returned generation %d older than observed %d", snap.Generation, first.Generation)
+	}
+}
+
+// TestWaitForGenerationPublishRace interleaves waiters with concurrent
+// publishes; under -race (CI runs this package with -count=5) it
+// doubles as the publish/wait memory-safety check.
+func TestWaitForGenerationPublishRace(t *testing.T) {
+	rec := obs.NewRecorder(obs.NewRegistry(), nil)
+	s, _ := startServer(t, rec)
+	first, err := s.WaitForGeneration(1, waitBudget)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Each round races several waiters for the next generation against
+	// the mutation that produces it. Mutations coalesce, so targets are
+	// derived from the currently published generation, which every
+	// publish strictly advances.
+	const rounds, waiters = 10, 4
+	gen := first.Generation
+	for i := 0; i < rounds; i++ {
+		target := gen + 1
+		var wg sync.WaitGroup
+		errs := make(chan error, waiters+1)
+		for w := 0; w < waiters; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				snap, err := s.WaitForGeneration(target, waitBudget)
+				if err != nil {
+					errs <- fmt.Errorf("wait %d: %w", target, err)
+					return
+				}
+				if snap.Generation < target {
+					errs <- fmt.Errorf("wait %d returned older generation %d", target, snap.Generation)
+				}
+			}()
+		}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if _, err := s.SetMaxRate("c1", 4+float64(i%5)); err != nil {
+				errs <- fmt.Errorf("mutate %d: %w", i, err)
+			}
+		}(i)
+		wg.Wait()
+		close(errs)
+		for err := range errs {
+			t.Fatal(err)
+		}
+		gen = s.Snapshot().Generation
+	}
+}
