@@ -9,17 +9,20 @@ import (
 	"fmt"
 	"runtime"
 	"testing"
+	"time"
 
 	"repro/internal/backpressure"
 	"repro/internal/dist"
 	"repro/internal/experiments"
 	"repro/internal/flow"
 	"repro/internal/gradient"
+	"repro/internal/loadgen"
 	"repro/internal/obs/span"
 	"repro/internal/placement"
 	"repro/internal/qsim"
 	"repro/internal/randnet"
 	"repro/internal/refopt"
+	"repro/internal/server"
 	"repro/internal/stream"
 	"repro/internal/transform"
 	"repro/internal/utility"
@@ -499,5 +502,45 @@ func BenchmarkDecisionSpanNil(b *testing.B) {
 		solve.End()
 		root.SetAttrInt("generation", int64(i))
 		root.End()
+	}
+}
+
+// --- Scenario-driven load generation (internal/loadgen) ---
+
+// BenchmarkDriverThroughput prices one full driven scenario: compile a
+// seeded 800-epoch lognormal workload over 8 commodities, then stream
+// every epoch's rate batch through the in-process admission server
+// (default debounce coalescing the solver wakes) and barrier on the
+// final snapshot. The CI smoke test asserts the derived rate stays
+// ≥10k mutations/sec; this bench tracks the absolute cost.
+func BenchmarkDriverThroughput(b *testing.B) {
+	sc, err := loadgen.ParseScenario([]byte(`{
+		"name": "bench", "seed": 3, "epochs": 800,
+		"network": {"nodes": 24, "layers": 3},
+		"cohorts": [{
+			"name": "hot", "count": 8,
+			"arrival": {"type": "immediate"},
+			"rate": {"type": "lognormal", "median": 5, "sigma": 0.5}
+		}]
+	}`))
+	if err != nil {
+		b.Fatal(err)
+	}
+	c, err := loadgen.Compile(sc, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		srv, err := server.New(c.Base, server.Options{MaxIters: 100, Logf: func(string, ...any) {}})
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := loadgen.Run(c, loadgen.InProc{S: srv}, loadgen.DriverOptions{SyncTimeout: 60 * time.Second})
+		srv.Close()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.MutationsPerSec, "mut/s")
 	}
 }

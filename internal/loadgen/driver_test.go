@@ -1,0 +1,158 @@
+package loadgen
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/server"
+)
+
+func testServerOptions(rec *obs.Recorder) server.Options {
+	return server.Options{
+		Debounce:   -1, // solve immediately: deterministic generations
+		MaxIters:   200,
+		Recorder:   rec,
+		HistoryCap: -1,
+		Logf:       func(string, ...any) {},
+	}
+}
+
+// The CI smoke test: drive the bundled flash-crowd scenario against an
+// in-process server and check the whole pipeline — every compiled
+// mutation applies, snapshots incorporate them, and per-decision
+// latency lands in the existing histogram/metrics pipeline.
+func TestDriveFlashCrowdInProcess(t *testing.T) {
+	reg := obs.NewRegistry()
+	rec := obs.NewRecorder(reg, nil)
+	c, err := Compile(loadScenario(t, "flashcrowd.json"), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := server.New(c.Base, testServerOptions(rec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	res, err := Run(c, InProc{S: srv}, DriverOptions{
+		Recorder:    rec,
+		SyncEvery:   1,
+		SyncTimeout: 30 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Mutations != c.Mutations() {
+		t.Fatalf("applied %d mutations, compiled %d", res.Mutations, c.Mutations())
+	}
+	if res.Final.Generation == 0 || !res.Final.Feasible {
+		t.Fatalf("final observation %+v: want a feasible published snapshot", res.Final)
+	}
+	if len(res.Samples) != c.Scenario.Epochs {
+		t.Fatalf("%d samples, want %d", len(res.Samples), c.Scenario.Epochs)
+	}
+	measured := 0
+	for _, s := range res.Samples {
+		if s.LatencySeconds >= 0 {
+			measured++
+		}
+	}
+	if measured == 0 {
+		t.Fatal("no epoch measured a decision latency")
+	}
+	// Latency flows through the same histogram the server's decision
+	// spans feed — one pipeline for live and generated load.
+	hist := reg.Histogram("streamopt_decision_latency_seconds", "", nil)
+	if hist.Count() == 0 {
+		t.Fatal("decision latency histogram is empty")
+	}
+	if got := reg.Counter("streamopt_loadgen_mutations_total", "").Value(); got != uint64(res.Mutations) {
+		t.Fatalf("loadgen mutations counter = %d, want %d", got, res.Mutations)
+	}
+	if got := reg.Counter("streamopt_loadgen_epochs_total", "").Value(); got != uint64(c.Scenario.Epochs) {
+		t.Fatalf("loadgen epochs counter = %d, want %d", got, c.Scenario.Epochs)
+	}
+	// During the burst the offered load must actually surge.
+	var peak float64
+	for _, s := range res.Samples {
+		if s.Offered > peak {
+			peak = s.Offered
+		}
+	}
+	if base := res.Samples[5].Offered; peak < 3*base {
+		t.Fatalf("flash crowd never surged: peak %g vs pre-burst %g", peak, base)
+	}
+}
+
+// Two identical runs against identical servers must apply the same
+// mutation sequence and land on the same final offered load.
+func TestDriverIsReproducible(t *testing.T) {
+	run := func() *RunResult {
+		c, err := Compile(loadScenario(t, "churn.json"), 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv, err := server.New(c.Base, testServerOptions(nil))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer srv.Close()
+		res, err := Run(c, InProc{S: srv}, DriverOptions{SyncEvery: 1, SyncTimeout: 30 * time.Second})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if a.Mutations != b.Mutations {
+		t.Fatalf("mutation counts differ: %d vs %d", a.Mutations, b.Mutations)
+	}
+	for i := range a.Samples {
+		if a.Samples[i].Offered != b.Samples[i].Offered || a.Samples[i].Active != b.Samples[i].Active {
+			t.Fatalf("epoch %d diverged: %+v vs %+v", i, a.Samples[i], b.Samples[i])
+		}
+	}
+	if a.Final.Offered != b.Final.Offered {
+		t.Fatalf("final offered differ: %g vs %g", a.Final.Offered, b.Final.Offered)
+	}
+}
+
+// The driver must push well past 10k mutations/sec against the
+// in-process backend when it isn't waiting on snapshots — the batch
+// SetMaxRates path is what makes this possible.
+func TestDriverThroughput(t *testing.T) {
+	sc, err := ParseScenario([]byte(`{
+		"name": "throughput", "seed": 3, "epochs": 3000,
+		"network": {"nodes": 24, "layers": 3},
+		"cohorts": [{
+			"name": "hot", "count": 8,
+			"arrival": {"type": "immediate"},
+			"rate": {"type": "lognormal", "median": 5, "sigma": 0.5}
+		}]
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Compile(sc, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Default debounce coalesces the mutation firehose into few solves;
+	// the driver only syncs once at the end.
+	srv, err := server.New(c.Base, server.Options{MaxIters: 100, Logf: func(string, ...any) {}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	res, err := Run(c, InProc{S: srv}, DriverOptions{SyncTimeout: 60 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Mutations < 20000 {
+		t.Fatalf("scenario too small to measure: %d mutations", res.Mutations)
+	}
+	if res.MutationsPerSec < 10000 {
+		t.Fatalf("driver sustained %.0f mutations/sec, want ≥ 10000", res.MutationsPerSec)
+	}
+}

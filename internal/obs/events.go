@@ -58,6 +58,17 @@ const (
 	// boundary between consecutive snapshot generations, attributed to
 	// the trace ID of the mutation batch that triggered the re-solve.
 	EventAdmissionFlip EventType = "admission_flip"
+	// EventLoadgenEpoch is one virtual-clock epoch of a load-generator
+	// run: active commodities, total offered load, mutations applied,
+	// and the snapshot utility/admitted fraction observed at epoch end.
+	EventLoadgenEpoch EventType = "loadgen_epoch"
+	// EventLoadgenSummary is the end-of-run load-generator report:
+	// epochs driven, mutations applied, wall-clock, and throughput.
+	EventLoadgenSummary EventType = "loadgen_summary"
+	// EventSaturationPoint is one offered-load sweep point from the
+	// saturation analyzer: scale factor, mean offered load, achieved
+	// utility, admitted fraction, and decision-latency stats.
+	EventSaturationPoint EventType = "saturation_point"
 )
 
 // Event is one structured record. Fields not meaningful for a type are
@@ -129,6 +140,17 @@ type Event struct {
 	// Admission-flip fields (also Generation, Commodity, Rate, Trace):
 	// To is the new state, "admitted" or "rejected".
 	To string `json:"to,omitempty"`
+
+	// Load-generator fields (loadgen_epoch, loadgen_summary,
+	// saturation_point; also Utility, Seconds).
+	Epoch        int     `json:"epoch,omitempty"`
+	Active       int     `json:"active,omitempty"`
+	Offered      float64 `json:"offered,omitempty"`
+	Mutations    int     `json:"mutations,omitempty"`
+	Scale        float64 `json:"scale,omitempty"`
+	AdmittedFrac float64 `json:"admitted_frac,omitempty"`
+	MutPerSec    float64 `json:"mut_per_sec,omitempty"`
+	P95Seconds   float64 `json:"p95_seconds,omitempty"`
 }
 
 // Sink consumes events. Implementations must be safe for concurrent

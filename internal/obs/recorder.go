@@ -107,6 +107,12 @@ type Recorder struct {
 	flipRejected *Counter
 	spans        *Counter
 
+	lgEpochs    *Counter
+	lgMutations *Counter
+	lgActive    *Gauge
+	lgOffered   *Gauge
+	lgAdmFrac   *Gauge
+
 	phase [numPhases]*Histogram
 	// phaseAcc accumulates the current iteration's per-phase seconds for
 	// the tracer; swapped to zero when Iteration fires a TraceSample.
@@ -155,6 +161,11 @@ func NewRecorder(reg *Registry, sink Sink) *Recorder {
 	r.flipRejected = reg.Counter("streamopt_admission_flips_total",
 		"Commodities crossing the admitted/rejected boundary between generations.", "to", "rejected")
 	r.spans = reg.Counter("streamopt_spans_total", "Decision-lifecycle spans finished.")
+	r.lgEpochs = reg.Counter("streamopt_loadgen_epochs_total", "Load-generator virtual-clock epochs driven.")
+	r.lgMutations = reg.Counter("streamopt_loadgen_mutations_total", "Mutations applied by the load-generator driver.")
+	r.lgActive = reg.Gauge("streamopt_loadgen_active", "Commodities active in the driven scenario at the latest epoch.")
+	r.lgOffered = reg.Gauge("streamopt_loadgen_offered", "Total offered load Σλ_j of the driven scenario at the latest epoch.")
+	r.lgAdmFrac = reg.Gauge("streamopt_loadgen_admitted_fraction", "Σ admitted / Σ offered observed at the latest epoch.")
 	if dr, ok := sink.(dropReporting); ok {
 		dr.SetDropCounter(reg.Counter("streamopt_events_dropped_total",
 			"Events lost to sink write errors."))
@@ -439,6 +450,55 @@ func (r *Recorder) HTTPRequest(route, method, path string, code int, seconds flo
 		Type: EventHTTPRequest, Alg: "server",
 		Route: route, Method: method, Path: path, Code: code,
 		Seconds: seconds, Trace: traceID,
+	})
+}
+
+// LoadgenEpoch records one virtual-clock epoch of a load-generator run:
+// how many commodities are active, the total offered load, how many
+// mutations the epoch applied, and the snapshot utility and admitted
+// fraction observed at epoch end (NaN admitted fraction is skipped —
+// no snapshot yet).
+func (r *Recorder) LoadgenEpoch(epoch, active, mutations int, offered, utility, admittedFrac float64) {
+	if r == nil {
+		return
+	}
+	r.lgEpochs.Inc()
+	r.lgMutations.Add(mutations)
+	r.lgActive.Set(float64(active))
+	r.lgOffered.Set(offered)
+	if admittedFrac == admittedFrac { // not NaN
+		r.lgAdmFrac.Set(admittedFrac)
+	}
+	r.emit(Event{
+		Type: EventLoadgenEpoch, Alg: "loadgen", Epoch: epoch,
+		Active: active, Mutations: mutations, Offered: offered,
+		Utility: utility, AdmittedFrac: admittedFrac,
+	})
+}
+
+// LoadgenSummary records the end-of-run load-generator report.
+func (r *Recorder) LoadgenSummary(epochs, mutations int, seconds, mutPerSec float64) {
+	if r == nil {
+		return
+	}
+	r.emit(Event{
+		Type: EventLoadgenSummary, Alg: "loadgen", Epoch: epochs,
+		Mutations: mutations, Seconds: seconds, MutPerSec: mutPerSec,
+	})
+}
+
+// SaturationPoint records one offered-load sweep point from the
+// saturation analyzer: the scenario scale factor, the mean offered
+// load it produced, and the achieved utility, admitted fraction, and
+// decision-latency stats measured there.
+func (r *Recorder) SaturationPoint(scale, offered, utility, admittedFrac, meanLatency, p95Latency float64) {
+	if r == nil {
+		return
+	}
+	r.emit(Event{
+		Type: EventSaturationPoint, Alg: "loadgen", Scale: scale,
+		Offered: offered, Utility: utility, AdmittedFrac: admittedFrac,
+		Seconds: meanLatency, P95Seconds: p95Latency,
 	})
 }
 

@@ -44,6 +44,7 @@ import (
 //	POST   /v1/commodities                 admit a commodity (schema JSON)
 //	DELETE /v1/commodities/{name}          remove a commodity
 //	PATCH  /v1/commodities/{name}          {"maxRate": λ} and/or {"utility": {...}}
+//	POST   /v1/rates                       {"rates": {name: λ, ...}} batch update, one re-solve
 //	POST   /v1/nodes/{name}/capacity       {"capacity": C} or {"scale": f}
 //	POST   /v1/links/{from}/{to}/bandwidth {"bandwidth": B} or {"scale": f}
 func (s *Server) Handler(reg *obs.Registry) http.Handler {
@@ -221,6 +222,26 @@ func (s *Server) Handler(reg *obs.Registry) http.Handler {
 			}
 		}
 		writeJSON(w, http.StatusOK, map[string]any{"rev": rev})
+	})
+
+	mux.HandleFunc("POST /v1/rates", func(w http.ResponseWriter, r *http.Request) {
+		body, err := readBody(w, r)
+		if err != nil {
+			return
+		}
+		var in struct {
+			Rates map[string]float64 `json:"rates"`
+		}
+		if err := json.Unmarshal(body, &in); err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		rev, err := s.setMaxRates(ingressFrom(r), in.Rates)
+		if err != nil {
+			writeError(w, statusForMutation(err), err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"rev": rev, "applied": len(in.Rates)})
 	})
 
 	mux.HandleFunc("POST /v1/nodes/{name}/capacity", func(w http.ResponseWriter, r *http.Request) {

@@ -21,6 +21,7 @@ import (
 	"errors"
 	"fmt"
 	"log"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -445,6 +446,36 @@ func (s *Server) SetMaxRate(name string, rate float64) (int64, error) {
 func (s *Server) setMaxRate(ing ingress, name string, rate float64) (int64, error) {
 	return s.mutate(ing, "set_rate", name, func(p *stream.Problem) error {
 		return p.SetMaxRate(name, rate)
+	})
+}
+
+// SetMaxRates updates many commodities' offered rates in one mutation:
+// one problem clone, one revision bump, one solver wake for the whole
+// batch. This is the load-driver hot path — per-commodity SetMaxRate
+// costs a full problem clone each, so an epoch's worth of rate updates
+// goes through here. All-or-nothing: any unknown commodity or invalid
+// rate rejects the entire batch. Names are applied in sorted order so
+// the first error is deterministic.
+func (s *Server) SetMaxRates(rates map[string]float64) (int64, error) {
+	return s.setMaxRates(ingress{}, rates)
+}
+
+func (s *Server) setMaxRates(ing ingress, rates map[string]float64) (int64, error) {
+	if len(rates) == 0 {
+		return s.Rev(), fmt.Errorf("server: empty rate batch")
+	}
+	names := make([]string, 0, len(rates))
+	for name := range rates {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return s.mutate(ing, "set_rates", fmt.Sprintf("batch:%d", len(rates)), func(p *stream.Problem) error {
+		for _, name := range names {
+			if err := p.SetMaxRate(name, rates[name]); err != nil {
+				return err
+			}
+		}
+		return nil
 	})
 }
 

@@ -176,8 +176,13 @@ func ParseProblem(data []byte) (*Problem, error) {
 			}
 		}
 	}
-	if err := p.Validate(); err != nil {
-		return nil, err
+	// A commodity-free instance is a legal live-server starting state
+	// (admissiond idles until the first arrival), so only validate the
+	// structural assumptions when there is something to check.
+	if len(p.Commodities) > 0 {
+		if err := p.Validate(); err != nil {
+			return nil, err
+		}
 	}
 	return p, nil
 }
@@ -214,6 +219,44 @@ func parseUtility(uj utilityJSON) (utility.Function, error) {
 	default:
 		return nil, fmt.Errorf("unknown utility type %q", uj.Type)
 	}
+}
+
+// MarshalCommodityJSON serializes one commodity in the problem schema's
+// "commodities" element form — exactly the JSON AddCommodityFromJSON
+// (and POST /v1/commodities) accepts, with edges in deterministic edge-
+// ID order. The scenario compiler uses this to turn a generated
+// instance's commodities into arrival templates.
+func (p *Problem) MarshalCommodityJSON(name string) ([]byte, error) {
+	c, ok := p.CommodityByName(name)
+	if !ok {
+		return nil, fmt.Errorf("stream: unknown commodity %q", name)
+	}
+	uj, err := marshalUtility(c.Utility)
+	if err != nil {
+		return nil, fmt.Errorf("commodity %q: %w", c.Name, err)
+	}
+	g := p.Net.G
+	cj := commodityJSON{
+		Name:    c.Name,
+		Source:  p.Net.Names[c.Source],
+		Sink:    p.Net.Names[c.SinkID],
+		MaxRate: c.MaxRate,
+		Utility: uj,
+	}
+	for e := 0; e < g.NumEdges(); e++ {
+		params, ok := c.Edges[graph.EdgeID(e)]
+		if !ok {
+			continue
+		}
+		edge := g.Edge(graph.EdgeID(e))
+		cj.Edges = append(cj.Edges, edgeParamJSON{
+			From: p.Net.Names[edge.From],
+			To:   p.Net.Names[edge.To],
+			Beta: params.Beta,
+			Cost: params.Cost,
+		})
+	}
+	return json.Marshal(cj)
 }
 
 // ParseUtilityJSON decodes one utility spec from the same JSON form the

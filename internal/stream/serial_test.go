@@ -1,0 +1,80 @@
+package stream
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/utility"
+)
+
+// chainProblem builds a→b→t1 with one commodity and a spare sink t2.
+func serialChainProblem(t *testing.T) *Problem {
+	t.Helper()
+	net := NewNetwork()
+	a, _ := net.AddServer("a", 10)
+	b, _ := net.AddServer("b", 10)
+	t1, _ := net.AddSink("t1")
+	t2, _ := net.AddSink("t2")
+	ab, _ := net.AddLink(a, b, 10)
+	bt1, _ := net.AddLink(b, t1, 10)
+	if _, err := net.AddLink(b, t2, 10); err != nil {
+		t.Fatal(err)
+	}
+	p := NewProblem(net)
+	c, err := p.AddCommodity("c1", a, t1, 8, utility.Linear{Slope: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.SetEdge(c, ab, EdgeParams{Beta: 0.5, Cost: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.SetEdge(c, bt1, EdgeParams{Beta: 1, Cost: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// MarshalCommodityJSON must produce exactly what AddCommodityFromJSON
+// accepts (the scenario compiler's arrival templates depend on the
+// round trip), deterministically.
+func TestMarshalCommodityJSONRoundTrip(t *testing.T) {
+	p := serialChainProblem(t)
+	spec, err := p.MarshalCommodityJSON("c1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec2, err := p.MarshalCommodityJSON("c1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(spec, spec2) {
+		t.Fatal("MarshalCommodityJSON is not deterministic")
+	}
+
+	// Re-admit the same commodity (renamed, onto the free sink t2) on a
+	// copy whose original departed.
+	q := p.Clone()
+	if !q.RemoveCommodity("c1") {
+		t.Fatal("remove failed")
+	}
+	renamed := bytes.Replace(spec, []byte(`"name":"c1"`), []byte(`"name":"c2"`), 1)
+	renamed = bytes.Replace(renamed, []byte(`"sink":"t1"`), []byte(`"sink":"t2"`), 1)
+	renamed = bytes.Replace(renamed, []byte(`"to":"t1"`), []byte(`"to":"t2"`), 1)
+	c, err := q.AddCommodityFromJSON(renamed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Name != "c2" || c.MaxRate != 8 || len(c.Edges) != 2 {
+		t.Fatalf("round-tripped commodity = %+v", c)
+	}
+	if err := q.Validate(); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := p.MarshalCommodityJSON("ghost"); err == nil {
+		t.Fatal("unknown commodity should error")
+	}
+}

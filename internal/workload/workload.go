@@ -44,6 +44,11 @@ func (s Steps) Rate(epoch int) float64 {
 	if len(s.Levels) == 0 {
 		return 0
 	}
+	if epoch < 0 {
+		// A negative epoch would index out of range (Go's % keeps the
+		// dividend's sign); clamp to the first phase.
+		epoch = 0
+	}
 	p := s.Period
 	if p <= 0 {
 		p = 1
@@ -63,6 +68,11 @@ type OnOff struct {
 
 // Rate implements Process.
 func (o OnOff) Rate(epoch int) float64 {
+	if epoch < 0 {
+		// Negative epochs would land in a negative remainder and pick
+		// the wrong phase; clamp to the start of the first on-period.
+		epoch = 0
+	}
 	on, off := o.OnLen, o.OffLen
 	if on <= 0 {
 		on = 1
@@ -150,3 +160,85 @@ func (s Sine) Rate(epoch int) float64 {
 
 // Name implements Process.
 func (s Sine) Name() string { return "sine" }
+
+// Spike is a one-shot flash crowd: Base rate until Start, a linear ramp
+// over Ramp epochs up to Peak, a hold of Hold epochs, a linear decay
+// over Decay epochs back to Base, and Base forever after. Unlike OnOff
+// it never repeats — it models the paper's §1 "sudden burst" scenario
+// as a single event at a known epoch, which makes saturation sweeps
+// reproducible without any randomness.
+type Spike struct {
+	Base, Peak        float64
+	Start             int // first epoch of the ramp
+	Ramp, Hold, Decay int // zero Ramp/Decay means an instant edge
+}
+
+// Rate implements Process.
+func (s Spike) Rate(epoch int) float64 {
+	e := epoch - s.Start
+	if e < 0 {
+		return s.Base
+	}
+	hold := s.Hold
+	if s.Ramp <= 0 && hold <= 0 && s.Decay <= 0 {
+		hold = 1 // an all-zero spike still fires for one epoch
+	}
+	if e < s.Ramp {
+		return s.Base + (s.Peak-s.Base)*float64(e+1)/float64(s.Ramp+1)
+	}
+	e -= max(s.Ramp, 0)
+	if e < hold {
+		return s.Peak
+	}
+	e -= max(hold, 0)
+	if e < s.Decay {
+		return s.Peak - (s.Peak-s.Base)*float64(e+1)/float64(s.Decay+1)
+	}
+	return s.Base
+}
+
+// Name implements Process.
+func (s Spike) Name() string { return "spike" }
+
+// Lognormal draws an independent heavy-tailed rate each epoch:
+// rate = Median·exp(Sigma·Z) with Z standard normal, so the median is
+// Median and the tail weight grows with Sigma. Like MMPP, determinism
+// comes from the seed and epochs must be queried in nondecreasing
+// order; skipped-over epochs still consume their draws so trajectories
+// are identical whether or not every epoch is read.
+type Lognormal struct {
+	median    float64
+	sigma     float64
+	rng       *rand.Rand
+	lastEpoch int
+	last      float64
+}
+
+// NewLognormal builds a lognormal process with the given median rate
+// and log-space standard deviation sigma (clamped to ≥ 0).
+func NewLognormal(median, sigma float64, seed int64) *Lognormal {
+	if sigma < 0 {
+		sigma = 0
+	}
+	return &Lognormal{
+		median:    median,
+		sigma:     sigma,
+		rng:       rand.New(rand.NewSource(seed)),
+		lastEpoch: -1,
+	}
+}
+
+// Rate implements Process.
+func (l *Lognormal) Rate(epoch int) float64 {
+	if epoch < 0 {
+		return l.median
+	}
+	for l.lastEpoch < epoch {
+		l.lastEpoch++
+		l.last = l.median * math.Exp(l.sigma*l.rng.NormFloat64())
+	}
+	return l.last
+}
+
+// Name implements Process.
+func (l *Lognormal) Name() string { return "lognormal" }
