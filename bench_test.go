@@ -16,6 +16,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/flow"
 	"repro/internal/gradient"
+	"repro/internal/journal"
 	"repro/internal/loadgen"
 	"repro/internal/obs/span"
 	"repro/internal/placement"
@@ -542,5 +543,91 @@ func BenchmarkDriverThroughput(b *testing.B) {
 			b.Fatal(err)
 		}
 		b.ReportMetric(res.MutationsPerSec, "mut/s")
+	}
+}
+
+// --- Flight recorder (internal/journal) ---
+
+// BenchmarkServerMutation prices steady-state mutation handling with
+// journaling DISABLED — the acceptance gate for the flight recorder is
+// that wiring it in costs the disabled path at most one alloc/op
+// (benchdiff's alloc tolerance enforces this against the baseline).
+// Debounce is huge so the solver loop stays parked and the measurement
+// isolates the mutate() path.
+func BenchmarkServerMutation(b *testing.B) {
+	p, err := randnet.Generate(randnet.Config{Seed: 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	name := p.Commodities[0].Name
+	srv, err := server.New(p, server.Options{
+		Debounce: time.Hour,
+		Logf:     func(string, ...any) {},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := srv.SetMaxRate(name, 10+float64(i%7)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkServerMutationJournaled is the same path writing through
+// the flight recorder (fsync off) — the absolute cost of a journaled
+// admission decision.
+func BenchmarkServerMutationJournaled(b *testing.B) {
+	p, err := randnet.Generate(randnet.Config{Seed: 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	name := p.Commodities[0].Name
+	jw, err := journal.Create(b.TempDir(), journal.Options{Fsync: journal.FsyncNever})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer jw.Close()
+	srv, err := server.New(p, server.Options{
+		Debounce: time.Hour,
+		Journal:  jw,
+		Logf:     func(string, ...any) {},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := srv.SetMaxRate(name, 10+float64(i%7)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkJournalAppend prices one framed, CRC'd record append
+// (buffered, fsync off).
+func BenchmarkJournalAppend(b *testing.B) {
+	jw, err := journal.Create(b.TempDir(), journal.Options{Fsync: journal.FsyncNever})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer jw.Close()
+	payload := []byte(`{"rate":42.5}`)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		err := jw.Append(journal.Record{
+			Kind:     journal.KindMutation,
+			Rev:      int64(i + 2),
+			Mutation: &journal.Mutation{Op: journal.OpSetRate, Target: "S1", Payload: payload},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
 	}
 }

@@ -27,9 +27,11 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
 	"time"
 
+	"repro/internal/journal"
 	"repro/internal/obs"
 	"repro/internal/obs/span"
 	"repro/internal/obs/trace"
@@ -60,6 +62,14 @@ type cliConfig struct {
 	spanCap        int
 	historyCap     int
 
+	journalDir      string
+	checkpointEvery int
+	segmentBytes    int64
+	fsync           string
+	sloMS           float64
+	captureDir      string
+	runtimeSample   time.Duration
+
 	// ready, when non-nil, receives the bound address once the API is
 	// serving; stop, when non-nil, replaces signal-based shutdown.
 	ready func(addr string)
@@ -85,6 +95,13 @@ func main() {
 	flag.IntVar(&cfg.traceStride, "trace-stride", 10, "keep every k-th iteration in the trace ring")
 	flag.IntVar(&cfg.spanCap, "span-cap", span.DefaultCapacity, "decision-lifecycle span ring capacity served on /debug/spans (0 disables span tracing)")
 	flag.IntVar(&cfg.historyCap, "history-cap", 64, "snapshot generations retained for /history (<0 disables)")
+	flag.StringVar(&cfg.journalDir, "journal-dir", "", "flight-recorder journal directory (empty disables journaling; recovers state from an existing journal)")
+	flag.IntVar(&cfg.checkpointEvery, "checkpoint-every", 256, "full problem checkpoint cadence in accepted mutations (<0 disables periodic checkpoints)")
+	flag.Int64Var(&cfg.segmentBytes, "segment-bytes", 64<<20, "journal segment rotation threshold in bytes")
+	flag.StringVar(&cfg.fsync, "fsync", "interval", "journal durability policy: interval, always, or never")
+	flag.Float64Var(&cfg.sloMS, "slo-ms", 0, "decision-latency SLO in milliseconds; a breaching batch triggers a diagnostics capture (0 disables)")
+	flag.StringVar(&cfg.captureDir, "capture-dir", "", "anomaly diagnostics bundle directory (default <journal-dir>/bundles when journaling)")
+	flag.DurationVar(&cfg.runtimeSample, "runtime-sample", 10*time.Second, "runtime telemetry (goroutines, heap, GC) sampling period (0 disables)")
 	flag.Parse()
 	if err := realMain(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "admissiond:", err)
@@ -111,6 +128,26 @@ func realMain(cfg cliConfig) error {
 		return err
 	}
 
+	// An existing journal overrides -in/-gen-*: the daemon resumes the
+	// desired problem it held before the crash or restart, minus any
+	// unsynced tail loss.
+	if cfg.journalDir != "" {
+		has, err := journal.HasJournal(cfg.journalDir)
+		if err != nil {
+			return err
+		}
+		if has {
+			recd, err := journal.Recover(cfg.journalDir)
+			if err != nil {
+				return fmt.Errorf("journal recovery: %w", err)
+			}
+			p = recd.Problem
+			fmt.Fprintf(os.Stderr,
+				"admissiond: recovered from journal %s (checkpoint rev %d + %d mutations, torn tail: %v)\n",
+				cfg.journalDir, recd.CheckpointRev, recd.MutationsApplied, recd.Log.Truncated)
+		}
+	}
+
 	var sink obs.Sink
 	if cfg.eventsOut != "" {
 		fs, err := obs.NewRotatingFileSink(cfg.eventsOut, cfg.eventsMaxBytes)
@@ -132,19 +169,50 @@ func realMain(cfg cliConfig) error {
 		spans = span.New(cfg.spanCap, rec)
 	}
 
+	var jw *journal.Writer
+	if cfg.journalDir != "" {
+		policy, err := journal.ParseFsyncPolicy(cfg.fsync)
+		if err != nil {
+			return err
+		}
+		jw, err = journal.Create(cfg.journalDir, journal.Options{
+			SegmentBytes: cfg.segmentBytes,
+			Fsync:        policy,
+			Registry:     rec.Registry(),
+		})
+		if err != nil {
+			return err
+		}
+		if cfg.captureDir == "" {
+			cfg.captureDir = filepath.Join(cfg.journalDir, "bundles")
+		}
+	}
+
+	if cfg.runtimeSample > 0 {
+		stopSampler := obs.StartRuntimeSampler(rec.Registry(), cfg.runtimeSample)
+		defer stopSampler()
+	}
+
 	s, err := server.New(p, server.Options{
-		Epsilon:       cfg.eps,
-		Eta:           cfg.eta,
-		MaxIters:      cfg.iters,
-		Workers:       cfg.workers,
-		StationaryTol: cfg.stationaryTol,
-		Debounce:      cfg.debounce,
-		Recorder:      rec,
-		Trace:         ring,
-		Spans:         spans,
-		HistoryCap:    cfg.historyCap,
+		Epsilon:         cfg.eps,
+		Eta:             cfg.eta,
+		MaxIters:        cfg.iters,
+		Workers:         cfg.workers,
+		StationaryTol:   cfg.stationaryTol,
+		Debounce:        cfg.debounce,
+		Recorder:        rec,
+		Trace:           ring,
+		Spans:           spans,
+		HistoryCap:      cfg.historyCap,
+		Journal:         jw,
+		CheckpointEvery: cfg.checkpointEvery,
+		SLO:             time.Duration(cfg.sloMS * float64(time.Millisecond)),
+		CaptureDir:      cfg.captureDir,
 	})
 	if err != nil {
+		if jw != nil {
+			_ = jw.Close()
+		}
 		return err
 	}
 
@@ -167,9 +235,24 @@ func realMain(cfg cliConfig) error {
 		sig := <-ch
 		fmt.Fprintf(os.Stderr, "admissiond: %v, shutting down\n", sig)
 	}
+	// Shutdown order matters: stop admitting (listener), drain the
+	// solver, then seal the journal so the final fsync covers every
+	// record the server wrote.
 	if err := h.Close(); err != nil {
 		_ = s.Close()
+		if jw != nil {
+			_ = jw.Close()
+		}
 		return err
 	}
-	return s.Close()
+	if err := s.Close(); err != nil {
+		if jw != nil {
+			_ = jw.Close()
+		}
+		return err
+	}
+	if jw != nil {
+		return jw.Close()
+	}
+	return nil
 }

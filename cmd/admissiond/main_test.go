@@ -306,3 +306,134 @@ func TestAdmissiondEndToEnd(t *testing.T) {
 		t.Fatalf("events file has no http_request records:\n%.500s", evData)
 	}
 }
+
+// TestAdmissiondJournalRecovery boots the daemon with a flight
+// recorder, mutates state over HTTP, restarts it against the same
+// journal directory, and asserts the mutated state survived.
+func TestAdmissiondJournalRecovery(t *testing.T) {
+	p, err := randnet.Generate(randnet.Config{Seed: 7, Nodes: 10, Commodities: 2, Layers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := p.MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := filepath.Join(t.TempDir(), "instance.json")
+	if err := os.WriteFile(in, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	jdir := filepath.Join(t.TempDir(), "journal")
+	name := p.Commodities[0].Name
+
+	boot := func(in string) (base string, stop chan struct{}, errCh chan error) {
+		t.Helper()
+		addrCh := make(chan string, 1)
+		stop = make(chan struct{})
+		errCh = make(chan error, 1)
+		go func() {
+			errCh <- realMain(cliConfig{
+				in:              in,
+				addr:            "127.0.0.1:0",
+				eta:             0.04,
+				eps:             0.2,
+				iters:           2000,
+				stationaryTol:   1e-3,
+				debounce:        2 * time.Millisecond,
+				historyCap:      16,
+				journalDir:      jdir,
+				checkpointEvery: 4,
+				fsync:           "interval",
+				runtimeSample:   time.Second,
+				ready:           func(a string) { addrCh <- a },
+				stop:            stop,
+			})
+		}()
+		select {
+		case a := <-addrCh:
+			return "http://" + a, stop, errCh
+		case err := <-errCh:
+			t.Fatalf("daemon exited early: %v", err)
+		case <-time.After(30 * time.Second):
+			t.Fatal("daemon never became ready")
+		}
+		panic("unreachable")
+	}
+	shutdown := func(stop chan struct{}, errCh chan error) {
+		t.Helper()
+		close(stop)
+		select {
+		case err := <-errCh:
+			if err != nil {
+				t.Fatalf("daemon exited with error: %v", err)
+			}
+		case <-time.After(30 * time.Second):
+			t.Fatal("daemon never exited")
+		}
+	}
+	maxRate := func(base string) float64 {
+		t.Helper()
+		resp, err := http.Get(base + "/v1/problem")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var prob struct {
+			Commodities []struct {
+				Name    string  `json:"name"`
+				MaxRate float64 `json:"maxRate"`
+			} `json:"commodities"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&prob); err != nil {
+			t.Fatal(err)
+		}
+		for _, c := range prob.Commodities {
+			if c.Name == name {
+				return c.MaxRate
+			}
+		}
+		t.Fatalf("commodity %s missing from /v1/problem", name)
+		return 0
+	}
+
+	base, stop, errCh := boot(in)
+	req, err := http.NewRequest(http.MethodPatch, base+"/v1/commodities/"+name,
+		strings.NewReader(`{"maxRate": 3.5}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("PATCH status %d", resp.StatusCode)
+	}
+	if got := maxRate(base); got != 3.5 {
+		t.Fatalf("maxRate after PATCH = %v", got)
+	}
+	// The journal's metrics are live on /metrics.
+	mresp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mbody := new(bytes.Buffer)
+	if _, err := mbody.ReadFrom(mresp.Body); err != nil {
+		t.Fatal(err)
+	}
+	mresp.Body.Close()
+	for _, want := range []string{"streamopt_journal_records_total", "streamopt_go_goroutines"} {
+		if !strings.Contains(mbody.String(), want) {
+			t.Fatalf("/metrics lacks %s", want)
+		}
+	}
+	shutdown(stop, errCh)
+
+	// Second boot: no -in; state must come from the journal.
+	base, stop, errCh = boot("")
+	if got := maxRate(base); got != 3.5 {
+		t.Fatalf("maxRate after recovery = %v, want 3.5", got)
+	}
+	shutdown(stop, errCh)
+}

@@ -35,6 +35,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/journal"
 	"repro/internal/loadgen"
 	"repro/internal/obs"
 	"repro/internal/server"
@@ -56,6 +57,7 @@ type config struct {
 	iters    int
 	jsonlOut string
 	out      string
+	journal  string
 }
 
 func main() {
@@ -75,6 +77,7 @@ func main() {
 	flag.IntVar(&cfg.iters, "iters", 0, "in-process server per-solve iteration budget (0: server default)")
 	flag.StringVar(&cfg.jsonlOut, "events-out", "", "append driver/analyzer obs events as JSONL to this file")
 	flag.StringVar(&cfg.out, "out", "", "write the result/report here instead of stdout")
+	flag.StringVar(&cfg.journal, "journal", "", "record the -run through a flight-recorder journal in this directory (in-process only; verify with cmd/replay)")
 	flag.Parse()
 	if err := realMain(os.Stdout, cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "loadgen:", err)
@@ -94,6 +97,9 @@ func realMain(stdout io.Writer, cfg config) error {
 	}
 	if modes != 1 {
 		return fmt.Errorf("pick exactly one of -events, -base, -run, -sweep")
+	}
+	if cfg.journal != "" && !cfg.run {
+		return fmt.Errorf("-journal only applies to -run")
 	}
 	data, err := os.ReadFile(cfg.scenario)
 	if err != nil {
@@ -158,8 +164,8 @@ func realMain(stdout io.Writer, cfg config) error {
 		if err != nil {
 			return err
 		}
-		defer cleanup()
 		res, err := loadgen.Run(c, be, driverOptions(cfg, rec))
+		cleanup() // close the server (and seal the journal) before reporting
 		if err != nil {
 			return err
 		}
@@ -213,13 +219,39 @@ func driverOptions(cfg config, rec *obs.Recorder) loadgen.DriverOptions {
 
 func backend(cfg config, c *loadgen.Compiled, rec *obs.Recorder) (loadgen.Backend, func(), error) {
 	if cfg.target != "" {
+		if cfg.journal != "" {
+			return nil, nil, fmt.Errorf("-journal records the in-process server; it cannot be combined with -target")
+		}
 		return loadgen.HTTP{Base: cfg.target}, func() {}, nil
 	}
-	srv, err := server.New(c.Base, serverOptions(cfg, rec))
+	opts := serverOptions(cfg, rec)
+	var jw *journal.Writer
+	if cfg.journal != "" {
+		// Stamp the compiled stream's identity into the journal header
+		// so a replay can be tied back to the exact workload.
+		sha, err := c.EventStreamHash()
+		if err != nil {
+			return nil, nil, err
+		}
+		jw, err = journal.Create(cfg.journal, journal.Options{StreamSHA: sha})
+		if err != nil {
+			return nil, nil, err
+		}
+		opts.Journal = jw
+	}
+	srv, err := server.New(c.Base, opts)
 	if err != nil {
+		if jw != nil {
+			_ = jw.Close()
+		}
 		return nil, nil, err
 	}
-	return loadgen.InProc{S: srv}, func() { srv.Close() }, nil
+	return loadgen.InProc{S: srv}, func() {
+		srv.Close()
+		if jw != nil {
+			_ = jw.Close()
+		}
+	}, nil
 }
 
 func parseScales(s string) ([]float64, error) {

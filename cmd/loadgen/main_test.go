@@ -3,10 +3,14 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"os"
+	"path/filepath"
 	"testing"
 	"time"
 
+	"repro/internal/journal"
 	"repro/internal/loadgen"
+	"repro/internal/replay"
 	"repro/internal/server"
 	"repro/internal/stream"
 )
@@ -107,5 +111,73 @@ func TestBadFlagCombos(t *testing.T) {
 	}
 	if err := realMain(&buf, config{scenario: flashcrowd, sweep: true, scales: "1,-2"}); err == nil {
 		t.Fatal("negative scale should error")
+	}
+}
+
+// TestRunJournalRecordsReplayableTrajectory drives a run through the
+// flight recorder and verifies the journal replays with zero
+// trajectory mismatches and carries the compiled stream's identity.
+func TestRunJournalRecordsReplayableTrajectory(t *testing.T) {
+	jdir := filepath.Join(t.TempDir(), "journal")
+	run(t, config{
+		scenario: flashcrowd,
+		scale:    1,
+		run:      true,
+		sync:     1,
+		timeout:  30 * time.Second,
+		debounce: -1,
+		journal:  jdir,
+	})
+
+	log, err := journal.ReadDir(jdir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(flashcrowd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, err := loadgen.ParseScenario(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := loadgen.Compile(sc, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantSHA, err := c.EventStreamHash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := log.StreamSHA(); got != wantSHA {
+		t.Fatalf("journal header stream SHA = %q, compiled stream = %q", got, wantSHA)
+	}
+
+	rep, err := replay.Verify(jdir, replay.Options{Timeout: 30 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Ok() {
+		for _, m := range rep.Mismatches {
+			t.Errorf("mismatch: %s", m)
+		}
+		t.Fatal("recorded run did not replay cleanly")
+	}
+	if rep.Digests == 0 || rep.Mutations == 0 {
+		t.Fatalf("replay verified nothing: %+v", rep)
+	}
+}
+
+func TestJournalFlagCombos(t *testing.T) {
+	var buf bytes.Buffer
+	if err := realMain(&buf, config{scenario: flashcrowd, events: true, journal: "x"}); err == nil {
+		t.Fatal("-journal without -run should error")
+	}
+	err := realMain(&buf, config{
+		scenario: flashcrowd, run: true, target: "http://127.0.0.1:1",
+		journal: "x", sync: 1, timeout: time.Second,
+	})
+	if err == nil {
+		t.Fatal("-journal with -target should error")
 	}
 }

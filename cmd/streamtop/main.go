@@ -141,12 +141,33 @@ func render(client *http.Client, base string, cfg cliConfig, prevGen int64, prev
 
 	count := metrics.value("streamopt_decision_latency_seconds_count")
 	buckets := metrics.histogram("streamopt_decision_latency_seconds_bucket")
-	fmt.Fprintf(&b, "decisions %.0f   latency p50 %s  p95 %s  p99 %s   spans %.0f\n\n",
+	fmt.Fprintf(&b, "decisions %.0f   latency p50 %s  p95 %s  p99 %s   spans %.0f\n",
 		count,
 		fmtDur(quantile(buckets, count, 0.50)),
 		fmtDur(quantile(buckets, count, 0.95)),
 		fmtDur(quantile(buckets, count, 0.99)),
 		metrics.value("streamopt_spans_total"))
+
+	// Runtime telemetry (present when the daemon runs the sampler).
+	if metrics.has("streamopt_go_goroutines") {
+		fmt.Fprintf(&b, "runtime    goroutines %.0f   heap %s   gc %.0f (%.1fms paused)\n",
+			metrics.value("streamopt_go_goroutines"),
+			fmtBytes(metrics.value("streamopt_go_heap_alloc_bytes")),
+			metrics.value("streamopt_go_gcs_total"),
+			1000*metrics.value("streamopt_go_gc_pause_seconds_total"))
+	}
+	// Flight-recorder health (present when journaling is on): how far
+	// the journal lags behind the last fsync, and anomaly captures.
+	if metrics.has("streamopt_journal_records_total") {
+		fmt.Fprintf(&b, "journal    %.0f records / %s in segment %.0f   lag %.0f rec / %s behind fsync   captures %.0f\n",
+			metrics.value("streamopt_journal_records_total"),
+			fmtBytes(metrics.value("streamopt_journal_bytes_total")),
+			metrics.value("streamopt_journal_segment"),
+			metrics.value("streamopt_journal_unsynced_records"),
+			fmtBytes(metrics.value("streamopt_journal_unsynced_bytes")),
+			metrics.sum("streamopt_capture_total"))
+	}
+	b.WriteString("\n")
 
 	fmt.Fprintf(&b, "%-16s %10s %10s %6s %12s\n", "COMMODITY", "OFFERED", "ADMITTED", "PCT", "UTILITY")
 	for _, c := range adm.Commodities {
@@ -197,6 +218,32 @@ func getJSON(client *http.Client, url string, v any) error {
 type metricSet map[string]float64
 
 func (m metricSet) value(key string) float64 { return m[key] }
+
+// has reports whether any sample of the family was exposed (bare or
+// with labels).
+func (m metricSet) has(family string) bool {
+	if _, ok := m[family]; ok {
+		return true
+	}
+	for k := range m {
+		if strings.HasPrefix(k, family+"{") {
+			return true
+		}
+	}
+	return false
+}
+
+// sum totals every sample of a labeled family — e.g. capture bundles
+// across all trigger reasons.
+func (m metricSet) sum(family string) float64 {
+	total := m[family]
+	for k, v := range m {
+		if strings.HasPrefix(k, family+"{") {
+			total += v
+		}
+	}
+	return total
+}
 
 // bucket is one cumulative histogram bucket.
 type bucket struct {
@@ -303,5 +350,19 @@ func fmtDur(sec float64) string {
 		return fmt.Sprintf("%.1fms", sec*1e3)
 	default:
 		return fmt.Sprintf("%.2fs", sec)
+	}
+}
+
+// fmtBytes renders a byte count human-scaled (B/KiB/MiB/GiB).
+func fmtBytes(n float64) string {
+	switch {
+	case n < 1<<10:
+		return fmt.Sprintf("%.0fB", n)
+	case n < 1<<20:
+		return fmt.Sprintf("%.1fKiB", n/(1<<10))
+	case n < 1<<30:
+		return fmt.Sprintf("%.1fMiB", n/(1<<20))
+	default:
+		return fmt.Sprintf("%.2fGiB", n/(1<<30))
 	}
 }

@@ -96,7 +96,18 @@ func TestRealMainAgainstFakeServer(t *testing.T) {
 				"streamopt_decision_latency_seconds_bucket{le=\"0.05\"} 4\n" +
 				"streamopt_decision_latency_seconds_bucket{le=\"+Inf\"} 4\n" +
 				"streamopt_decision_latency_seconds_count 4\n" +
-				"streamopt_spans_total 17\n"))
+				"streamopt_spans_total 17\n" +
+				"streamopt_go_goroutines 23\n" +
+				"streamopt_go_heap_alloc_bytes 3145728\n" +
+				"streamopt_go_gcs_total 5\n" +
+				"streamopt_go_gc_pause_seconds_total 0.002\n" +
+				"streamopt_journal_records_total 120\n" +
+				"streamopt_journal_bytes_total 65536\n" +
+				"streamopt_journal_segment 1\n" +
+				"streamopt_journal_unsynced_records 3\n" +
+				"streamopt_journal_unsynced_bytes 2048\n" +
+				"streamopt_capture_total{reason=\"slo_breach\"} 2\n" +
+				"streamopt_capture_total{reason=\"divergence\"} 1\n"))
 	})
 	ts := httptest.NewServer(mux)
 	defer ts.Close()
@@ -124,6 +135,12 @@ func TestRealMainAgainstFakeServer(t *testing.T) {
 		"rejected",
 		"0af7651916cd43dd8448eb211c80319c",
 		"gen/s", // second frame derives a generation rate
+		"goroutines 23",
+		"heap 3.0MiB",
+		"gc 5 (2.0ms paused)",
+		"120 records / 64.0KiB in segment 1",
+		"lag 3 rec / 2.0KiB behind fsync",
+		"captures 3", // summed across reasons
 	} {
 		if !strings.Contains(frame, want) {
 			t.Errorf("frame missing %q:\n%s", want, frame)
@@ -140,5 +157,19 @@ func TestRealMainErrors(t *testing.T) {
 	})
 	if err == nil {
 		t.Fatal("expected connection error")
+	}
+}
+
+func TestFmtBytes(t *testing.T) {
+	cases := map[float64]string{
+		512:     "512B",
+		2048:    "2.0KiB",
+		3145728: "3.0MiB",
+		2 << 30: "2.00GiB",
+	}
+	for in, want := range cases {
+		if got := fmtBytes(in); got != want {
+			t.Errorf("fmtBytes(%v) = %q, want %q", in, got, want)
+		}
 	}
 }

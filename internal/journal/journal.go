@@ -1,0 +1,338 @@
+// Package journal is the admission server's crash-safe flight
+// recorder: an append-only log of every accepted mutation and every
+// published snapshot digest, with periodic full stream.Problem
+// checkpoints, size-based segment rotation, a configurable fsync
+// policy, and recovery that tolerates a torn tail record.
+//
+// The on-disk format is a directory of numbered segment files
+// ("journal-00000000.wal", "journal-00000001.wal", ...). Each segment
+// is a sequence of length-prefixed, CRC-framed JSON records:
+//
+//	[4B little-endian payload length][4B CRC32-C of payload][payload]
+//
+// and always begins with a header record naming the journal instance,
+// the segment index, and an optional compiled-workload SHA-256 for
+// provenance. A process killed mid-write leaves at most one partial
+// frame at the tail of the last segment; readers detect it (length or
+// CRC check fails) and drop it. A bad frame anywhere else is real
+// corruption and fails the read.
+//
+// Three record kinds carry the decision trajectory:
+//
+//   - checkpoint: a full problem serialization at a revision. The
+//     server writes one at boot (Restart=true, carrying its effective
+//     solver parameters) and every CheckpointEvery accepted mutations.
+//   - mutation: one accepted mutation batch — rev, wall+monotonic
+//     time, operation kind, target, payload, and the decision trace ID.
+//   - digest: one published snapshot — generation, rev, warm/cold,
+//     iterations, convergence, utility, a hash of the admitted set,
+//     and the admission flips it caused.
+//
+// Because the solver is bitwise-deterministic (PR 4), replaying the
+// mutations of a journal through a fresh server — one solve per
+// recorded digest — must reproduce every digest exactly; internal/
+// replay and cmd/replay turn that into a verification gate.
+package journal
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"math"
+	"sort"
+
+	"repro/internal/stream"
+)
+
+// Version is the on-disk format version stamped into segment headers.
+const Version = 1
+
+// Kind discriminates journal records.
+type Kind string
+
+// The record kinds.
+const (
+	KindHeader     Kind = "header"
+	KindCheckpoint Kind = "checkpoint"
+	KindMutation   Kind = "mutation"
+	KindDigest     Kind = "digest"
+)
+
+// Mutation operation names. These match the `kind` labels
+// internal/server feeds the obs recorder, so a journal and an event
+// stream from the same run agree on vocabulary.
+const (
+	OpAddCommodity    = "add_commodity"
+	OpRemoveCommodity = "remove_commodity"
+	OpSetRate         = "set_rate"
+	OpSetRates        = "set_rates"
+	OpSetUtility      = "set_utility"
+	OpSetCapacity     = "set_capacity"
+	OpSetBandwidth    = "set_bandwidth"
+	OpScaleCapacity   = "scale_capacity"
+	OpScaleBandwidth  = "scale_bandwidth"
+)
+
+// Record is one journal entry. Exactly one of Header, Checkpoint,
+// Mutation, Digest is set, per Kind. The Writer stamps WallUnixNano
+// and MonoNanos (nanoseconds since the writer opened) on append when
+// they are zero, so records rewritten from an existing journal keep
+// their original clocks.
+type Record struct {
+	Kind         Kind   `json:"kind"`
+	Rev          int64  `json:"rev,omitempty"`
+	WallUnixNano int64  `json:"wallUnixNano,omitempty"`
+	MonoNanos    int64  `json:"monoNanos,omitempty"`
+	Trace        string `json:"trace,omitempty"`
+
+	Header     *Header     `json:"header,omitempty"`
+	Checkpoint *Checkpoint `json:"checkpoint,omitempty"`
+	Mutation   *Mutation   `json:"mutation,omitempty"`
+	Digest     *Digest     `json:"digest,omitempty"`
+}
+
+// Header opens every segment.
+type Header struct {
+	Version   int    `json:"version"`
+	JournalID string `json:"journalId"` // random per Writer; ties segments of one run together
+	Segment   int    `json:"segment"`
+	// StreamSHA is the compiled workload's event-stream SHA-256 when
+	// the journal was recorded by a loadgen drive — provenance linking
+	// the journal to the exact scenario bytes that produced it.
+	StreamSHA string `json:"streamSha,omitempty"`
+}
+
+// SolverParams are the server's effective solver knobs, recorded on
+// restart checkpoints so a replay solves with identical arithmetic.
+type SolverParams struct {
+	Epsilon       float64 `json:"epsilon"`
+	Eta           float64 `json:"eta"`
+	MaxIters      int     `json:"maxIters"`
+	StationaryTol float64 `json:"stationaryTol"`
+	// Workers is informational: PR 4 guarantees bitwise-identical
+	// trajectories at any worker count.
+	Workers int `json:"workers,omitempty"`
+}
+
+// Checkpoint is a full problem serialization at Record.Rev. Restart
+// marks the first checkpoint of a server run (fresh boot or recovery);
+// replay starts a fresh in-proc server there, and generations restart
+// at 1 — matching what the real restarted server did. Non-restart
+// checkpoints are recovery accelerators and replay cross-checks.
+type Checkpoint struct {
+	Problem json.RawMessage `json:"problem"`
+	Restart bool            `json:"restart,omitempty"`
+	Solver  *SolverParams   `json:"solver,omitempty"` // set on restart checkpoints
+}
+
+// Mutation is one accepted mutation batch.
+type Mutation struct {
+	Op      string          `json:"op"`
+	Target  string          `json:"target,omitempty"`
+	Payload json.RawMessage `json:"payload,omitempty"`
+}
+
+// Flip is one admitted↔rejected transition a generation caused, in
+// snapshot commodity order.
+type Flip struct {
+	Commodity string `json:"commodity"`
+	Admitted  bool   `json:"admitted"`
+}
+
+// Digest summarizes one published snapshot. Utility round-trips
+// exactly through JSON (Go encodes the shortest representation that
+// parses back to the same float64), so replay compares it with ==.
+type Digest struct {
+	Generation int64 `json:"generation"`
+	Warm       bool  `json:"warm,omitempty"`
+	Iterations int   `json:"iterations,omitempty"`
+	Converged  bool  `json:"converged,omitempty"`
+	// Drained marks a solve cut short by server shutdown: its
+	// iteration count reflects when the drain landed, not solver
+	// behavior, so replay verification skips the digest (it is always
+	// the last of its run).
+	Drained      bool    `json:"drained,omitempty"`
+	Feasible     bool    `json:"feasible,omitempty"`
+	Utility      float64 `json:"utility"`
+	Commodities  int     `json:"commodities"`
+	AdmittedHash string  `json:"admittedHash"`
+	Flips        []Flip  `json:"flips,omitempty"`
+}
+
+// Mutation payload shapes. internal/server marshals these when
+// journaling is on; Apply and the replay driver decode them.
+
+// RatePayload carries OpSetRate.
+type RatePayload struct {
+	Rate float64 `json:"rate"`
+}
+
+// RatesPayload carries OpSetRates. Go's JSON encoder writes map keys
+// sorted, so the recorded bytes are deterministic for a given batch.
+type RatesPayload struct {
+	Rates map[string]float64 `json:"rates"`
+}
+
+// CapacityPayload carries OpSetCapacity.
+type CapacityPayload struct {
+	Capacity float64 `json:"capacity"`
+}
+
+// ScalePayload carries OpScaleCapacity.
+type ScalePayload struct {
+	Factor float64 `json:"factor"`
+}
+
+// LinkPayload carries OpSetBandwidth (Bandwidth set) and
+// OpScaleBandwidth (Factor set). The endpoints live in the payload —
+// not parsed out of the "from->to" target label — so names containing
+// "->" cannot corrupt a replay.
+type LinkPayload struct {
+	From      string  `json:"from"`
+	To        string  `json:"to"`
+	Bandwidth float64 `json:"bandwidth,omitempty"`
+	Factor    float64 `json:"factor,omitempty"`
+}
+
+// AdmittedEntry is one commodity's admitted rate, input to
+// AdmittedHash.
+type AdmittedEntry struct {
+	Name string
+	Rate float64
+}
+
+// AdmittedHash is the canonical hash of an admitted set: SHA-256 over
+// name-sorted (name, exact float64 bits) pairs. Two snapshots hash
+// equal iff every commodity's admitted rate is bit-identical.
+func AdmittedHash(entries []AdmittedEntry) string {
+	sorted := make([]AdmittedEntry, len(entries))
+	copy(sorted, entries)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Name < sorted[j].Name })
+	h := sha256.New()
+	var buf [8]byte
+	for _, e := range sorted {
+		_, _ = h.Write([]byte(e.Name))
+		_, _ = h.Write([]byte{0})
+		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(e.Rate))
+		_, _ = h.Write(buf[:])
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// Apply replays one recorded mutation against a problem — the exact
+// operation internal/server performed when it accepted the record.
+// Recovery uses it to roll a checkpoint forward; mutations were
+// validated before they were journaled, so an error here means the
+// journal does not match the checkpoint (corruption or version skew).
+func Apply(p *stream.Problem, m *Mutation) error {
+	if m == nil {
+		return fmt.Errorf("journal: nil mutation")
+	}
+	switch m.Op {
+	case OpAddCommodity:
+		_, err := p.AddCommodityFromJSON(m.Payload)
+		return err
+	case OpRemoveCommodity:
+		if !p.RemoveCommodity(m.Target) {
+			return fmt.Errorf("journal: unknown commodity %q", m.Target)
+		}
+		return nil
+	case OpSetRate:
+		var pl RatePayload
+		if err := json.Unmarshal(m.Payload, &pl); err != nil {
+			return fmt.Errorf("journal: %s payload: %w", m.Op, err)
+		}
+		return p.SetMaxRate(m.Target, pl.Rate)
+	case OpSetRates:
+		var pl RatesPayload
+		if err := json.Unmarshal(m.Payload, &pl); err != nil {
+			return fmt.Errorf("journal: %s payload: %w", m.Op, err)
+		}
+		names := make([]string, 0, len(pl.Rates))
+		for name := range pl.Rates {
+			names = append(names, name)
+		}
+		sort.Strings(names) // same order server.SetMaxRates applies
+		for _, name := range names {
+			if err := p.SetMaxRate(name, pl.Rates[name]); err != nil {
+				return err
+			}
+		}
+		return nil
+	case OpSetUtility:
+		u, err := stream.ParseUtilityJSON(m.Payload)
+		if err != nil {
+			return err
+		}
+		return p.SetUtility(m.Target, u)
+	case OpSetCapacity:
+		var pl CapacityPayload
+		if err := json.Unmarshal(m.Payload, &pl); err != nil {
+			return fmt.Errorf("journal: %s payload: %w", m.Op, err)
+		}
+		return p.Net.SetCapacity(m.Target, pl.Capacity)
+	case OpScaleCapacity:
+		var pl ScalePayload
+		if err := json.Unmarshal(m.Payload, &pl); err != nil {
+			return fmt.Errorf("journal: %s payload: %w", m.Op, err)
+		}
+		id, ok := p.Net.NodeByName(m.Target)
+		if !ok {
+			return fmt.Errorf("journal: unknown node %q", m.Target)
+		}
+		return p.Net.SetCapacity(m.Target, p.Net.Capacity[id]*pl.Factor)
+	case OpSetBandwidth:
+		var pl LinkPayload
+		if err := json.Unmarshal(m.Payload, &pl); err != nil {
+			return fmt.Errorf("journal: %s payload: %w", m.Op, err)
+		}
+		return p.Net.SetBandwidth(pl.From, pl.To, pl.Bandwidth)
+	case OpScaleBandwidth:
+		var pl LinkPayload
+		if err := json.Unmarshal(m.Payload, &pl); err != nil {
+			return fmt.Errorf("journal: %s payload: %w", m.Op, err)
+		}
+		f, ok := p.Net.NodeByName(pl.From)
+		if !ok {
+			return fmt.Errorf("journal: unknown node %q", pl.From)
+		}
+		t, ok := p.Net.NodeByName(pl.To)
+		if !ok {
+			return fmt.Errorf("journal: unknown node %q", pl.To)
+		}
+		e := p.Net.G.EdgeBetween(f, t)
+		if e < 0 {
+			return fmt.Errorf("journal: no link (%s,%s)", pl.From, pl.To)
+		}
+		return p.Net.SetBandwidth(pl.From, pl.To, p.Net.Bandwidth[e]*pl.Factor)
+	default:
+		return fmt.Errorf("journal: unknown mutation op %q", m.Op)
+	}
+}
+
+// Framing constants.
+const (
+	frameHeaderLen = 8        // 4B length + 4B CRC32-C
+	maxRecordBytes = 64 << 20 // sanity bound; a full checkpoint stays far below
+)
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// encodeFrame renders one record as a framed byte slice.
+func encodeFrame(rec *Record) ([]byte, error) {
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return nil, fmt.Errorf("journal: encode record: %w", err)
+	}
+	if len(payload) > maxRecordBytes {
+		return nil, fmt.Errorf("journal: record too large (%d bytes)", len(payload))
+	}
+	out := make([]byte, frameHeaderLen+len(payload))
+	binary.LittleEndian.PutUint32(out[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(out[4:8], crc32.Checksum(payload, crcTable))
+	copy(out[frameHeaderLen:], payload)
+	return out, nil
+}

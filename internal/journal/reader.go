@@ -1,0 +1,218 @@
+package journal
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/stream"
+)
+
+// Segments lists the segment indices present in dir, ascending. A
+// missing directory is an empty journal, not an error.
+func Segments(dir string) ([]int, error) {
+	entries, err := os.ReadDir(dir)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("journal: %w", err)
+	}
+	var segs []int
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasPrefix(name, "journal-") || !strings.HasSuffix(name, ".wal") {
+			continue
+		}
+		n, err := strconv.Atoi(strings.TrimSuffix(strings.TrimPrefix(name, "journal-"), ".wal"))
+		if err != nil {
+			continue
+		}
+		segs = append(segs, n)
+	}
+	sort.Ints(segs)
+	return segs, nil
+}
+
+// HasJournal reports whether dir holds at least one journal segment.
+func HasJournal(dir string) (bool, error) {
+	segs, err := Segments(dir)
+	return len(segs) > 0, err
+}
+
+// Log is a fully read journal.
+type Log struct {
+	Dir      string
+	Segments []int
+	Headers  []Header
+	// Records holds the checkpoint/mutation/digest records in file
+	// order (headers separated out above).
+	Records []Record
+	// Truncated reports that a torn frame was found — and dropped — at
+	// the tail of the last segment: the expected shape after a crash
+	// mid-append.
+	Truncated bool
+}
+
+// StreamSHA returns the compiled-workload hash from the first header
+// ("" when the journal was not recorded by a loadgen drive).
+func (l *Log) StreamSHA() string {
+	if len(l.Headers) == 0 {
+		return ""
+	}
+	return l.Headers[0].StreamSHA
+}
+
+// ReadDir reads every segment of the journal at dir. A torn tail
+// record in the last segment is tolerated (Log.Truncated); a bad frame
+// anywhere else is corruption and fails.
+func ReadDir(dir string) (*Log, error) {
+	segs, err := Segments(dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(segs) == 0 {
+		return nil, fmt.Errorf("journal: no segments in %s", dir)
+	}
+	log := &Log{Dir: dir, Segments: segs}
+	for i, seg := range segs {
+		last := i == len(segs)-1
+		recs, truncated, err := readSegment(filepath.Join(dir, SegmentName(seg)), last)
+		if err != nil {
+			return nil, err
+		}
+		if len(recs) == 0 || recs[0].Kind != KindHeader || recs[0].Header == nil {
+			return nil, fmt.Errorf("journal: segment %d lacks a header record", seg)
+		}
+		if recs[0].Header.Segment != seg {
+			return nil, fmt.Errorf("journal: segment %d header names segment %d", seg, recs[0].Header.Segment)
+		}
+		log.Headers = append(log.Headers, *recs[0].Header)
+		for _, r := range recs[1:] {
+			if r.Kind == KindHeader {
+				return nil, fmt.Errorf("journal: segment %d has a stray mid-segment header", seg)
+			}
+			log.Records = append(log.Records, r)
+		}
+		log.Truncated = log.Truncated || truncated
+	}
+	return log, nil
+}
+
+// readSegment decodes one segment file. When last is true, a short or
+// CRC-failing frame at the tail terminates the read cleanly (truncated
+// = true) instead of failing: that is what a crash mid-append leaves
+// behind. The same anomaly in a non-last segment is real corruption.
+func readSegment(path string, last bool) (recs []Record, truncated bool, err error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, false, fmt.Errorf("journal: %w", err)
+	}
+	off := 0
+	torn := func(at int, why string) ([]Record, bool, error) {
+		if last {
+			return recs, true, nil
+		}
+		return nil, false, fmt.Errorf("journal: %s at %s:%d (mid-journal corruption)", why, filepath.Base(path), at)
+	}
+	for off < len(data) {
+		if len(data)-off < frameHeaderLen {
+			return torn(off, "partial frame header")
+		}
+		n := int(binary.LittleEndian.Uint32(data[off : off+4]))
+		crc := binary.LittleEndian.Uint32(data[off+4 : off+8])
+		if n > maxRecordBytes {
+			return torn(off, "implausible frame length")
+		}
+		if len(data)-off-frameHeaderLen < n {
+			return torn(off, "partial frame payload")
+		}
+		payload := data[off+frameHeaderLen : off+frameHeaderLen+n]
+		if crc32.Checksum(payload, crcTable) != crc {
+			return torn(off, "frame CRC mismatch")
+		}
+		var rec Record
+		if err := json.Unmarshal(payload, &rec); err != nil {
+			// The CRC passed, so these are the bytes that were written;
+			// an undecodable record is corruption (or version skew)
+			// wherever it sits.
+			return nil, false, fmt.Errorf("journal: undecodable record at %s:%d: %w", filepath.Base(path), off, err)
+		}
+		recs = append(recs, rec)
+		off += frameHeaderLen + n
+	}
+	return recs, false, nil
+}
+
+// Recovered is the reconstructed server state after a crash: the last
+// checkpoint rolled forward through every later journaled mutation.
+type Recovered struct {
+	Log *Log
+	// Problem is the desired problem at the journal tail — what the
+	// crashed server held under its mutex, minus any unsynced loss.
+	Problem *stream.Problem
+	// Rev is the revision of Problem (the last checkpoint's or last
+	// mutation's revision, whichever is later).
+	Rev int64
+	// CheckpointRev and MutationsApplied describe the roll-forward.
+	CheckpointRev    int64
+	MutationsApplied int
+}
+
+// Recover reads the journal and rebuilds the problem the server should
+// boot with: parse the newest checkpoint, then Apply every mutation
+// journaled after it. The caller starts a fresh server over the result
+// and keeps appending to the same directory; the server's boot
+// checkpoint (Restart=true) marks the epoch boundary for replay.
+func Recover(dir string) (*Recovered, error) {
+	log, err := ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	cpIdx := -1
+	for i, r := range log.Records {
+		if r.Kind == KindCheckpoint {
+			cpIdx = i
+		}
+	}
+	if cpIdx < 0 {
+		return nil, fmt.Errorf("journal: no checkpoint in %s", dir)
+	}
+	cp := log.Records[cpIdx]
+	p, err := stream.ParseProblem(cp.Checkpoint.Problem)
+	if err != nil {
+		return nil, fmt.Errorf("journal: checkpoint at rev %d: %w", cp.Rev, err)
+	}
+	out := &Recovered{Log: log, Problem: p, Rev: cp.Rev, CheckpointRev: cp.Rev}
+	for _, r := range log.Records[cpIdx+1:] {
+		if r.Kind != KindMutation {
+			continue
+		}
+		if err := Apply(p, r.Mutation); err != nil {
+			return nil, fmt.Errorf("journal: replaying mutation rev %d (%s %s): %w",
+				r.Rev, r.Mutation.Op, r.Mutation.Target, err)
+		}
+		out.Rev = r.Rev
+		out.MutationsApplied++
+	}
+	return out, nil
+}
+
+// CopyTo re-appends records through a fresh writer — the test hook for
+// building fixture journals (e.g. deliberately corrupting one digest to
+// prove the replay verifier pinpoints it). Timestamps are preserved:
+// Append only stamps zero clocks.
+func CopyTo(w *Writer, recs []Record) error {
+	for _, r := range recs {
+		if err := w.Append(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}

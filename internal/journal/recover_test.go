@@ -1,0 +1,268 @@
+package journal
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// writeJournal records a checkpoint of the toy problem plus mutations,
+// returning the directory.
+func writeJournal(t *testing.T, opts Options, muts []Mutation) string {
+	t.Helper()
+	dir := t.TempDir()
+	w, err := Create(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := toyProblem(t)
+	pj, err := json.Marshal(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(Record{Kind: KindCheckpoint, Rev: 1, Checkpoint: &Checkpoint{Problem: pj, Restart: true}}); err != nil {
+		t.Fatal(err)
+	}
+	for i := range muts {
+		if err := w.Append(Record{Kind: KindMutation, Rev: int64(i + 2), Mutation: &muts[i]}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+func TestRecoverRollsForward(t *testing.T) {
+	dir := writeJournal(t, Options{Fsync: FsyncNever}, []Mutation{
+		{Op: OpSetRate, Target: "c1", Payload: mustJSON(t, RatePayload{Rate: 3})},
+		{Op: OpSetCapacity, Target: "b", Payload: mustJSON(t, CapacityPayload{Capacity: 7})},
+	})
+	rec, err := Recover(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.CheckpointRev != 1 || rec.Rev != 3 || rec.MutationsApplied != 2 {
+		t.Fatalf("recovered cpRev=%d rev=%d applied=%d", rec.CheckpointRev, rec.Rev, rec.MutationsApplied)
+	}
+	c, ok := rec.Problem.CommodityByName("c1")
+	if !ok || c.MaxRate != 3 {
+		t.Fatalf("recovered c1 = %+v", c)
+	}
+	bID, _ := rec.Problem.Net.NodeByName("b")
+	if rec.Problem.Net.Capacity[bID] != 7 {
+		t.Fatalf("recovered capacity(b) = %v", rec.Problem.Net.Capacity[bID])
+	}
+}
+
+// TestRecoverPrefersLastCheckpoint writes two checkpoints and makes
+// sure recovery rolls forward from the newest one only.
+func TestRecoverPrefersLastCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	w, err := Create(dir, Options{Fsync: FsyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := toyProblem(t)
+	pj1, _ := json.Marshal(p)
+	if err := w.Append(Record{Kind: KindCheckpoint, Rev: 1, Checkpoint: &Checkpoint{Problem: pj1, Restart: true}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(Record{Kind: KindMutation, Rev: 2, Mutation: &Mutation{
+		Op: OpSetRate, Target: "c1", Payload: mustJSON(t, RatePayload{Rate: 2})}}); err != nil {
+		t.Fatal(err)
+	}
+	// Periodic checkpoint capturing the rate-2 state.
+	if err := Apply(p, &Mutation{Op: OpSetRate, Target: "c1", Payload: mustJSON(t, RatePayload{Rate: 2})}); err != nil {
+		t.Fatal(err)
+	}
+	pj2, _ := json.Marshal(p)
+	if err := w.Append(Record{Kind: KindCheckpoint, Rev: 2, Checkpoint: &Checkpoint{Problem: pj2}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(Record{Kind: KindMutation, Rev: 3, Mutation: &Mutation{
+		Op: OpSetRate, Target: "c1", Payload: mustJSON(t, RatePayload{Rate: 9})}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	rec, err := Recover(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.CheckpointRev != 2 || rec.MutationsApplied != 1 || rec.Rev != 3 {
+		t.Fatalf("recovered cpRev=%d rev=%d applied=%d", rec.CheckpointRev, rec.Rev, rec.MutationsApplied)
+	}
+	c, _ := rec.Problem.CommodityByName("c1")
+	if c.MaxRate != 9 {
+		t.Fatalf("recovered MaxRate = %v, want 9", c.MaxRate)
+	}
+}
+
+// appendGarbage simulates a crash mid-append: a partial frame at the
+// tail of the named segment.
+func appendGarbage(t *testing.T, dir string, seg int, garbage []byte) {
+	t.Helper()
+	f, err := os.OpenFile(filepath.Join(dir, SegmentName(seg)), os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write(garbage); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTornTailTolerated(t *testing.T) {
+	// Three torn-tail shapes: partial frame header, partial payload
+	// after a plausible length, and a full frame with a corrupted CRC.
+	full, err := encodeFrame(&Record{Kind: KindMutation, Rev: 99, WallUnixNano: 1, MonoNanos: 1,
+		Mutation: &Mutation{Op: OpRemoveCommodity, Target: "x"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	corrupted := append([]byte(nil), full...)
+	corrupted[5] ^= 0xff // flip a CRC byte
+	cases := map[string][]byte{
+		"partial header":  {0x01, 0x02, 0x03},
+		"partial payload": full[:len(full)-3],
+		"crc mismatch":    corrupted,
+	}
+	for name, garbage := range cases {
+		t.Run(name, func(t *testing.T) {
+			dir := writeJournal(t, Options{Fsync: FsyncNever}, []Mutation{
+				{Op: OpSetRate, Target: "c1", Payload: mustJSON(t, RatePayload{Rate: 3})},
+			})
+			appendGarbage(t, dir, 0, garbage)
+			log, err := ReadDir(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !log.Truncated {
+				t.Fatal("torn tail not reported")
+			}
+			if len(log.Records) != 2 {
+				t.Fatalf("got %d records before the tear, want 2", len(log.Records))
+			}
+			rec, err := Recover(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			c, _ := rec.Problem.CommodityByName("c1")
+			if c.MaxRate != 3 {
+				t.Fatalf("recovered MaxRate = %v", c.MaxRate)
+			}
+		})
+	}
+}
+
+func TestMidJournalCorruptionFails(t *testing.T) {
+	dir := writeJournal(t, Options{Fsync: FsyncNever}, []Mutation{
+		{Op: OpSetRate, Target: "c1", Payload: mustJSON(t, RatePayload{Rate: 3})},
+	})
+	// Tear segment 0, then add a later segment: the tear is now
+	// mid-journal and must fail the read.
+	appendGarbage(t, dir, 0, []byte{0xde, 0xad})
+	w, err := Create(dir, Options{Fsync: FsyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadDir(dir); err == nil {
+		t.Fatal("mid-journal corruption accepted")
+	}
+}
+
+// TestRotationBoundaryRecovery crashes (torn tail) right after a
+// rotation and recovers across the segment boundary.
+func TestRotationBoundaryRecovery(t *testing.T) {
+	dir := t.TempDir()
+	w, err := Create(dir, Options{SegmentBytes: 600, Fsync: FsyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := toyProblem(t)
+	pj, _ := json.Marshal(p)
+	if err := w.Append(Record{Kind: KindCheckpoint, Rev: 1, Checkpoint: &Checkpoint{Problem: pj, Restart: true}}); err != nil {
+		t.Fatal(err)
+	}
+	var lastRev int64 = 1
+	for w.Segment() == 0 {
+		lastRev++
+		if err := w.Append(Record{Kind: KindMutation, Rev: lastRev, Mutation: &Mutation{
+			Op: OpSetRate, Target: "c1", Payload: mustJSON(t, RatePayload{Rate: float64(lastRev)})}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	appendGarbage(t, dir, w.Segment(), []byte{0x42})
+
+	log, err := ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !log.Truncated {
+		t.Fatal("torn tail after rotation not reported")
+	}
+	rec, err := Recover(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Rev != lastRev {
+		t.Fatalf("recovered rev %d, want %d", rec.Rev, lastRev)
+	}
+	c, _ := rec.Problem.CommodityByName("c1")
+	if c.MaxRate != float64(lastRev) {
+		t.Fatalf("recovered MaxRate = %v, want %d", c.MaxRate, lastRev)
+	}
+}
+
+func TestRecoverRequiresCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	w, err := Create(dir, Options{Fsync: FsyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(Record{Kind: KindMutation, Rev: 1, Mutation: &Mutation{Op: OpRemoveCommodity, Target: "x"}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Recover(dir); err == nil {
+		t.Fatal("recovery without a checkpoint accepted")
+	}
+}
+
+func TestHasJournal(t *testing.T) {
+	dir := t.TempDir()
+	ok, err := HasJournal(dir)
+	if err != nil || ok {
+		t.Fatalf("empty dir: HasJournal = %v, %v", ok, err)
+	}
+	ok, err = HasJournal(filepath.Join(dir, "missing"))
+	if err != nil || ok {
+		t.Fatalf("missing dir: HasJournal = %v, %v", ok, err)
+	}
+	w, err := Create(dir, Options{Fsync: FsyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	ok, err = HasJournal(dir)
+	if err != nil || !ok {
+		t.Fatalf("after Create: HasJournal = %v, %v", ok, err)
+	}
+}

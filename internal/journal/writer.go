@@ -1,0 +1,341 @@
+package journal
+
+import (
+	"bufio"
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// FsyncPolicy controls when appended records are forced to stable
+// storage.
+type FsyncPolicy int
+
+const (
+	// FsyncInterval (the default) flushes+fsyncs when an append finds
+	// FsyncEvery elapsed since the last sync — bounded data loss at
+	// near-zero steady-state cost.
+	FsyncInterval FsyncPolicy = iota
+	// FsyncAlways fsyncs every append. Durable to the last record,
+	// pays a disk round-trip per mutation.
+	FsyncAlways
+	// FsyncNever leaves flushing to segment rotation and Close. A
+	// crash loses the whole buffered tail; fine for benchmarks and
+	// replay fixtures.
+	FsyncNever
+)
+
+// ParseFsyncPolicy maps the CLI spelling ("interval", "always",
+// "never") to a policy.
+func ParseFsyncPolicy(s string) (FsyncPolicy, error) {
+	switch s {
+	case "", "interval":
+		return FsyncInterval, nil
+	case "always":
+		return FsyncAlways, nil
+	case "never":
+		return FsyncNever, nil
+	}
+	return 0, fmt.Errorf("journal: unknown fsync policy %q (want interval, always, or never)", s)
+}
+
+// Options configures a Writer. The zero value is usable.
+type Options struct {
+	// SegmentBytes rotates to a fresh segment once the current one
+	// exceeds this size. Default 64 MiB.
+	SegmentBytes int64
+	// Fsync is the durability policy; FsyncEvery is the interval for
+	// FsyncInterval (default 100ms).
+	Fsync      FsyncPolicy
+	FsyncEvery time.Duration
+	// StreamSHA is stamped into every segment header (see Header).
+	StreamSHA string
+	// TailRecords bounds the in-memory ring of recent records served
+	// by Tail for diagnostics bundles. Default 256; <0 disables.
+	TailRecords int
+	// Registry, when non-nil, receives the journal gauges/counters
+	// (streamopt_journal_*): appended records/bytes, fsyncs, current
+	// segment, and the unsynced lag behind the last fsync.
+	Registry *obs.Registry
+}
+
+func (o *Options) setDefaults() {
+	if o.SegmentBytes <= 0 {
+		o.SegmentBytes = 64 << 20
+	}
+	if o.FsyncEvery <= 0 {
+		o.FsyncEvery = 100 * time.Millisecond
+	}
+	if o.TailRecords == 0 {
+		o.TailRecords = 256
+	}
+}
+
+// Writer appends framed records to the journal directory. Safe for
+// concurrent use: the server appends mutations under its own mutex and
+// digests from the solver goroutine.
+type Writer struct {
+	dir   string
+	opts  Options
+	id    string
+	birth time.Time
+
+	mu       sync.Mutex
+	f        *os.File
+	buf      *bufio.Writer
+	seg      int
+	segSize  int64
+	lagBytes int64 // appended but not yet fsynced
+	lagRecs  int
+	lastSync time.Time
+	closed   bool
+
+	tail     []Record
+	tailNext int
+	tailFull bool
+
+	mRecords  *obs.Counter
+	mBytes    *obs.Counter
+	mFsyncs   *obs.Counter
+	mSegment  *obs.Gauge
+	mLagBytes *obs.Gauge
+	mLagRecs  *obs.Gauge
+}
+
+// Create opens a writer over dir, creating it if needed. An existing
+// journal is continued: the writer starts a fresh segment after the
+// highest existing one and never rewrites old bytes, so recovery after
+// a crash appends to the same history it just read.
+func Create(dir string, opts Options) (*Writer, error) {
+	opts.setDefaults()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("journal: %w", err)
+	}
+	segs, err := Segments(dir)
+	if err != nil {
+		return nil, err
+	}
+	next := 0
+	if len(segs) > 0 {
+		next = segs[len(segs)-1] + 1
+	}
+	var idb [8]byte
+	if _, err := rand.Read(idb[:]); err != nil {
+		return nil, fmt.Errorf("journal: id: %w", err)
+	}
+	w := &Writer{
+		dir:      dir,
+		opts:     opts,
+		id:       hex.EncodeToString(idb[:]),
+		birth:    time.Now(),
+		seg:      next - 1, // openSegment increments
+		lastSync: time.Now(),
+	}
+	if opts.TailRecords > 0 {
+		w.tail = make([]Record, opts.TailRecords)
+	}
+	if reg := opts.Registry; reg != nil {
+		w.mRecords = reg.Counter("streamopt_journal_records_total", "Records appended to the flight-recorder journal.")
+		w.mBytes = reg.Counter("streamopt_journal_bytes_total", "Bytes appended to the flight-recorder journal.")
+		w.mFsyncs = reg.Counter("streamopt_journal_fsyncs_total", "Journal fsync calls.")
+		w.mSegment = reg.Gauge("streamopt_journal_segment", "Current journal segment index.")
+		w.mLagBytes = reg.Gauge("streamopt_journal_unsynced_bytes", "Journal bytes appended but not yet fsynced.")
+		w.mLagRecs = reg.Gauge("streamopt_journal_unsynced_records", "Journal records appended but not yet fsynced.")
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if err := w.openSegmentLocked(); err != nil {
+		return nil, err
+	}
+	return w, nil
+}
+
+// Dir reports the journal directory.
+func (w *Writer) Dir() string { return w.dir }
+
+// SegmentName renders a segment index as its file name.
+func SegmentName(seg int) string { return fmt.Sprintf("journal-%08d.wal", seg) }
+
+// openSegmentLocked starts the next segment and writes its header.
+func (w *Writer) openSegmentLocked() error {
+	w.seg++
+	path := filepath.Join(w.dir, SegmentName(w.seg))
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("journal: %w", err)
+	}
+	w.f = f
+	w.buf = bufio.NewWriterSize(f, 1<<16)
+	w.segSize = 0
+	if w.mSegment != nil {
+		w.mSegment.Set(float64(w.seg))
+	}
+	if err := w.appendLocked(&Record{
+		Kind: KindHeader,
+		Header: &Header{
+			Version:   Version,
+			JournalID: w.id,
+			Segment:   w.seg,
+			StreamSHA: w.opts.StreamSHA,
+		},
+	}); err != nil {
+		return err
+	}
+	// Make the new segment's existence durable: fsync the directory so
+	// a crash right after rotation cannot orphan the file name.
+	if d, err := os.Open(w.dir); err == nil {
+		_ = d.Sync()
+		_ = d.Close()
+	}
+	return nil
+}
+
+// Append stamps and writes one record, applying the fsync policy and
+// rotating segments as configured.
+func (w *Writer) Append(rec Record) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return fmt.Errorf("journal: writer closed")
+	}
+	if w.segSize >= w.opts.SegmentBytes {
+		if err := w.syncLocked(); err != nil {
+			return err
+		}
+		if err := w.f.Close(); err != nil {
+			return fmt.Errorf("journal: %w", err)
+		}
+		if err := w.openSegmentLocked(); err != nil {
+			return err
+		}
+	}
+	return w.appendLocked(&rec)
+}
+
+// appendLocked frames and buffers one record, then applies the fsync
+// policy.
+func (w *Writer) appendLocked(rec *Record) error {
+	if rec.WallUnixNano == 0 {
+		rec.WallUnixNano = time.Now().UnixNano()
+	}
+	if rec.MonoNanos == 0 {
+		rec.MonoNanos = time.Since(w.birth).Nanoseconds()
+	}
+	frame, err := encodeFrame(rec)
+	if err != nil {
+		return err
+	}
+	if _, err := w.buf.Write(frame); err != nil {
+		return fmt.Errorf("journal: %w", err)
+	}
+	w.segSize += int64(len(frame))
+	w.lagBytes += int64(len(frame))
+	w.lagRecs++
+	if w.tail != nil {
+		w.tail[w.tailNext] = *rec
+		w.tailNext++
+		if w.tailNext == len(w.tail) {
+			w.tailNext = 0
+			w.tailFull = true
+		}
+	}
+	if w.mRecords != nil {
+		w.mRecords.Inc()
+		w.mBytes.Add(len(frame))
+		w.mLagBytes.Set(float64(w.lagBytes))
+		w.mLagRecs.Set(float64(w.lagRecs))
+	}
+	switch w.opts.Fsync {
+	case FsyncAlways:
+		return w.syncLocked()
+	case FsyncInterval:
+		if time.Since(w.lastSync) >= w.opts.FsyncEvery {
+			return w.syncLocked()
+		}
+	}
+	return nil
+}
+
+// Sync flushes buffered records and fsyncs the current segment.
+func (w *Writer) Sync() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return nil
+	}
+	return w.syncLocked()
+}
+
+func (w *Writer) syncLocked() error {
+	if err := w.buf.Flush(); err != nil {
+		return fmt.Errorf("journal: %w", err)
+	}
+	if err := w.f.Sync(); err != nil {
+		return fmt.Errorf("journal: %w", err)
+	}
+	w.lagBytes, w.lagRecs = 0, 0
+	w.lastSync = time.Now()
+	if w.mFsyncs != nil {
+		w.mFsyncs.Inc()
+		w.mLagBytes.Set(0)
+		w.mLagRecs.Set(0)
+	}
+	return nil
+}
+
+// Lag reports the bytes and records appended since the last fsync —
+// the most that a crash right now would lose.
+func (w *Writer) Lag() (bytes int64, records int) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.lagBytes, w.lagRecs
+}
+
+// Segment reports the current segment index.
+func (w *Writer) Segment() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.seg
+}
+
+// Tail returns up to n of the most recently appended records, oldest
+// first — the in-memory ring diagnostics bundles dump without touching
+// the disk files.
+func (w *Writer) Tail(n int) []Record {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.tail == nil || n <= 0 {
+		return nil
+	}
+	var out []Record
+	if w.tailFull {
+		out = append(out, w.tail[w.tailNext:]...)
+	}
+	out = append(out, w.tail[:w.tailNext]...)
+	if len(out) > n {
+		out = out[len(out)-n:]
+	}
+	return out
+}
+
+// Close syncs and closes the current segment. The writer is unusable
+// afterwards.
+func (w *Writer) Close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return nil
+	}
+	w.closed = true
+	err := w.syncLocked()
+	if cerr := w.f.Close(); err == nil && cerr != nil {
+		err = fmt.Errorf("journal: %w", cerr)
+	}
+	return err
+}

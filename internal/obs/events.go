@@ -69,6 +69,10 @@ const (
 	// saturation analyzer: scale factor, mean offered load, achieved
 	// utility, admitted fraction, and decision-latency stats.
 	EventSaturationPoint EventType = "saturation_point"
+	// EventCapture is one anomaly-triggered diagnostics bundle dump:
+	// Reason names the trigger (slo_breach, cold_fallback, divergence),
+	// Name the bundle directory written.
+	EventCapture EventType = "capture"
 )
 
 // Event is one structured record. Fields not meaningful for a type are

@@ -413,6 +413,18 @@ func (r *Recorder) DecisionLatency(seconds float64) {
 	r.decisionLat.Observe(seconds)
 }
 
+// Capture records one anomaly-triggered diagnostics bundle: a counter
+// labelled by the trigger reason (slo_breach, cold_fallback,
+// divergence) and a structured event naming the bundle directory.
+func (r *Recorder) Capture(reason, bundle string) {
+	if r == nil {
+		return
+	}
+	r.reg.Counter("streamopt_capture_total",
+		"Anomaly-triggered diagnostics bundles written.", "reason", reason).Inc()
+	r.emit(Event{Type: EventCapture, Alg: "server", Reason: reason, Name: bundle})
+}
+
 // AdmissionFlip records one commodity crossing the admitted↔rejected
 // boundary at a published generation, attributed to the triggering
 // mutation batch's trace ID (may be empty when untraced).

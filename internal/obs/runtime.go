@@ -1,0 +1,48 @@
+package obs
+
+import (
+	"runtime"
+	"sync"
+	"time"
+)
+
+// StartRuntimeSampler publishes Go runtime health into the registry on
+// a ticker: live goroutine count, heap bytes in use, and cumulative GC
+// pause time/cycle count. An immediate first sample is taken so the
+// gauges are meaningful before the first tick. The returned stop
+// function is idempotent and halts the sampler goroutine.
+func StartRuntimeSampler(reg *Registry, every time.Duration) func() {
+	if every <= 0 {
+		every = 10 * time.Second
+	}
+	goroutines := reg.Gauge("streamopt_go_goroutines", "Live goroutines.")
+	heap := reg.Gauge("streamopt_go_heap_alloc_bytes", "Heap bytes allocated and in use.")
+	gcPause := reg.Gauge("streamopt_go_gc_pause_seconds_total", "Cumulative stop-the-world GC pause time.")
+	gcCount := reg.Gauge("streamopt_go_gcs_total", "Completed GC cycles.")
+
+	sample := func() {
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		goroutines.Set(float64(runtime.NumGoroutine()))
+		heap.Set(float64(ms.HeapAlloc))
+		gcPause.Set(float64(ms.PauseTotalNs) / 1e9)
+		gcCount.Set(float64(ms.NumGC))
+	}
+	sample()
+
+	done := make(chan struct{})
+	var once sync.Once
+	go func() {
+		t := time.NewTicker(every)
+		defer t.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-t.C:
+				sample()
+			}
+		}
+	}()
+	return func() { once.Do(func() { close(done) }) }
+}

@@ -1,0 +1,78 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestRuntimeSampler(t *testing.T) {
+	reg := NewRegistry()
+	stop := StartRuntimeSampler(reg, time.Hour) // immediate sample only
+	defer stop()
+
+	if g := reg.Gauge("streamopt_go_goroutines", "").Value(); g < 1 {
+		t.Fatalf("goroutines gauge = %v", g)
+	}
+	if g := reg.Gauge("streamopt_go_heap_alloc_bytes", "").Value(); g <= 0 {
+		t.Fatalf("heap gauge = %v", g)
+	}
+
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"streamopt_go_goroutines",
+		"streamopt_go_heap_alloc_bytes",
+		"streamopt_go_gc_pause_seconds_total",
+		"streamopt_go_gcs_total",
+	} {
+		if !strings.Contains(sb.String(), want) {
+			t.Fatalf("exposition missing %s", want)
+		}
+	}
+
+	stop()
+	stop() // idempotent
+}
+
+type memSink struct {
+	mu     sync.Mutex
+	events []Event
+}
+
+func (m *memSink) Emit(e Event) {
+	m.mu.Lock()
+	m.events = append(m.events, e)
+	m.mu.Unlock()
+}
+
+func (m *memSink) Close() error { return nil }
+
+func TestRecorderCapture(t *testing.T) {
+	reg := NewRegistry()
+	sink := &memSink{}
+	rec := NewRecorder(reg, sink)
+	rec.Capture("slo_breach", "bundles/cap-000001")
+	rec.Capture("slo_breach", "bundles/cap-000002")
+	rec.Capture("divergence", "bundles/cap-000003")
+
+	if v := reg.Counter("streamopt_capture_total", "", "reason", "slo_breach").Value(); v != 2 {
+		t.Fatalf("slo_breach count = %v", v)
+	}
+	if v := reg.Counter("streamopt_capture_total", "", "reason", "divergence").Value(); v != 1 {
+		t.Fatalf("divergence count = %v", v)
+	}
+	if len(sink.events) != 3 {
+		t.Fatalf("emitted %d events", len(sink.events))
+	}
+	e := sink.events[0]
+	if e.Type != EventCapture || e.Reason != "slo_breach" || e.Name != "bundles/cap-000001" {
+		t.Fatalf("event = %+v", e)
+	}
+
+	var nilRec *Recorder
+	nilRec.Capture("slo_breach", "x") // must not panic
+}

@@ -25,9 +25,32 @@ func Attach(mux *http.ServeMux, t *Tracer) {
 	mux.HandleFunc("GET /debug/spans", Handler(t))
 }
 
+// isTraceHex reports whether s is a 32-character lowercase-hex trace
+// ID — the only spelling TraceHex produces, so anything else can never
+// match and is a client error.
+func isTraceHex(s string) bool {
+	if len(s) != 32 {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
 // Handler returns the GET /debug/spans handler for mounting on muxes
-// that cannot use Attach. A nil tracer serves 404.
+// that cannot use Attach. A nil tracer serves 404. Malformed or unknown
+// query parameters are rejected with 400 rather than silently matching
+// nothing.
 func Handler(t *Tracer) http.HandlerFunc {
+	badRequest := func(w http.ResponseWriter, msg string) {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusBadRequest)
+		_ = json.NewEncoder(w).Encode(map[string]string{"error": msg})
+	}
 	return func(w http.ResponseWriter, r *http.Request) {
 		if t == nil {
 			w.Header().Set("Content-Type", "application/json")
@@ -38,9 +61,22 @@ func Handler(t *Tracer) http.HandlerFunc {
 			return
 		}
 		q := r.URL.Query()
+		for key := range q {
+			switch key {
+			case "trace", "name", "commodity", "min_ms":
+			default:
+				badRequest(w, "unknown query parameter "+strconv.Quote(key)+
+					" (want trace, name, commodity, min_ms)")
+				return
+			}
+		}
 		f := Filter{
 			Trace: q.Get("trace"),
 			Name:  q.Get("name"),
+		}
+		if f.Trace != "" && !isTraceHex(f.Trace) {
+			badRequest(w, "trace must be 32 lowercase hex characters")
+			return
 		}
 		if c := q.Get("commodity"); c != "" {
 			f.AttrKey, f.AttrVal = "commodity", c
@@ -48,11 +84,7 @@ func Handler(t *Tracer) http.HandlerFunc {
 		if ms := q.Get("min_ms"); ms != "" {
 			v, err := strconv.ParseFloat(ms, 64)
 			if err != nil || v < 0 {
-				w.Header().Set("Content-Type", "application/json")
-				w.WriteHeader(http.StatusBadRequest)
-				_ = json.NewEncoder(w).Encode(map[string]string{
-					"error": "min_ms must be a non-negative number",
-				})
+				badRequest(w, "min_ms must be a non-negative number")
 				return
 			}
 			f.MinDuration = time.Duration(v * float64(time.Millisecond))

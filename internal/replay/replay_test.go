@@ -1,0 +1,309 @@
+package replay
+
+import (
+	"encoding/json"
+	"testing"
+	"time"
+
+	"repro/internal/journal"
+	"repro/internal/server"
+	"repro/internal/stream"
+	"repro/internal/utility"
+)
+
+const waitBudget = 20 * time.Second
+
+// toyProblem builds the two-server chain the server tests use: servers
+// a, b (capacity 10), sinks t1, t2, one commodity a→t1.
+func toyProblem(t *testing.T) *stream.Problem {
+	t.Helper()
+	net := stream.NewNetwork()
+	a, err := net.AddServer("a", 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := net.AddServer("b", 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t1, err := net.AddSink("t1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2, err := net.AddSink("t2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ab, err := net.AddLink(a, b, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bt1, err := net.AddLink(b, t1, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := net.AddLink(b, t2, 10); err != nil {
+		t.Fatal(err)
+	}
+	p := stream.NewProblem(net)
+	c1, err := p.AddCommodity("c1", a, t1, 8, utility.Linear{Slope: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.SetEdge(c1, ab, stream.EdgeParams{Beta: 1, Cost: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.SetEdge(c1, bt1, stream.EdgeParams{Beta: 1, Cost: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func serverOptions() server.Options {
+	return server.Options{
+		MaxIters:      1500,
+		StationaryTol: 1e-3,
+		Debounce:      2 * time.Millisecond,
+		Logf:          func(string, ...any) {},
+	}
+}
+
+// record runs one journaled server lifetime in dir, applying mutate,
+// and returns the journal writer closed.
+func record(t *testing.T, dir string, p *stream.Problem, mutate func(s *server.Server)) {
+	t.Helper()
+	jw, err := journal.Create(dir, journal.Options{Fsync: journal.FsyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := serverOptions()
+	opts.Journal = jw
+	opts.CheckpointEvery = 2
+	s, err := server.New(p, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.WaitForGeneration(1, waitBudget); err != nil {
+		t.Fatal(err)
+	}
+	mutate(s)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := jw.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// waitNext waits for the generation after the current snapshot's.
+func waitNext(t *testing.T, s *server.Server) {
+	t.Helper()
+	gen := int64(0)
+	if snap := s.Snapshot(); snap != nil {
+		gen = snap.Generation
+	}
+	if _, err := s.WaitForGeneration(gen+1, waitBudget); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVerifyCleanRecording(t *testing.T) {
+	dir := t.TempDir()
+	spec, err := json.Marshal(map[string]any{
+		"name": "c2", "source": "a", "sink": "t2", "maxRate": 4.0,
+		"utility": map[string]any{"type": "log", "weight": 2.0, "scale": 1.0},
+		"edges": []map[string]any{
+			{"from": "a", "to": "b", "beta": 1, "cost": 1},
+			{"from": "b", "to": "t2", "beta": 1, "cost": 1},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	record(t, dir, toyProblem(t), func(s *server.Server) {
+		if _, err := s.SetMaxRate("c1", 4); err != nil {
+			t.Fatal(err)
+		}
+		waitNext(t, s)
+		if _, err := s.AddCommodityJSON(spec); err != nil {
+			t.Fatal(err)
+		}
+		waitNext(t, s)
+		if _, err := s.SetCapacity("b", 6); err != nil {
+			t.Fatal(err)
+		}
+		waitNext(t, s)
+		if _, err := s.SetMaxRates(map[string]float64{"c1": 5, "c2": 3}); err != nil {
+			t.Fatal(err)
+		}
+		waitNext(t, s)
+		if _, err := s.RemoveCommodity("c2"); err != nil {
+			t.Fatal(err)
+		}
+		waitNext(t, s)
+	})
+
+	rep, err := Verify(dir, Options{Timeout: waitBudget})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Ok() {
+		for _, m := range rep.Mismatches {
+			t.Errorf("mismatch: %s", m)
+		}
+		t.Fatal("replay diverged from recording")
+	}
+	if rep.Runs != 1 {
+		t.Fatalf("Runs = %d, want 1", rep.Runs)
+	}
+	if rep.Mutations != 5 {
+		t.Fatalf("Mutations = %d, want 5", rep.Mutations)
+	}
+	if rep.Digests < 6 { // boot solve + one per awaited mutation
+		t.Fatalf("Digests = %d, want >= 6", rep.Digests)
+	}
+	if rep.CheckpointsVerified < 1 {
+		t.Fatalf("CheckpointsVerified = %d, want >= 1", rep.CheckpointsVerified)
+	}
+	if rep.Truncated {
+		t.Fatal("clean recording reported truncated")
+	}
+}
+
+// TestVerifyPinpointsCorruptedDigest corrupts one recorded digest's
+// utility and asserts the diff report names exactly that generation.
+func TestVerifyPinpointsCorruptedDigest(t *testing.T) {
+	dir := t.TempDir()
+	record(t, dir, toyProblem(t), func(s *server.Server) {
+		if _, err := s.SetMaxRate("c1", 4); err != nil {
+			t.Fatal(err)
+		}
+		waitNext(t, s)
+		if _, err := s.SetMaxRate("c1", 6); err != nil {
+			t.Fatal(err)
+		}
+		waitNext(t, s)
+	})
+
+	log, err := journal.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := log.Records
+	var corruptGen int64 = -1
+	for i := len(recs) - 1; i >= 0; i-- {
+		if recs[i].Kind == journal.KindDigest {
+			recs[i].Digest.Utility += 1.0
+			corruptGen = recs[i].Digest.Generation
+			break
+		}
+	}
+	if corruptGen < 0 {
+		t.Fatal("recording holds no digests")
+	}
+	bad := t.TempDir()
+	w, err := journal.Create(bad, journal.Options{Fsync: journal.FsyncNever, StreamSHA: log.StreamSHA()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := journal.CopyTo(w, recs); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	rep, err := Verify(bad, Options{Timeout: waitBudget})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Ok() {
+		t.Fatal("corrupted digest verified clean")
+	}
+	found := false
+	for _, m := range rep.Mismatches {
+		if m.Field == "utility" {
+			found = true
+			if m.Generation != corruptGen {
+				t.Fatalf("mismatch pinpoints generation %d, corrupted %d", m.Generation, corruptGen)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("no utility mismatch reported: %+v", rep.Mismatches)
+	}
+	// Later generations still verify: only the corrupted one diverges.
+	for _, m := range rep.Mismatches {
+		if m.Generation != corruptGen {
+			t.Fatalf("unexpected mismatch at generation %d: %s", m.Generation, m)
+		}
+	}
+}
+
+// TestVerifyMultiRun records two server lifetimes into the same
+// journal directory — the second boots from recovered state — and
+// verifies both runs replay cleanly.
+func TestVerifyMultiRun(t *testing.T) {
+	dir := t.TempDir()
+	record(t, dir, toyProblem(t), func(s *server.Server) {
+		if _, err := s.SetMaxRate("c1", 4); err != nil {
+			t.Fatal(err)
+		}
+		waitNext(t, s)
+	})
+
+	recd, err := journal.Recover(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	record(t, dir, recd.Problem, func(s *server.Server) {
+		if _, err := s.SetMaxRate("c1", 7); err != nil {
+			t.Fatal(err)
+		}
+		waitNext(t, s)
+	})
+
+	rep, err := Verify(dir, Options{Timeout: waitBudget})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Ok() {
+		for _, m := range rep.Mismatches {
+			t.Errorf("mismatch: %s", m)
+		}
+		t.Fatal("multi-run replay diverged")
+	}
+	if rep.Runs != 2 {
+		t.Fatalf("Runs = %d, want 2", rep.Runs)
+	}
+}
+
+// TestVerifyRejectsHeadlessJournal: a journal that does not open with
+// a restart checkpoint cannot be replayed.
+func TestVerifyRejectsHeadlessJournal(t *testing.T) {
+	dir := t.TempDir()
+	w, err := journal.Create(dir, journal.Options{Fsync: journal.FsyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = w.Append(journal.Record{
+		Kind: journal.KindMutation,
+		Rev:  2,
+		Mutation: &journal.Mutation{
+			Op: journal.OpSetRate, Target: "c1",
+			Payload: []byte(`{"rate":4}`),
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Verify(dir, Options{}); err == nil {
+		t.Fatal("headless journal verified without error")
+	}
+}

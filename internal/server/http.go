@@ -38,9 +38,10 @@ import (
 //	GET    /v1/flips                       recent admitted↔rejected transitions
 //	GET    /v1/problem                     current problem (schema JSON)
 //	GET    /explain?commodity=NAME|IDX     bottleneck attribution (all when omitted)
-//	GET    /history                        generation-over-generation diffs
+//	GET    /history                        generation-over-generation diffs (since/limit filters)
 //	GET    /debug/trace                    sampled per-iteration solver trace
 //	GET    /debug/spans                    decision-lifecycle spans (trace/commodity/min_ms filters)
+//	GET    /debug/bundles                  anomaly-capture diagnostics bundles (404 when capture is off)
 //	POST   /v1/commodities                 admit a commodity (schema JSON)
 //	DELETE /v1/commodities/{name}          remove a commodity
 //	PATCH  /v1/commodities/{name}          {"maxRate": λ} and/or {"utility": {...}}
@@ -139,8 +140,58 @@ func (s *Server) Handler(reg *obs.Registry) http.Handler {
 		writeError(w, http.StatusNotFound, fmt.Errorf("unknown commodity %q", q))
 	})
 
-	mux.HandleFunc("GET /history", func(w http.ResponseWriter, _ *http.Request) {
-		writeJSON(w, http.StatusOK, map[string]any{"generations": s.historyDiffs()})
+	mux.HandleFunc("GET /history", func(w http.ResponseWriter, r *http.Request) {
+		// Malformed or unknown filters are client errors, not silently
+		// ignored: a typo'd ?sinse=40 must not quietly return everything.
+		since, limit := int64(0), -1
+		for key, vals := range r.URL.Query() {
+			val := vals[len(vals)-1]
+			switch key {
+			case "since":
+				n, err := strconv.ParseInt(val, 10, 64)
+				if err != nil || n < 0 {
+					writeError(w, http.StatusBadRequest, fmt.Errorf("invalid since %q: want a non-negative generation", val))
+					return
+				}
+				since = n
+			case "limit":
+				n, err := strconv.Atoi(val)
+				if err != nil || n < 0 {
+					writeError(w, http.StatusBadRequest, fmt.Errorf("invalid limit %q: want a non-negative count", val))
+					return
+				}
+				limit = n
+			default:
+				writeError(w, http.StatusBadRequest, fmt.Errorf("unknown query parameter %q (want since, limit)", key))
+				return
+			}
+		}
+		entries := s.historyDiffs()
+		if since > 0 {
+			cut := 0
+			for cut < len(entries) && entries[cut].Generation < since {
+				cut++
+			}
+			entries = entries[cut:]
+		}
+		if limit >= 0 && len(entries) > limit {
+			// Keep the newest entries: the tail is what a poller wants.
+			entries = entries[len(entries)-limit:]
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"generations": entries})
+	})
+
+	mux.HandleFunc("GET /debug/bundles", func(w http.ResponseWriter, _ *http.Request) {
+		if s.opts.CaptureDir == "" {
+			writeError(w, http.StatusNotFound, errors.New("capture not enabled (Options.CaptureDir)"))
+			return
+		}
+		bundles, err := s.Bundles()
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"dir": s.opts.CaptureDir, "bundles": bundles})
 	})
 
 	mux.HandleFunc("GET /debug/trace", func(w http.ResponseWriter, _ *http.Request) {

@@ -29,6 +29,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/flow"
 	"repro/internal/gradient"
+	"repro/internal/journal"
 	"repro/internal/obs"
 	"repro/internal/obs/span"
 	"repro/internal/obs/trace"
@@ -87,6 +88,39 @@ type Options struct {
 	// Logf receives warm-start fallback diagnostics and solve errors.
 	// Nil means log.Printf.
 	Logf func(format string, args ...any)
+
+	// Journal, when non-nil, is the crash-safe flight recorder the
+	// server writes through: a restart checkpoint at boot, one record
+	// per accepted mutation, one digest per published snapshot, and a
+	// full problem checkpoint every CheckpointEvery mutations. The
+	// server appends but does not own the writer; the caller closes it
+	// after Close. Nil disables (zero overhead on the mutation path).
+	Journal *journal.Writer
+	// CheckpointEvery is the periodic-checkpoint cadence in accepted
+	// mutations. Default 256; <0 disables periodic checkpoints (the
+	// boot checkpoint is always written).
+	CheckpointEvery int
+
+	// SLO, when >0, is the decision-latency objective: a published
+	// batch whose worst mutation waited longer triggers an anomaly
+	// capture (reason "slo_breach").
+	SLO time.Duration
+	// CaptureDir, when non-empty, enables anomaly-triggered diagnostics
+	// bundles: on an SLO breach, an unexpected warm-start fallback, or
+	// a solver divergence, the server dumps the journal tail, span
+	// ring, iteration trace, and heap/goroutine profiles into a
+	// timestamped subdirectory, atomically (write to tmp, rename).
+	CaptureDir string
+	// CaptureMinInterval rate-limits captures. Default 30s.
+	CaptureMinInterval time.Duration
+
+	// SolveGate, when non-nil, makes solving externally clocked: after
+	// each wake+debounce the solver loop blocks until it receives a
+	// token, and each token admits exactly one solve. The replay
+	// verifier uses this to force one solve per recorded digest
+	// regardless of wall-clock batching. Production servers leave it
+	// nil.
+	SolveGate <-chan struct{}
 }
 
 func (o *Options) setDefaults() {
@@ -113,6 +147,12 @@ func (o *Options) setDefaults() {
 	}
 	if o.FlipCap == 0 {
 		o.FlipCap = 256
+	}
+	if o.CheckpointEvery == 0 {
+		o.CheckpointEvery = 256
+	}
+	if o.CaptureMinInterval <= 0 {
+		o.CaptureMinInterval = 30 * time.Second
 	}
 	if (o.Trace != nil || o.Spans != nil) && o.Recorder == nil {
 		o.Recorder = obs.NewRecorder(obs.NewRegistry(), nil)
@@ -143,9 +183,12 @@ type Snapshot struct {
 	// snapshot's routing (false: cold start from the initial routing).
 	Warm bool `json:"warm"`
 	// Iterations the solve ran; Converged whether the stationarity
-	// tolerance was met within the budget.
+	// tolerance was met within the budget. Drained reports a solve cut
+	// short by server shutdown: its iteration count is wall-clock
+	// truncation, not solver behavior, so replay verification skips it.
 	Iterations int  `json:"iterations"`
 	Converged  bool `json:"converged"`
+	Drained    bool `json:"drained,omitempty"`
 	// SolveSeconds is the wall-clock of this solve.
 	SolveSeconds float64 `json:"solveSeconds"`
 	// Utility is Σ_j U_j(a_j); Feasible whether f_i ≤ C_i everywhere.
@@ -173,10 +216,11 @@ type Snapshot struct {
 type Server struct {
 	opts Options
 
-	mu      sync.Mutex
-	problem *stream.Problem // desired state; edited under mu
-	rev     int64           // bumped per accepted mutation
-	pending []*decision     // traced mutations awaiting a snapshot; under mu
+	mu          sync.Mutex
+	problem     *stream.Problem // desired state; edited under mu
+	rev         int64           // bumped per accepted mutation
+	pending     []*decision     // traced mutations awaiting a snapshot; under mu
+	journalMuts int             // mutations journaled since boot; drives periodic checkpoints
 
 	snap atomic.Pointer[Snapshot]
 	gen  atomic.Int64
@@ -194,6 +238,13 @@ type Server struct {
 	// phases aggregates the recorder's per-phase hooks across one solve
 	// for the iterate span; solver-goroutine only.
 	phases *phaseTee
+
+	// Anomaly-capture state: a busy flag so overlapping triggers don't
+	// stack bundle writers, the last capture time for rate limiting,
+	// and a sequence number naming bundle directories.
+	captureBusy atomic.Bool
+	captureLast atomic.Int64 // unix nanos
+	captureSeq  atomic.Int64
 
 	wake   chan struct{} // 1-buffered mutation signal
 	ctx    context.Context
@@ -300,6 +351,39 @@ func New(p *stream.Problem, opts Options) (*Server, error) {
 		s.rev = 1
 		s.signal()
 	}
+	if opts.Journal != nil {
+		// The restart checkpoint marks a replay-run boundary: a fresh
+		// server starts here, generations restart at 1, and the recorded
+		// solver parameters make the replay's arithmetic identical.
+		pj, err := s.problem.MarshalJSON()
+		if err != nil {
+			cancel()
+			return nil, fmt.Errorf("server: journal boot checkpoint: %w", err)
+		}
+		rec := journal.Record{
+			Kind: journal.KindCheckpoint,
+			Rev:  s.rev,
+			Checkpoint: &journal.Checkpoint{
+				Problem: pj,
+				Restart: true,
+				Solver: &journal.SolverParams{
+					Epsilon:       opts.Epsilon,
+					Eta:           opts.Eta,
+					MaxIters:      opts.MaxIters,
+					StationaryTol: opts.StationaryTol,
+					Workers:       opts.Workers,
+				},
+			},
+		}
+		if err := opts.Journal.Append(rec); err != nil {
+			cancel()
+			return nil, err
+		}
+		if err := opts.Journal.Sync(); err != nil {
+			cancel()
+			return nil, err
+		}
+	}
 	go s.loop()
 	return s, nil
 }
@@ -353,12 +437,15 @@ type ingress struct {
 
 // mutate applies fn transactionally: it runs against a clone of the
 // desired problem, and only a nil error swaps the clone in, bumps the
-// revision, opens the decision's trace, and wakes the solver. A failed
-// mutation leaves no trace. Registering the decision under mu is what
-// makes attribution exact: the solver also captures (problem, rev,
-// pending) under mu, so a decision is always either in the batch of the
-// solve that saw its revision, or still pending.
-func (s *Server) mutate(ing ingress, kind, target string, fn func(p *stream.Problem) error) (int64, error) {
+// revision, opens the decision's trace, journals the mutation, and
+// wakes the solver. A failed mutation leaves no trace. Registering the
+// decision under mu is what makes attribution exact: the solver also
+// captures (problem, rev, pending) under mu, so a decision is always
+// either in the batch of the solve that saw its revision, or still
+// pending. payload is the journal payload (callers marshal it only
+// when journaling is on, keeping the disabled path allocation-free);
+// it is ignored when Journal is nil.
+func (s *Server) mutate(ing ingress, kind, target string, payload []byte, fn func(p *stream.Problem) error) (int64, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	next := s.problem.Clone()
@@ -369,8 +456,49 @@ func (s *Server) mutate(ing ingress, kind, target string, fn func(p *stream.Prob
 	s.rev++
 	s.opts.Recorder.ServerMutation(kind, target)
 	s.trackDecisionLocked(ing, kind, target)
+	if s.opts.Journal != nil {
+		s.journalMutationLocked(ing, kind, target, payload)
+	}
 	s.signal()
 	return s.rev, nil
+}
+
+// journalMutationLocked appends one accepted mutation to the flight
+// recorder and writes the periodic full checkpoint when due. Journal
+// errors are logged, not propagated: the mutation was already applied,
+// and losing observability must not fail admission. Callers hold s.mu,
+// which orders records by revision.
+func (s *Server) journalMutationLocked(ing ingress, op, target string, payload []byte) {
+	trace := ing.tc.TraceHex()
+	if n := len(s.pending); n > 0 && s.pending[n-1].rev == s.rev {
+		trace = s.pending[n-1].root.Context().TraceHex()
+	}
+	err := s.opts.Journal.Append(journal.Record{
+		Kind:     journal.KindMutation,
+		Rev:      s.rev,
+		Trace:    trace,
+		Mutation: &journal.Mutation{Op: op, Target: target, Payload: payload},
+	})
+	if err != nil {
+		s.opts.Logf("server: journal append failed at rev %d: %v", s.rev, err)
+		return
+	}
+	s.journalMuts++
+	if s.opts.CheckpointEvery > 0 && s.journalMuts%s.opts.CheckpointEvery == 0 {
+		pj, err := s.problem.MarshalJSON()
+		if err != nil {
+			s.opts.Logf("server: journal checkpoint marshal failed at rev %d: %v", s.rev, err)
+			return
+		}
+		err = s.opts.Journal.Append(journal.Record{
+			Kind:       journal.KindCheckpoint,
+			Rev:        s.rev,
+			Checkpoint: &journal.Checkpoint{Problem: pj},
+		})
+		if err != nil {
+			s.opts.Logf("server: journal checkpoint failed at rev %d: %v", s.rev, err)
+		}
+	}
 }
 
 // trackDecisionLocked opens the decision-lifecycle spans for one
@@ -378,9 +506,12 @@ func (s *Server) mutate(ing ingress, kind, target string, fn func(p *stream.Prob
 // traceparent when given), an "ingress" child backdated to the request
 // arrival, and the open "coalesce" child the solver closes when it
 // picks the mutation up. Callers hold s.mu; a nil tracer is free.
+// Decisions are also tracked (with nil spans — every Active method
+// no-ops on nil) when a latency SLO is set, so publish can measure
+// batch latency without requiring span tracing.
 func (s *Server) trackDecisionLocked(ing ingress, kind, target string) {
 	tr := s.opts.Spans
-	if tr == nil {
+	if tr == nil && s.opts.SLO <= 0 {
 		return
 	}
 	at := ing.at
@@ -417,7 +548,7 @@ func (s *Server) addCommodityJSON(ing ingress, spec []byte) (int64, error) {
 		Name string `json:"name"`
 	}
 	_ = json.Unmarshal(spec, &meta) // best-effort label; full parse validates
-	return s.mutate(ing, "add_commodity", meta.Name, func(p *stream.Problem) error {
+	return s.mutate(ing, "add_commodity", meta.Name, spec, func(p *stream.Problem) error {
 		_, err := p.AddCommodityFromJSON(spec)
 		return err
 	})
@@ -429,7 +560,7 @@ func (s *Server) RemoveCommodity(name string) (int64, error) {
 }
 
 func (s *Server) removeCommodity(ing ingress, name string) (int64, error) {
-	return s.mutate(ing, "remove_commodity", name, func(p *stream.Problem) error {
+	return s.mutate(ing, "remove_commodity", name, nil, func(p *stream.Problem) error {
 		if !p.RemoveCommodity(name) {
 			return fmt.Errorf("server: unknown commodity %q", name)
 		}
@@ -444,7 +575,11 @@ func (s *Server) SetMaxRate(name string, rate float64) (int64, error) {
 }
 
 func (s *Server) setMaxRate(ing ingress, name string, rate float64) (int64, error) {
-	return s.mutate(ing, "set_rate", name, func(p *stream.Problem) error {
+	var payload []byte
+	if s.opts.Journal != nil {
+		payload, _ = json.Marshal(journal.RatePayload{Rate: rate})
+	}
+	return s.mutate(ing, "set_rate", name, payload, func(p *stream.Problem) error {
 		return p.SetMaxRate(name, rate)
 	})
 }
@@ -469,7 +604,11 @@ func (s *Server) setMaxRates(ing ingress, rates map[string]float64) (int64, erro
 		names = append(names, name)
 	}
 	sort.Strings(names)
-	return s.mutate(ing, "set_rates", fmt.Sprintf("batch:%d", len(rates)), func(p *stream.Problem) error {
+	var payload []byte
+	if s.opts.Journal != nil {
+		payload, _ = json.Marshal(journal.RatesPayload{Rates: rates})
+	}
+	return s.mutate(ing, "set_rates", fmt.Sprintf("batch:%d", len(rates)), payload, func(p *stream.Problem) error {
 		for _, name := range names {
 			if err := p.SetMaxRate(name, rates[name]); err != nil {
 				return err
@@ -486,7 +625,7 @@ func (s *Server) SetUtilityJSON(name string, spec []byte) (int64, error) {
 }
 
 func (s *Server) setUtilityJSON(ing ingress, name string, spec []byte) (int64, error) {
-	return s.mutate(ing, "set_utility", name, func(p *stream.Problem) error {
+	return s.mutate(ing, "set_utility", name, spec, func(p *stream.Problem) error {
 		u, err := stream.ParseUtilityJSON(spec)
 		if err != nil {
 			return err
@@ -503,7 +642,11 @@ func (s *Server) SetCapacity(node string, capacity float64) (int64, error) {
 }
 
 func (s *Server) setCapacity(ing ingress, node string, capacity float64) (int64, error) {
-	return s.mutate(ing, "set_capacity", node, func(p *stream.Problem) error {
+	var payload []byte
+	if s.opts.Journal != nil {
+		payload, _ = json.Marshal(journal.CapacityPayload{Capacity: capacity})
+	}
+	return s.mutate(ing, "set_capacity", node, payload, func(p *stream.Problem) error {
 		return p.Net.SetCapacity(node, capacity)
 	})
 }
@@ -514,7 +657,11 @@ func (s *Server) SetBandwidth(from, to string, bandwidth float64) (int64, error)
 }
 
 func (s *Server) setBandwidth(ing ingress, from, to string, bandwidth float64) (int64, error) {
-	return s.mutate(ing, "set_bandwidth", from+"->"+to, func(p *stream.Problem) error {
+	var payload []byte
+	if s.opts.Journal != nil {
+		payload, _ = json.Marshal(journal.LinkPayload{From: from, To: to, Bandwidth: bandwidth})
+	}
+	return s.mutate(ing, "set_bandwidth", from+"->"+to, payload, func(p *stream.Problem) error {
 		return p.Net.SetBandwidth(from, to, bandwidth)
 	})
 }
@@ -527,7 +674,11 @@ func (s *Server) ScaleCapacity(node string, factor float64) (int64, error) {
 }
 
 func (s *Server) scaleCapacity(ing ingress, node string, factor float64) (int64, error) {
-	return s.mutate(ing, "scale_capacity", node, func(p *stream.Problem) error {
+	var payload []byte
+	if s.opts.Journal != nil {
+		payload, _ = json.Marshal(journal.ScalePayload{Factor: factor})
+	}
+	return s.mutate(ing, "scale_capacity", node, payload, func(p *stream.Problem) error {
 		id, ok := p.Net.NodeByName(node)
 		if !ok {
 			return fmt.Errorf("server: unknown node %q", node)
@@ -542,7 +693,11 @@ func (s *Server) ScaleBandwidth(from, to string, factor float64) (int64, error) 
 }
 
 func (s *Server) scaleBandwidth(ing ingress, from, to string, factor float64) (int64, error) {
-	return s.mutate(ing, "scale_bandwidth", from+"->"+to, func(p *stream.Problem) error {
+	var payload []byte
+	if s.opts.Journal != nil {
+		payload, _ = json.Marshal(journal.LinkPayload{From: from, To: to, Factor: factor})
+	}
+	return s.mutate(ing, "scale_bandwidth", from+"->"+to, payload, func(p *stream.Problem) error {
 		f, ok := p.Net.NodeByName(from)
 		if !ok {
 			return fmt.Errorf("server: unknown node %q", from)
@@ -571,9 +726,23 @@ func (s *Server) loop() {
 		case <-s.wake:
 		}
 		s.debounce()
+		if s.opts.SolveGate != nil {
+			select {
+			case <-s.ctx.Done():
+				return
+			case <-s.opts.SolveGate:
+			}
+		}
 		s.solveOnce()
 	}
 }
+
+// Kick wakes the solver loop as if a mutation had arrived, without
+// changing any state. Paired with SolveGate it lets an external clock
+// (the replay verifier) drive solves one at a time: Kick, then send a
+// gate token, then wait for the generation. Extra kicks are harmless —
+// the wake channel is 1-buffered and solves happen only on gate tokens.
+func (s *Server) Kick() { s.signal() }
 
 // abandonPending closes the spans of decisions the server shut down
 // before answering, so a drained close leaves no dangling spans.
@@ -696,11 +865,12 @@ func (s *Server) solveOnce() {
 		s.phases.take() // discard any leftovers from an aborted solve
 	}
 	it := tr.Start("iterate", solveSpan.Context())
-	iterations, converged := 0, false
+	iterations, converged, drained := 0, false, false
 	var det gradient.DivergenceDetector
 	const stationaryEvery = 25
 	for i := 0; i < s.opts.MaxIters; i++ {
 		if s.ctx.Err() != nil {
+			drained = true
 			break // drain: publish what we have and let loop exit
 		}
 		info := eng.Step()
@@ -708,6 +878,7 @@ func (s *Server) solveOnce() {
 		if err := det.Observe(info); err != nil {
 			s.opts.Recorder.Divergence("server", info.Iteration, err.Error())
 			s.opts.Logf("server: solve diverged at rev %d: %v", rev, err)
+			s.maybeCapture("divergence", fmt.Sprintf("rev %d: %v", rev, err))
 			break
 		}
 		if s.opts.StationaryTol > 0 && i%stationaryEvery == stationaryEvery-1 {
@@ -735,6 +906,7 @@ func (s *Server) solveOnce() {
 		Warm:         warm,
 		Iterations:   iterations,
 		Converged:    converged,
+		Drained:      drained,
 		SolveSeconds: time.Since(start).Seconds(),
 		Utility:      u.Utility(),
 		Feasible:     feasible,
@@ -771,6 +943,7 @@ func (s *Server) newEngine(x *transform.Extended, cfg gradient.Config) (*gradien
 			s.opts.Logf("server: cold start (expected): %v", err)
 		} else {
 			s.opts.Logf("server: warm start failed unexpectedly, falling back to cold: %v", err)
+			s.maybeCapture("cold_fallback", err.Error())
 		}
 	}
 	return gradient.New(x, cfg), false
@@ -806,49 +979,111 @@ func (s *Server) publish(snap *Snapshot, warm bool, iterations int, batch []*dec
 	if len(batch) > 0 {
 		trigger = batch[0].root.Context().TraceHex()
 	}
-	s.recordFlips(prev, snap, trigger)
+	var flips []AdmissionFlip
+	if prev != nil && (s.opts.FlipCap >= 0 || s.opts.Journal != nil) {
+		flips = DiffFlips(prev, snap)
+	}
+	s.recordFlips(flips, trigger)
+	if s.opts.Journal != nil {
+		err := s.opts.Journal.Append(journal.Record{
+			Kind:   journal.KindDigest,
+			Rev:    snap.Rev,
+			Trace:  trigger,
+			Digest: snap.JournalDigest(flips),
+		})
+		if err != nil {
+			s.opts.Logf("server: journal digest failed at generation %d: %v", snap.Generation, err)
+		}
+	}
 
+	maxLat := 0.0
 	for _, d := range batch {
 		lat := time.Since(d.received).Seconds()
+		if lat > maxLat {
+			maxLat = lat
+		}
 		rec.DecisionLatency(lat)
 		d.root.SetAttrInt("generation", snap.Generation)
 		d.root.SetAttrFloat("decision_latency_s", lat)
 		d.root.End()
+	}
+	if s.opts.SLO > 0 && maxLat > s.opts.SLO.Seconds() {
+		s.maybeCapture("slo_breach", fmt.Sprintf(
+			"decision latency %.3fs over SLO %v at generation %d", maxLat, s.opts.SLO, snap.Generation))
 	}
 	ps.End()
 	solveSpan.SetAttrInt("generation", snap.Generation)
 	solveSpan.End()
 }
 
-// recordFlips diffs consecutive generations' admission states and
-// records every admitted↔rejected transition — to the bounded ring
-// served on GET /v1/flips, the streamopt_admission_flips_total counter,
-// and the event sink — attributed to the triggering batch's trace ID.
-func (s *Server) recordFlips(prev, snap *Snapshot, trigger string) {
-	if prev == nil || s.opts.FlipCap < 0 {
-		return
+// DiffFlips returns the admitted↔rejected transitions between two
+// consecutive snapshots, in next's commodity order. Trace and At are
+// left zero; the live server stamps them when recording, and the
+// replay verifier compares the (commodity, direction) sequence.
+func DiffFlips(prev, next *Snapshot) []AdmissionFlip {
+	if prev == nil {
+		return nil
 	}
 	was := make(map[string]bool, len(prev.Commodities))
 	for _, c := range prev.Commodities {
 		was[c.Name] = !rejected(c.Admitted, c.Offered)
 	}
-	now := time.Now()
-	for _, c := range snap.Commodities {
+	var flips []AdmissionFlip
+	for _, c := range next.Commodities {
 		admitted := !rejected(c.Admitted, c.Offered)
 		before, known := was[c.Name]
 		if !known || before == admitted {
 			continue
 		}
-		s.appendFlip(AdmissionFlip{
-			Generation: snap.Generation,
+		flips = append(flips, AdmissionFlip{
+			Generation: next.Generation,
 			Commodity:  c.Name,
 			Admitted:   admitted,
 			Rate:       c.Admitted,
 			Offered:    c.Offered,
-			Trace:      trigger,
-			At:         now,
 		})
-		s.opts.Recorder.AdmissionFlip(snap.Generation, c.Name, admitted, c.Admitted, trigger)
+	}
+	return flips
+}
+
+// JournalDigest summarizes the snapshot as a flight-recorder digest:
+// the scalar trajectory (generation, utility, convergence) plus the
+// canonical admitted-set hash and the flips this generation caused.
+func (snap *Snapshot) JournalDigest(flips []AdmissionFlip) *journal.Digest {
+	entries := make([]journal.AdmittedEntry, len(snap.Commodities))
+	for i, c := range snap.Commodities {
+		entries[i] = journal.AdmittedEntry{Name: c.Name, Rate: c.Admitted}
+	}
+	d := &journal.Digest{
+		Generation:   snap.Generation,
+		Warm:         snap.Warm,
+		Iterations:   snap.Iterations,
+		Converged:    snap.Converged,
+		Drained:      snap.Drained,
+		Feasible:     snap.Feasible,
+		Utility:      snap.Utility,
+		Commodities:  len(snap.Commodities),
+		AdmittedHash: journal.AdmittedHash(entries),
+	}
+	for _, f := range flips {
+		d.Flips = append(d.Flips, journal.Flip{Commodity: f.Commodity, Admitted: f.Admitted})
+	}
+	return d
+}
+
+// recordFlips records pre-computed transitions — to the bounded ring
+// served on GET /v1/flips, the streamopt_admission_flips_total counter,
+// and the event sink — attributed to the triggering batch's trace ID.
+func (s *Server) recordFlips(flips []AdmissionFlip, trigger string) {
+	if s.opts.FlipCap < 0 || len(flips) == 0 {
+		return
+	}
+	now := time.Now()
+	for _, f := range flips {
+		f.Trace = trigger
+		f.At = now
+		s.appendFlip(f)
+		s.opts.Recorder.AdmissionFlip(f.Generation, f.Commodity, f.Admitted, f.Rate, trigger)
 	}
 }
 
