@@ -13,9 +13,14 @@
 // and always begins with a header record naming the journal instance,
 // the segment index, and an optional compiled-workload SHA-256 for
 // provenance. A process killed mid-write leaves at most one partial
-// frame at the tail of the last segment; readers detect it (length or
-// CRC check fails) and drop it. A bad frame anywhere else is real
-// corruption and fails the read.
+// frame at the tail of its last segment; readers detect it (length or
+// CRC check fails) and drop it. Recovery then appends a fresh segment
+// over the tear without rewriting old bytes, so a tear is tolerated
+// both at the journal's overall tail and at the tail of any segment
+// whose successor was opened by a different writer. A bad frame
+// anywhere else is real corruption and fails the read: the writer
+// syncs a segment before rotating, so nothing legitimate tears
+// mid-history under a single writer.
 //
 // Three record kinds carry the decision trajectory:
 //

@@ -55,9 +55,14 @@ type Log struct {
 	// order (headers separated out above).
 	Records []Record
 	// Truncated reports that a torn frame was found — and dropped — at
-	// the tail of the last segment: the expected shape after a crash
-	// mid-append.
+	// the journal's tail: the expected shape after a crash mid-append.
 	Truncated bool
+	// TornSegments lists every segment whose tail held a dropped torn
+	// frame. Beyond the overall tail, a tear is legal exactly when the
+	// next segment was opened by a different writer (a restart after
+	// the crash that tore it); same-writer mid-journal tears are
+	// corruption, because the writer syncs a segment before rotating.
+	TornSegments []int
 }
 
 // StreamSHA returns the compiled-workload hash from the first header
@@ -70,8 +75,12 @@ func (l *Log) StreamSHA() string {
 }
 
 // ReadDir reads every segment of the journal at dir. A torn tail
-// record in the last segment is tolerated (Log.Truncated); a bad frame
-// anywhere else is corruption and fails.
+// record is tolerated in the last segment (Log.Truncated) and in any
+// segment whose successor was opened by a different writer — the
+// shape a crash leaves after the daemon restarts and appends a fresh
+// segment over the tear. A tear followed by the same writer's next
+// segment is corruption and fails: the writer syncs a segment before
+// rotating, so nothing legitimate tears there.
 func ReadDir(dir string) (*Log, error) {
 	segs, err := Segments(dir)
 	if err != nil {
@@ -80,74 +89,129 @@ func ReadDir(dir string) (*Log, error) {
 	if len(segs) == 0 {
 		return nil, fmt.Errorf("journal: no segments in %s", dir)
 	}
-	log := &Log{Dir: dir, Segments: segs}
+	// Read every segment up front: a tear's legality depends on who
+	// wrote the segment after it.
+	type segData struct {
+		recs []Record
+		torn *tear
+	}
+	data := make([]segData, len(segs))
 	for i, seg := range segs {
-		last := i == len(segs)-1
-		recs, truncated, err := readSegment(filepath.Join(dir, SegmentName(seg)), last)
+		recs, torn, err := readSegment(filepath.Join(dir, SegmentName(seg)))
 		if err != nil {
 			return nil, err
 		}
-		if len(recs) == 0 || recs[0].Kind != KindHeader || recs[0].Header == nil {
-			return nil, fmt.Errorf("journal: segment %d lacks a header record", seg)
+		data[i] = segData{recs: recs, torn: torn}
+	}
+	// A trailing segment with no complete records is a boot crash: the
+	// writer created the file (and fsynced the directory) but died
+	// before its buffered header reached disk. Drop it — possibly
+	// repeatedly, if a crash loop left several.
+	log := &Log{Dir: dir, Segments: segs}
+	for len(data) > 0 && len(data[len(data)-1].recs) == 0 {
+		log.Truncated = true
+		log.TornSegments = append(log.TornSegments, segs[len(data)-1])
+		data = data[:len(data)-1]
+	}
+	if len(data) == 0 {
+		return nil, fmt.Errorf("journal: no complete records in %s", dir)
+	}
+	headerOf := func(i int) (*Header, error) {
+		recs := data[i].recs
+		if len(recs) == 0 {
+			// Mid-journal empty segment: an abandoned boot-crash file
+			// with a later boot's segment after it. Nothing was lost —
+			// the dead writer never wrote a durable record.
+			return nil, nil
 		}
-		if recs[0].Header.Segment != seg {
-			return nil, fmt.Errorf("journal: segment %d header names segment %d", seg, recs[0].Header.Segment)
+		if recs[0].Kind != KindHeader || recs[0].Header == nil {
+			return nil, fmt.Errorf("journal: segment %d lacks a header record", segs[i])
 		}
-		log.Headers = append(log.Headers, *recs[0].Header)
-		for _, r := range recs[1:] {
+		if recs[0].Header.Segment != segs[i] {
+			return nil, fmt.Errorf("journal: segment %d header names segment %d", segs[i], recs[0].Header.Segment)
+		}
+		return recs[0].Header, nil
+	}
+	for i := range data {
+		hdr, err := headerOf(i)
+		if err != nil {
+			return nil, err
+		}
+		if hdr == nil {
+			log.TornSegments = append(log.TornSegments, segs[i])
+			continue
+		}
+		if t := data[i].torn; t != nil {
+			last := i == len(data)-1
+			if !last {
+				next, err := headerOf(i + 1)
+				if err != nil {
+					return nil, err
+				}
+				// A nil next header is itself a dead writer's empty
+				// segment — a different writer by construction.
+				if next != nil && next.JournalID == hdr.JournalID {
+					return nil, fmt.Errorf("journal: %s at %s:%d (mid-journal corruption)",
+						t.why, SegmentName(segs[i]), t.off)
+				}
+			}
+			log.Truncated = log.Truncated || last
+			log.TornSegments = append(log.TornSegments, segs[i])
+		}
+		log.Headers = append(log.Headers, *hdr)
+		for _, r := range data[i].recs[1:] {
 			if r.Kind == KindHeader {
-				return nil, fmt.Errorf("journal: segment %d has a stray mid-segment header", seg)
+				return nil, fmt.Errorf("journal: segment %d has a stray mid-segment header", segs[i])
 			}
 			log.Records = append(log.Records, r)
 		}
-		log.Truncated = log.Truncated || truncated
 	}
 	return log, nil
 }
 
-// readSegment decodes one segment file. When last is true, a short or
-// CRC-failing frame at the tail terminates the read cleanly (truncated
-// = true) instead of failing: that is what a crash mid-append leaves
-// behind. The same anomaly in a non-last segment is real corruption.
-func readSegment(path string, last bool) (recs []Record, truncated bool, err error) {
+// tear locates a dropped torn frame within a segment.
+type tear struct {
+	off int
+	why string
+}
+
+// readSegment decodes one segment file. A short or CRC-failing frame
+// terminates the read cleanly with the tear's position; ReadDir
+// decides whether that tear is a tolerable crash artifact or
+// mid-journal corruption.
+func readSegment(path string) (recs []Record, torn *tear, err error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
-		return nil, false, fmt.Errorf("journal: %w", err)
+		return nil, nil, fmt.Errorf("journal: %w", err)
 	}
 	off := 0
-	torn := func(at int, why string) ([]Record, bool, error) {
-		if last {
-			return recs, true, nil
-		}
-		return nil, false, fmt.Errorf("journal: %s at %s:%d (mid-journal corruption)", why, filepath.Base(path), at)
-	}
 	for off < len(data) {
 		if len(data)-off < frameHeaderLen {
-			return torn(off, "partial frame header")
+			return recs, &tear{off, "partial frame header"}, nil
 		}
 		n := int(binary.LittleEndian.Uint32(data[off : off+4]))
 		crc := binary.LittleEndian.Uint32(data[off+4 : off+8])
 		if n > maxRecordBytes {
-			return torn(off, "implausible frame length")
+			return recs, &tear{off, "implausible frame length"}, nil
 		}
 		if len(data)-off-frameHeaderLen < n {
-			return torn(off, "partial frame payload")
+			return recs, &tear{off, "partial frame payload"}, nil
 		}
 		payload := data[off+frameHeaderLen : off+frameHeaderLen+n]
 		if crc32.Checksum(payload, crcTable) != crc {
-			return torn(off, "frame CRC mismatch")
+			return recs, &tear{off, "frame CRC mismatch"}, nil
 		}
 		var rec Record
 		if err := json.Unmarshal(payload, &rec); err != nil {
 			// The CRC passed, so these are the bytes that were written;
 			// an undecodable record is corruption (or version skew)
 			// wherever it sits.
-			return nil, false, fmt.Errorf("journal: undecodable record at %s:%d: %w", filepath.Base(path), off, err)
+			return nil, nil, fmt.Errorf("journal: undecodable record at %s:%d: %w", filepath.Base(path), off, err)
 		}
 		recs = append(recs, rec)
 		off += frameHeaderLen + n
 	}
-	return recs, false, nil
+	return recs, nil, nil
 }
 
 // Recovered is the reconstructed server state after a crash: the last

@@ -162,22 +162,143 @@ func TestTornTailTolerated(t *testing.T) {
 	}
 }
 
+// TestMidJournalCorruptionFails: a torn frame at the tail of a segment
+// whose successor was written by the SAME writer cannot be a crash
+// artifact — the writer syncs a segment before rotating — so the read
+// must fail instead of silently dropping records.
 func TestMidJournalCorruptionFails(t *testing.T) {
+	dir := t.TempDir()
+	w, err := Create(dir, Options{SegmentBytes: 600, Fsync: FsyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := toyProblem(t)
+	pj, _ := json.Marshal(p)
+	if err := w.Append(Record{Kind: KindCheckpoint, Rev: 1, Checkpoint: &Checkpoint{Problem: pj, Restart: true}}); err != nil {
+		t.Fatal(err)
+	}
+	rev := int64(1)
+	for w.Segment() == 0 {
+		rev++
+		if err := w.Append(Record{Kind: KindMutation, Rev: rev, Mutation: &Mutation{
+			Op: OpSetRate, Target: "c1", Payload: mustJSON(t, RatePayload{Rate: 3})}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Tear segment 0: segment 1 carries the same JournalID, so this is
+	// corruption, not a crash+restart boundary.
+	appendGarbage(t, dir, 0, []byte{0xde, 0xad})
+	if _, err := ReadDir(dir); err == nil {
+		t.Fatal("mid-journal corruption accepted")
+	}
+}
+
+// TestCrashRestartCrashRecovers is the double-crash cycle: a crash
+// tears the journal tail, recovery appends a fresh segment over the
+// tear without truncating it, and a second crash tears the new tail.
+// Every restart must keep reading the full history — the tear healed
+// by a new-writer segment is a tolerated crash scar, not corruption.
+func TestCrashRestartCrashRecovers(t *testing.T) {
 	dir := writeJournal(t, Options{Fsync: FsyncNever}, []Mutation{
 		{Op: OpSetRate, Target: "c1", Payload: mustJSON(t, RatePayload{Rate: 3})},
 	})
-	// Tear segment 0, then add a later segment: the tear is now
-	// mid-journal and must fail the read.
-	appendGarbage(t, dir, 0, []byte{0xde, 0xad})
+	rate := 3.0
+	for crash := 0; crash < 3; crash++ {
+		appendGarbage(t, dir, crash, []byte{0x01, 0x02, 0x03}) // SIGKILL mid-append
+		rec, err := Recover(dir)
+		if err != nil {
+			t.Fatalf("recovery after crash %d: %v", crash+1, err)
+		}
+		c, ok := rec.Problem.CommodityByName("c1")
+		if !ok || c.MaxRate != rate {
+			t.Fatalf("after crash %d: recovered MaxRate = %v, want %v", crash+1, c.MaxRate, rate)
+		}
+		// Restart: a fresh writer appends a boot checkpoint and another
+		// mutation to a new segment over the untruncated tear.
+		w, err := Create(dir, Options{Fsync: FsyncNever})
+		if err != nil {
+			t.Fatal(err)
+		}
+		pj, err := json.Marshal(rec.Problem)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Append(Record{Kind: KindCheckpoint, Rev: rec.Rev, Checkpoint: &Checkpoint{Problem: pj, Restart: true}}); err != nil {
+			t.Fatal(err)
+		}
+		rate++
+		if err := w.Append(Record{Kind: KindMutation, Rev: rec.Rev + 1, Mutation: &Mutation{
+			Op: OpSetRate, Target: "c1", Payload: mustJSON(t, RatePayload{Rate: rate})}}); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	log, err := ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(log.TornSegments) != 3 {
+		t.Fatalf("TornSegments = %v, want the three crash scars", log.TornSegments)
+	}
+	if log.Truncated {
+		t.Fatal("intact tail reported truncated")
+	}
+	rec, err := Recover(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, _ := rec.Problem.CommodityByName("c1")
+	if c.MaxRate != rate {
+		t.Fatalf("final recovered MaxRate = %v, want %v", c.MaxRate, rate)
+	}
+}
+
+// TestBootCrashEmptySegmentTolerated: a crash between segment creation
+// and the first header flush leaves an empty .wal file. Trailing empty
+// segments are dropped as truncation; a mid-journal empty segment (a
+// crash-looped boot before a successful one) is skipped.
+func TestBootCrashEmptySegmentTolerated(t *testing.T) {
+	dir := writeJournal(t, Options{Fsync: FsyncNever}, []Mutation{
+		{Op: OpSetRate, Target: "c1", Payload: mustJSON(t, RatePayload{Rate: 3})},
+	})
+	// Boot crash: segment 1 exists but holds nothing durable.
+	if err := os.WriteFile(filepath.Join(dir, SegmentName(1)), nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	log, err := ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !log.Truncated || len(log.Records) != 2 {
+		t.Fatalf("trailing empty segment: Truncated=%v records=%d", log.Truncated, len(log.Records))
+	}
+	// The next boot succeeds and appends segment 2 around the empty one.
 	w, err := Create(dir, Options{Fsync: FsyncNever})
 	if err != nil {
+		t.Fatal(err)
+	}
+	p := toyProblem(t)
+	pj, _ := json.Marshal(p)
+	if err := w.Append(Record{Kind: KindCheckpoint, Rev: 3, Checkpoint: &Checkpoint{Problem: pj, Restart: true}}); err != nil {
 		t.Fatal(err)
 	}
 	if err := w.Close(); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := ReadDir(dir); err == nil {
-		t.Fatal("mid-journal corruption accepted")
+	log, err = ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if log.Truncated || len(log.Records) != 3 {
+		t.Fatalf("mid-journal empty segment: Truncated=%v records=%d", log.Truncated, len(log.Records))
+	}
+	if _, err := Recover(dir); err != nil {
+		t.Fatal(err)
 	}
 }
 

@@ -15,13 +15,20 @@
 // captured), every comparison is exact — a mismatch means the journal
 // and the code disagree, not that timing drifted. Periodic non-restart
 // checkpoints double as cross-checks: the replayed problem's canonical
-// JSON must equal the recorded checkpoint bytes.
+// JSON must equal the recorded checkpoint bytes. They queue alongside
+// mutations and are checked only once a flush passes their revision:
+// checkpoints are journaled at mutation acceptance while digests land
+// from the solver goroutine, so a checkpoint at rev M may precede the
+// digest of a solve that captured rev N < M in file order, and eager
+// verification would push the replayed state past that solve.
 package replay
 
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"math"
 	"time"
 
 	"repro/internal/journal"
@@ -190,23 +197,60 @@ func verifyRun(runIdx int, run []journal.Record, opts Options, rep *Report, logf
 	}
 
 	var (
-		queue    []journal.Record // mutations not yet applied
+		queue    []journal.Record // mutations and checkpoints not yet reached by a flush
 		prevSnap *server.Snapshot
 		prevWall int64
 	)
-	// flush applies every queued mutation with revision ≤ rev.
+	// flush walks the queue — mutations and periodic checkpoints, in
+	// journal order — applying and verifying every record with revision
+	// ≤ rev. Checkpoints are journaled under the server mutex at
+	// mutation acceptance, while digests land later from the solver
+	// goroutine, so a checkpoint at rev M can precede the digest of a
+	// solve that captured rev N < M in file order; verifying the
+	// checkpoint only when a flush passes rev M keeps the replayed
+	// state from running ahead of the solve boundaries. A returned
+	// errDiverged means a mismatch was already recorded and the run is
+	// over; any other error is operational.
 	flush := func(rev int64) error {
 		for len(queue) > 0 && queue[0].Rev <= rev {
-			m := queue[0]
+			q := queue[0]
 			queue = queue[1:]
-			got, err := applyMutation(srv, m.Mutation)
-			if err != nil {
-				return fmt.Errorf("rev %d (%s %s): %w", m.Rev, m.Mutation.Op, m.Mutation.Target, err)
+			switch q.Kind {
+			case journal.KindMutation:
+				got, err := applyMutation(srv, q.Mutation)
+				if err != nil {
+					structural(Mismatch{Rev: q.Rev, Field: "apply", Recorded: "applies cleanly",
+						Replayed: fmt.Sprintf("%s %s: %v", q.Mutation.Op, q.Mutation.Target, err)})
+					return errDiverged
+				}
+				if got != q.Rev {
+					structural(Mismatch{Rev: q.Rev, Field: "apply",
+						Recorded: fmt.Sprintf("rev %d (%s %s)", q.Rev, q.Mutation.Op, q.Mutation.Target),
+						Replayed: fmt.Sprintf("rev drift: replayed rev %d", got)})
+					return errDiverged
+				}
+				rep.Mutations++
+
+			case journal.KindCheckpoint:
+				got, err := srv.ProblemJSON()
+				if err != nil {
+					return err
+				}
+				// The journal stores the problem compacted (json.Marshal
+				// compacts embedded RawMessage); canonicalize both sides.
+				var buf bytes.Buffer
+				if err := json.Compact(&buf, got); err != nil {
+					return err
+				}
+				got = buf.Bytes()
+				if !bytes.Equal(got, q.Checkpoint.Problem) {
+					structural(Mismatch{Rev: q.Rev, Field: "checkpoint_problem",
+						Recorded: fmt.Sprintf("%d bytes", len(q.Checkpoint.Problem)),
+						Replayed: fmt.Sprintf("%d bytes (differs)", len(got))})
+					return errDiverged
+				}
+				rep.CheckpointsVerified++
 			}
-			if got != m.Rev {
-				return fmt.Errorf("rev drift: recorded %d, replayed %d (%s %s)", m.Rev, got, m.Mutation.Op, m.Mutation.Target)
-			}
-			rep.Mutations++
 		}
 		return nil
 	}
@@ -226,28 +270,7 @@ func verifyRun(runIdx int, run []journal.Record, opts Options, rep *Report, logf
 			if r.Checkpoint.Restart {
 				continue // the boot checkpoint that opened this run
 			}
-			if err := flush(r.Rev); err != nil {
-				structural(Mismatch{Rev: r.Rev, Field: "apply", Recorded: "applies cleanly", Replayed: err.Error()})
-				return nil
-			}
-			got, err := srv.ProblemJSON()
-			if err != nil {
-				return err
-			}
-			// The journal stores the problem compacted (json.Marshal
-			// compacts embedded RawMessage); canonicalize both sides.
-			var buf bytes.Buffer
-			if err := json.Compact(&buf, got); err != nil {
-				return err
-			}
-			got = buf.Bytes()
-			if !bytes.Equal(got, r.Checkpoint.Problem) {
-				structural(Mismatch{Rev: r.Rev, Field: "checkpoint_problem",
-					Recorded: fmt.Sprintf("%d bytes", len(r.Checkpoint.Problem)),
-					Replayed: fmt.Sprintf("%d bytes (differs)", len(got))})
-				return nil
-			}
-			rep.CheckpointsVerified++
+			queue = append(queue, r)
 
 		case journal.KindDigest:
 			rec := r.Digest
@@ -260,9 +283,10 @@ func verifyRun(runIdx int, run []journal.Record, opts Options, rep *Report, logf
 				continue
 			}
 			if err := flush(r.Rev); err != nil {
-				structural(Mismatch{Generation: rec.Generation, Rev: r.Rev, Field: "apply",
-					Recorded: "applies cleanly", Replayed: err.Error()})
-				return nil
+				if err == errDiverged {
+					return nil
+				}
+				return err
 			}
 			// One recorded digest = one solve: wake the loop, admit one
 			// solve through the gate, wait for the generation.
@@ -291,19 +315,27 @@ func verifyRun(runIdx int, run []journal.Record, opts Options, rep *Report, logf
 			rep.Digests++
 		}
 	}
-	// Mutations journaled after the last digest were never solved for
-	// in the recording: apply them (they must still apply — recovery
-	// depends on it) but there is nothing to verify against.
-	tail := len(queue)
-	if tail > 0 {
-		if err := flush(run[len(run)-1].Rev); err != nil {
-			structural(Mismatch{Field: "apply_tail", Recorded: "applies cleanly", Replayed: err.Error()})
+	// Records journaled after the last digest were never solved for in
+	// the recording: apply the mutations (they must still apply —
+	// recovery depends on it) and cross-check any queued checkpoints,
+	// but there is no digest to verify against. Flush past every
+	// revision — the run's last record is usually a digest whose rev
+	// trails the mutations journaled during that final solve.
+	if len(queue) > 0 {
+		before := rep.Mutations
+		err := flush(math.MaxInt64)
+		rep.UnverifiedTailMutations += rep.Mutations - before
+		if err == errDiverged {
 			return nil
 		}
-		rep.UnverifiedTailMutations += tail
+		return err
 	}
 	return nil
 }
+
+// errDiverged signals that a flush recorded a structural mismatch and
+// the run cannot continue; the mismatch is already in the report.
+var errDiverged = errors.New("replay: trajectory diverged")
 
 // compareDigest checks every recorded field against the replayed
 // snapshot; each divergence is an independent mismatch so the report

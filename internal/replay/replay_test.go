@@ -243,6 +243,174 @@ func TestVerifyPinpointsCorruptedDigest(t *testing.T) {
 	}
 }
 
+// TestVerifyCheckpointDuringSolve reproduces the live interleaving
+// where a periodic checkpoint is journaled (under the server mutex, at
+// mutation acceptance) before the digest of a solve that captured an
+// earlier revision lands from the solver goroutine. The verifier must
+// not let the checkpoint drag the replayed state past the solve
+// boundary: the digest still has to verify against the revision its
+// solve captured.
+func TestVerifyCheckpointDuringSolve(t *testing.T) {
+	dir := t.TempDir()
+	record(t, dir, toyProblem(t), func(s *server.Server) {
+		for _, rate := range []float64{4, 6, 5} {
+			if _, err := s.SetMaxRate("c1", rate); err != nil {
+				t.Fatal(err)
+			}
+			waitNext(t, s)
+		}
+	})
+
+	log, err := journal.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := log.Records
+	// The serialized recording holds ..., digest(N), mutation(M),
+	// checkpoint(M), ... with N < M. Hoist the mutation+checkpoint pair
+	// ahead of the digest — a legal interleaving of the live server
+	// (the mutation arrived, and checkpointed, while the rev-N solve
+	// was still in flight).
+	cp := -1
+	for i, r := range recs {
+		if r.Kind == journal.KindCheckpoint && !r.Checkpoint.Restart {
+			cp = i
+			break
+		}
+	}
+	if cp < 2 || recs[cp-1].Kind != journal.KindMutation || recs[cp-1].Rev != recs[cp].Rev ||
+		recs[cp-2].Kind != journal.KindDigest || recs[cp-2].Rev >= recs[cp].Rev {
+		t.Fatalf("recording shape unexpected around first periodic checkpoint (index %d)", cp)
+	}
+	reordered := append([]journal.Record(nil), recs[:cp-2]...)
+	reordered = append(reordered, recs[cp-1], recs[cp], recs[cp-2])
+	reordered = append(reordered, recs[cp+1:]...)
+
+	raced := t.TempDir()
+	w, err := journal.Create(raced, journal.Options{Fsync: journal.FsyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := journal.CopyTo(w, reordered); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	rep, err := Verify(raced, Options{Timeout: waitBudget})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Ok() {
+		for _, m := range rep.Mismatches {
+			t.Errorf("mismatch: %s", m)
+		}
+		t.Fatal("checkpoint journaled mid-solve broke verification")
+	}
+	if rep.CheckpointsVerified < 1 {
+		t.Fatalf("CheckpointsVerified = %d, want >= 1", rep.CheckpointsVerified)
+	}
+}
+
+// TestVerifyTailMutations: mutations journaled after the last digest
+// of a run (accepted mid-solve, never published before shutdown) must
+// still be applied and apply-checked, and counted as the unverified
+// tail.
+func TestVerifyTailMutations(t *testing.T) {
+	dir := t.TempDir()
+	record(t, dir, toyProblem(t), func(s *server.Server) {
+		if _, err := s.SetMaxRate("c1", 4); err != nil {
+			t.Fatal(err)
+		}
+		waitNext(t, s)
+	})
+	log, err := journal.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lastRev := int64(0)
+	for _, r := range log.Records {
+		if r.Rev > lastRev {
+			lastRev = r.Rev
+		}
+	}
+
+	// makeTail rebuilds the journal with extra mutations inserted just
+	// before the final digest — the live shape: they were accepted and
+	// journaled while the last solve was in flight, so the run ends
+	// with a digest whose rev trails them, and no later digest ever
+	// covers them.
+	lastDigest := -1
+	for i, r := range log.Records {
+		if r.Kind == journal.KindDigest {
+			lastDigest = i
+		}
+	}
+	if lastDigest < 0 {
+		t.Fatal("recording holds no digests")
+	}
+	makeTail := func(muts ...journal.Record) string {
+		t.Helper()
+		recs := append([]journal.Record(nil), log.Records[:lastDigest]...)
+		recs = append(recs, muts...)
+		recs = append(recs, log.Records[lastDigest:]...)
+		out := t.TempDir()
+		w, err := journal.Create(out, journal.Options{Fsync: journal.FsyncNever})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := journal.CopyTo(w, recs); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Close(); err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+
+	good := makeTail(
+		journal.Record{Kind: journal.KindMutation, Rev: lastRev + 1, Mutation: &journal.Mutation{
+			Op: journal.OpSetRate, Target: "c1", Payload: []byte(`{"rate":7}`)}},
+		journal.Record{Kind: journal.KindMutation, Rev: lastRev + 2, Mutation: &journal.Mutation{
+			Op: journal.OpSetCapacity, Target: "b", Payload: []byte(`{"capacity":9}`)}},
+	)
+	rep, err := Verify(good, Options{Timeout: waitBudget})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Ok() {
+		for _, m := range rep.Mismatches {
+			t.Errorf("mismatch: %s", m)
+		}
+		t.Fatal("tail mutations broke verification")
+	}
+	if rep.UnverifiedTailMutations != 2 {
+		t.Fatalf("UnverifiedTailMutations = %d, want 2", rep.UnverifiedTailMutations)
+	}
+
+	// A tail mutation that no longer applies must surface as a
+	// mismatch — proof the tail is exercised, not skipped.
+	bad := makeTail(journal.Record{Kind: journal.KindMutation, Rev: lastRev + 1,
+		Mutation: &journal.Mutation{Op: journal.OpRemoveCommodity, Target: "ghost"}})
+	rep, err = Verify(bad, Options{Timeout: waitBudget})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Ok() {
+		t.Fatal("unappliable tail mutation verified clean")
+	}
+	found := false
+	for _, m := range rep.Mismatches {
+		if m.Field == "apply" && m.Rev == lastRev+1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no apply mismatch for the tail mutation: %+v", rep.Mismatches)
+	}
+}
+
 // TestVerifyMultiRun records two server lifetimes into the same
 // journal directory — the second boots from recovered state — and
 // verifies both runs replay cleanly.
