@@ -6,6 +6,7 @@
 package repro
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"testing"
@@ -24,6 +25,7 @@ import (
 	"repro/internal/randnet"
 	"repro/internal/refopt"
 	"repro/internal/server"
+	"repro/internal/shard"
 	"repro/internal/stream"
 	"repro/internal/transform"
 	"repro/internal/utility"
@@ -605,6 +607,69 @@ func BenchmarkServerMutationJournaled(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, err := srv.SetMaxRate(name, 10+float64(i%7)); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// shardedInstance is the shard benches' workload: a random instance
+// measured to reach the 1e-4 stationarity gap well inside the budget
+// both unsharded and under the 4-shard dual decomposition (the same
+// instance the server shard tests calibrate against).
+func shardedInstance(b *testing.B) *stream.Problem {
+	b.Helper()
+	p, err := randnet.Generate(randnet.Config{Seed: 5, Nodes: 24, Commodities: 4})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return p
+}
+
+// BenchmarkShardedSolve prices a full cold sharded solve: subset
+// builds on all four shards plus the price-exchange rounds to
+// convergence. Compare with BenchmarkE7ColdStart for the single-engine
+// cost of the same kind of work.
+func BenchmarkShardedSolve(b *testing.B) {
+	p := shardedInstance(b)
+	coord := shard.New(shard.Config{
+		Shards: 4, Salt: 7, Eta: 0.04, MaxIters: 12000, StationaryTol: 1e-4,
+	})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := coord.Apply(p, nil); err != nil {
+			b.Fatal(err)
+		}
+		res := coord.Solve(context.Background())
+		if res.Err != nil || !res.Converged {
+			b.Fatalf("sharded solve: converged=%v err=%v", res.Converged, res.Err)
+		}
+	}
+}
+
+// BenchmarkPriceExchange prices one coordinator round at a stationary
+// point — per-shard stationarity checks, the shared-usage merge, shadow
+// prices, and the damped external update — i.e. the pure coordination
+// overhead a sharded deployment pays per exchange, with no gradient
+// steps mixed in.
+func BenchmarkPriceExchange(b *testing.B) {
+	p := shardedInstance(b)
+	coord := shard.New(shard.Config{
+		Shards: 4, Salt: 7, Eta: 0.04, MaxIters: 12000, StationaryTol: 1e-4,
+		ExchangeEvery: 1,
+	})
+	if _, err := coord.Apply(p, nil); err != nil {
+		b.Fatal(err)
+	}
+	if res := coord.Solve(context.Background()); res.Err != nil || !res.Converged {
+		b.Fatalf("warmup solve: converged=%v err=%v", res.Converged, res.Err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Already stationary: Solve runs exactly one exchange round and
+		// observes convergence.
+		if res := coord.Solve(context.Background()); !res.Converged {
+			b.Fatal("stationary solve did not converge in one round")
 		}
 	}
 }

@@ -55,6 +55,11 @@ type cliConfig struct {
 	stationaryTol float64
 	debounce      time.Duration
 
+	shards            int
+	placementSalt     uint64
+	priceExchangeEvry int
+	priceDamping      float64
+
 	eventsOut      string
 	eventsMaxBytes int64
 	traceCap       int
@@ -69,6 +74,11 @@ type cliConfig struct {
 	sloMS           float64
 	captureDir      string
 	runtimeSample   time.Duration
+
+	// flagSet names the flags the operator passed explicitly; journal
+	// recovery only adopts recorded shard topology for flags absent
+	// from it.
+	flagSet map[string]bool
 
 	// ready, when non-nil, receives the bound address once the API is
 	// serving; stop, when non-nil, replaces signal-based shutdown.
@@ -89,6 +99,10 @@ func main() {
 	flag.IntVar(&cfg.workers, "workers", 0, "worker-pool bound for the per-commodity gradient waves (0 = GOMAXPROCS)")
 	flag.Float64Var(&cfg.stationaryTol, "stationary-tol", 1e-3, "Theorem-2 stationarity tolerance ending a solve early (<0 disables)")
 	flag.DurationVar(&cfg.debounce, "debounce", 25*time.Millisecond, "mutation coalescing window before a re-solve")
+	flag.IntVar(&cfg.shards, "shards", 1, "solver shards commodities are partitioned across (1 = single engine)")
+	flag.Uint64Var(&cfg.placementSalt, "placement-salt", 0, "consistent-hash salt for commodity→shard placement")
+	flag.IntVar(&cfg.priceExchangeEvry, "price-exchange-every", 25, "gradient iterations each shard runs between price-exchange rounds")
+	flag.Float64Var(&cfg.priceDamping, "price-damping", 0.5, "damping γ ∈ (0,1] of the external-usage exchange update")
 	flag.StringVar(&cfg.eventsOut, "events-out", "", "write solver/server JSONL events to this file")
 	flag.Int64Var(&cfg.eventsMaxBytes, "events-max-bytes", 0, "rotate -events-out once it exceeds this size, keeping one predecessor (0 = unbounded)")
 	flag.IntVar(&cfg.traceCap, "trace-cap", 4096, "iteration-trace ring capacity served on /debug/trace (0 disables tracing)")
@@ -103,6 +117,8 @@ func main() {
 	flag.StringVar(&cfg.captureDir, "capture-dir", "", "anomaly diagnostics bundle directory (default <journal-dir>/bundles when journaling)")
 	flag.DurationVar(&cfg.runtimeSample, "runtime-sample", 10*time.Second, "runtime telemetry (goroutines, heap, GC) sampling period (0 disables)")
 	flag.Parse()
+	cfg.flagSet = make(map[string]bool)
+	flag.Visit(func(f *flag.Flag) { cfg.flagSet[f.Name] = true })
 	if err := realMain(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "admissiond:", err)
 		os.Exit(1)
@@ -145,6 +161,29 @@ func realMain(cfg cliConfig) error {
 			fmt.Fprintf(os.Stderr,
 				"admissiond: recovered from journal %s (checkpoint rev %d + %d mutations, torn tail: %v)\n",
 				cfg.journalDir, recd.CheckpointRev, recd.MutationsApplied, recd.Log.Truncated)
+			// Shard topology follows the journal like the problem does:
+			// a daemon journaled with -shards 4 reboots sharded without
+			// the operator re-passing the flags. Explicit flags win, so
+			// a recovery can still deliberately re-shard.
+			if s := recd.Solver; s != nil && s.Shards > 1 {
+				if !cfg.flagSet["shards"] {
+					cfg.shards = s.Shards
+				}
+				if !cfg.flagSet["placement-salt"] {
+					cfg.placementSalt = s.PlacementSalt
+				}
+				if !cfg.flagSet["price-exchange-every"] && s.PriceExchangeEvery > 0 {
+					cfg.priceExchangeEvry = s.PriceExchangeEvery
+				}
+				if !cfg.flagSet["price-damping"] && s.PriceDamping > 0 {
+					cfg.priceDamping = s.PriceDamping
+				}
+				if cfg.shards > 1 {
+					fmt.Fprintf(os.Stderr,
+						"admissiond: restored shard topology from journal (%d shards, salt %d, exchange every %d, damping %g)\n",
+						cfg.shards, cfg.placementSalt, cfg.priceExchangeEvry, cfg.priceDamping)
+				}
+			}
 		}
 	}
 
@@ -194,20 +233,24 @@ func realMain(cfg cliConfig) error {
 	}
 
 	s, err := server.New(p, server.Options{
-		Epsilon:         cfg.eps,
-		Eta:             cfg.eta,
-		MaxIters:        cfg.iters,
-		Workers:         cfg.workers,
-		StationaryTol:   cfg.stationaryTol,
-		Debounce:        cfg.debounce,
-		Recorder:        rec,
-		Trace:           ring,
-		Spans:           spans,
-		HistoryCap:      cfg.historyCap,
-		Journal:         jw,
-		CheckpointEvery: cfg.checkpointEvery,
-		SLO:             time.Duration(cfg.sloMS * float64(time.Millisecond)),
-		CaptureDir:      cfg.captureDir,
+		Epsilon:            cfg.eps,
+		Eta:                cfg.eta,
+		MaxIters:           cfg.iters,
+		Workers:            cfg.workers,
+		StationaryTol:      cfg.stationaryTol,
+		Shards:             cfg.shards,
+		PlacementSalt:      cfg.placementSalt,
+		PriceExchangeEvery: cfg.priceExchangeEvry,
+		PriceDamping:       cfg.priceDamping,
+		Debounce:           cfg.debounce,
+		Recorder:           rec,
+		Trace:              ring,
+		Spans:              spans,
+		HistoryCap:         cfg.historyCap,
+		Journal:            jw,
+		CheckpointEvery:    cfg.checkpointEvery,
+		SLO:                time.Duration(cfg.sloMS * float64(time.Millisecond)),
+		CaptureDir:         cfg.captureDir,
 	})
 	if err != nil {
 		if jw != nil {

@@ -437,3 +437,112 @@ func TestAdmissiondJournalRecovery(t *testing.T) {
 	}
 	shutdown(stop, errCh)
 }
+
+// TestAdmissiondShardTopologyRecovery journals a sharded daemon, then
+// reboots from the journal alone (no -shards flag): the restart
+// checkpoint's recorded topology must come back with the problem.
+func TestAdmissiondShardTopologyRecovery(t *testing.T) {
+	p, err := randnet.Generate(randnet.Config{Seed: 7, Nodes: 10, Commodities: 2, Layers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := p.MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := filepath.Join(t.TempDir(), "instance.json")
+	if err := os.WriteFile(in, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	jdir := filepath.Join(t.TempDir(), "journal")
+
+	boot := func(in string, shards int) (base string, stop chan struct{}, errCh chan error) {
+		t.Helper()
+		addrCh := make(chan string, 1)
+		stop = make(chan struct{})
+		errCh = make(chan error, 1)
+		go func() {
+			errCh <- realMain(cliConfig{
+				in:                in,
+				addr:              "127.0.0.1:0",
+				eta:               0.04,
+				eps:               0.2,
+				iters:             2000,
+				stationaryTol:     1e-3,
+				debounce:          2 * time.Millisecond,
+				shards:            shards,
+				placementSalt:     3,
+				priceExchangeEvry: 25,
+				priceDamping:      0.5,
+				journalDir:        jdir,
+				checkpointEvery:   4,
+				fsync:             "interval",
+				ready:             func(a string) { addrCh <- a },
+				stop:              stop,
+			})
+		}()
+		select {
+		case a := <-addrCh:
+			return "http://" + a, stop, errCh
+		case err := <-errCh:
+			t.Fatalf("daemon exited early: %v", err)
+		case <-time.After(30 * time.Second):
+			t.Fatal("daemon never became ready")
+		}
+		panic("unreachable")
+	}
+	shardCount := func(base string) string {
+		t.Helper()
+		// The gauge appears once the first sharded solve publishes;
+		// poll past the boot solve.
+		deadline := time.Now().Add(15 * time.Second)
+		for {
+			resp, err := http.Get(base + "/metrics")
+			if err != nil {
+				t.Fatal(err)
+			}
+			body := new(bytes.Buffer)
+			_, err = body.ReadFrom(resp.Body)
+			resp.Body.Close()
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, line := range strings.Split(body.String(), "\n") {
+				if strings.HasPrefix(line, "streamopt_shard_count ") {
+					return strings.TrimPrefix(line, "streamopt_shard_count ")
+				}
+			}
+			if time.Now().After(deadline) {
+				return ""
+			}
+			time.Sleep(50 * time.Millisecond)
+		}
+	}
+	shutdown := func(stop chan struct{}, errCh chan error) {
+		t.Helper()
+		close(stop)
+		select {
+		case err := <-errCh:
+			if err != nil {
+				t.Fatalf("daemon exited with error: %v", err)
+			}
+		case <-time.After(30 * time.Second):
+			t.Fatal("daemon never exited")
+		}
+	}
+
+	base, stop, errCh := boot(in, 2)
+	if got := shardCount(base); got != "2" {
+		t.Fatalf("first boot shard count = %q, want 2", got)
+	}
+	shutdown(stop, errCh)
+
+	// Reboot from the journal alone: shards stays zero in the config
+	// (the operator passed no flags), so the topology must be adopted
+	// from the recorded restart checkpoint.
+	base, stop, errCh = boot("", 0)
+	if got := shardCount(base); got != "2" {
+		t.Fatalf("recovered shard count = %q, want 2 (topology not restored from journal)", got)
+	}
+	shutdown(stop, errCh)
+}

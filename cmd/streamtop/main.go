@@ -6,7 +6,10 @@
 // the streamopt_decision_latency_seconds histogram, per-commodity
 // admitted rates, and the most recent admitted↔rejected flips with the
 // trace ID of the mutation batch that caused each one (paste it into
-// /debug/spans?trace=… to see the full decision lifecycle).
+// /debug/spans?trace=… to see the full decision lifecycle). Against a
+// sharded daemon (admissiond -shards N) it adds a per-shard table:
+// advance rate, last-solve latency, gradient iterations, owned
+// commodities, and price-exchange staleness per solver shard.
 //
 //	go run ./cmd/admissiond -addr :8080 &
 //	go run ./cmd/streamtop -addr localhost:8080 -interval 1s
@@ -92,11 +95,12 @@ func realMain(cfg cliConfig) error {
 
 	var prevGen int64
 	var prevAt time.Time
+	var prevMetrics metricSet
 	for i := 0; cfg.count == 0 || i < cfg.count; i++ {
 		if i > 0 {
 			time.Sleep(cfg.interval)
 		}
-		frame, gen, err := render(client, base, cfg, prevGen, prevAt)
+		frame, gen, metrics, err := render(client, base, cfg, prevGen, prevAt, prevMetrics)
 		if err != nil {
 			return err
 		}
@@ -104,25 +108,26 @@ func realMain(cfg cliConfig) error {
 			fmt.Fprint(cfg.out, "\x1b[H\x1b[2J")
 		}
 		fmt.Fprint(cfg.out, frame)
-		prevGen, prevAt = gen, time.Now()
+		prevGen, prevAt, prevMetrics = gen, time.Now(), metrics
 	}
 	return nil
 }
 
 // render polls the server once and formats one frame, returning the
-// generation observed so the caller can derive a generation rate.
-func render(client *http.Client, base string, cfg cliConfig, prevGen int64, prevAt time.Time) (string, int64, error) {
+// generation and metric set observed so the caller can derive rates on
+// the next refresh.
+func render(client *http.Client, base string, cfg cliConfig, prevGen int64, prevAt time.Time, prevMetrics metricSet) (string, int64, metricSet, error) {
 	var adm admittedView
 	if err := getJSON(client, base+"/v1/admitted", &adm); err != nil {
-		return "", 0, err
+		return "", 0, nil, err
 	}
 	var fl flipsView
 	if err := getJSON(client, base+"/v1/flips", &fl); err != nil {
-		return "", 0, err
+		return "", 0, nil, err
 	}
 	metrics, err := getMetrics(client, base+"/metrics")
 	if err != nil {
-		return "", 0, err
+		return "", 0, nil, err
 	}
 
 	var b strings.Builder
@@ -167,6 +172,10 @@ func render(client *http.Client, base string, cfg cliConfig, prevGen int64, prev
 			fmtBytes(metrics.value("streamopt_journal_unsynced_bytes")),
 			metrics.sum("streamopt_capture_total"))
 	}
+	// Per-shard solver view (present when the daemon runs -shards > 1).
+	if metrics.has("streamopt_shard_commodities") {
+		writeShardTable(&b, metrics, prevMetrics, prevAt)
+	}
 	b.WriteString("\n")
 
 	fmt.Fprintf(&b, "%-16s %10s %10s %6s %12s\n", "COMMODITY", "OFFERED", "ADMITTED", "PCT", "UTILITY")
@@ -198,7 +207,47 @@ func render(client *http.Client, base string, cfg cliConfig, prevGen int64, prev
 				f.Generation, f.Commodity, state, f.Rate, f.Offered, trace)
 		}
 	}
-	return b.String(), adm.Generation, nil
+	return b.String(), adm.Generation, metrics, nil
+}
+
+// writeShardTable renders the dual-decomposition view of a sharded
+// daemon: the coordinator's exchange totals, then one row per solver
+// shard with its advance rate since the previous frame, last-solve
+// latency, gradient iterations, owned commodities, and how stale its
+// latest price-exchange round is.
+func writeShardTable(b *strings.Builder, metrics, prev metricSet, prevAt time.Time) {
+	shards := metrics.labels("streamopt_shard_commodities", "shard")
+	if len(shards) == 0 {
+		return
+	}
+	fmt.Fprintf(b, "shards     %.0f shards   exchange rounds %.0f   price Δ %.2e\n",
+		metrics.value("streamopt_shard_count"),
+		metrics.value("streamopt_shard_exchange_rounds_total"),
+		metrics.value("streamopt_shard_price_delta"))
+	fmt.Fprintf(b, "%-6s %8s %10s %12s %10s %12s\n",
+		"SHARD", "COMMOD", "SOLVE/S", "LAST-SOLVE", "ITERS", "STALENESS")
+	now := float64(time.Now().UnixNano()) / 1e9
+	for _, id := range shards {
+		key := func(family string) string { return family + `{shard="` + id + `"}` }
+		rate := "-"
+		if prev != nil && !prevAt.IsZero() {
+			if dt := time.Since(prevAt).Seconds(); dt > 0 {
+				d := metrics.value(key("streamopt_shard_solves_total")) - prev.value(key("streamopt_shard_solves_total"))
+				rate = fmt.Sprintf("%.2f", d/dt)
+			}
+		}
+		stale := "-"
+		if ts := metrics.value(key("streamopt_shard_last_exchange_unix")); ts > 0 {
+			stale = fmtAge(now - ts)
+		}
+		fmt.Fprintf(b, "%-6s %8.0f %10s %12s %10.0f %12s\n",
+			id,
+			metrics.value(key("streamopt_shard_commodities")),
+			rate,
+			fmtDur(metrics.value(key("streamopt_shard_solve_seconds"))),
+			metrics.value(key("streamopt_shard_iterations")),
+			stale)
+	}
 }
 
 func getJSON(client *http.Client, url string, v any) error {
@@ -231,6 +280,32 @@ func (m metricSet) has(family string) bool {
 		}
 	}
 	return false
+}
+
+// labels collects the values one label takes across every sample of a
+// family — e.g. the shard ids of streamopt_shard_commodities — sorted
+// numerically when all values are integers, lexically otherwise.
+func (m metricSet) labels(family, label string) []string {
+	prefix := family + "{" + label + `="`
+	var out []string
+	for k := range m {
+		if !strings.HasPrefix(k, prefix) {
+			continue
+		}
+		rest := k[len(prefix):]
+		if end := strings.IndexByte(rest, '"'); end >= 0 {
+			out = append(out, rest[:end])
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, aerr := strconv.Atoi(out[i])
+		b, berr := strconv.Atoi(out[j])
+		if aerr == nil && berr == nil {
+			return a < b
+		}
+		return out[i] < out[j]
+	})
+	return out
 }
 
 // sum totals every sample of a labeled family — e.g. capture bundles
@@ -350,6 +425,24 @@ func fmtDur(sec float64) string {
 		return fmt.Sprintf("%.1fms", sec*1e3)
 	default:
 		return fmt.Sprintf("%.2fs", sec)
+	}
+}
+
+// fmtAge renders an elapsed age in seconds human-scaled (ms/s/m/h) —
+// for staleness figures that can grow far past the latency range
+// fmtDur targets.
+func fmtAge(sec float64) string {
+	switch {
+	case math.IsNaN(sec) || sec < 0:
+		return "-"
+	case sec < 1:
+		return fmt.Sprintf("%.0fms", sec*1e3)
+	case sec < 60:
+		return fmt.Sprintf("%.1fs", sec)
+	case sec < 3600:
+		return fmt.Sprintf("%.1fm", sec/60)
+	default:
+		return fmt.Sprintf("%.1fh", sec/3600)
 	}
 }
 

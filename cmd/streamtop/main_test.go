@@ -1,6 +1,7 @@
 package main
 
 import (
+	"fmt"
 	"math"
 	"net/http"
 	"net/http/httptest"
@@ -59,6 +60,48 @@ func TestQuantile(t *testing.T) {
 	}
 }
 
+func TestMetricLabels(t *testing.T) {
+	m := parseMetrics(`
+streamopt_shard_commodities{shard="0"} 2
+streamopt_shard_commodities{shard="10"} 1
+streamopt_shard_commodities{shard="2"} 3
+streamopt_shard_solve_seconds{shard="0"} 0.5
+streamopt_other 1
+`)
+	got := m.labels("streamopt_shard_commodities", "shard")
+	want := []string{"0", "2", "10"} // numeric order, not lexical
+	if len(got) != len(want) {
+		t.Fatalf("labels = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("labels = %v, want %v", got, want)
+		}
+	}
+	if ls := m.labels("streamopt_absent", "shard"); len(ls) != 0 {
+		t.Fatalf("labels of absent family = %v, want none", ls)
+	}
+}
+
+func TestFmtAge(t *testing.T) {
+	cases := []struct {
+		sec  float64
+		want string
+	}{
+		{math.NaN(), "-"},
+		{-2, "-"},
+		{0.25, "250ms"},
+		{3.5, "3.5s"},
+		{90, "1.5m"},
+		{7200, "2.0h"},
+	}
+	for _, c := range cases {
+		if got := fmtAge(c.sec); got != c.want {
+			t.Errorf("fmtAge(%v) = %q, want %q", c.sec, got, c.want)
+		}
+	}
+}
+
 func TestFmtDur(t *testing.T) {
 	cases := []struct {
 		sec  float64
@@ -89,7 +132,23 @@ func TestRealMainAgainstFakeServer(t *testing.T) {
 		_, _ = w.Write([]byte(`{"flips":[{"generation":3,"commodity":"S2","admitted":false,
 			"rate":0,"offered":20,"trace":"0af7651916cd43dd8448eb211c80319c"}]}`))
 	})
+	exchangeUnix := time.Now().Unix() - 3
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		_, _ = fmt.Fprintf(w,
+			"streamopt_shard_count 2\n"+
+				"streamopt_shard_exchange_rounds_total 40\n"+
+				"streamopt_shard_price_delta 1.25e-05\n"+
+				"streamopt_shard_commodities{shard=\"0\"} 3\n"+
+				"streamopt_shard_commodities{shard=\"1\"} 1\n"+
+				"streamopt_shard_solves_total{shard=\"0\"} 12\n"+
+				"streamopt_shard_solves_total{shard=\"1\"} 9\n"+
+				"streamopt_shard_solve_seconds{shard=\"0\"} 0.0421\n"+
+				"streamopt_shard_solve_seconds{shard=\"1\"} 0.0007\n"+
+				"streamopt_shard_iterations{shard=\"0\"} 350\n"+
+				"streamopt_shard_iterations{shard=\"1\"} 125\n"+
+				"streamopt_shard_last_exchange_unix{shard=\"0\"} %d\n"+
+				"streamopt_shard_last_exchange_unix{shard=\"1\"} %d\n",
+			exchangeUnix, exchangeUnix)
 		_, _ = w.Write([]byte(
 			"streamopt_server_solves_total{start=\"warm\"} 2\n" +
 				"streamopt_server_solves_total{start=\"cold\"} 1\n" +
@@ -141,6 +200,11 @@ func TestRealMainAgainstFakeServer(t *testing.T) {
 		"120 records / 64.0KiB in segment 1",
 		"lag 3 rec / 2.0KiB behind fsync",
 		"captures 3", // summed across reasons
+		"2 shards   exchange rounds 40   price Δ 1.25e-05",
+		"SHARD",
+		"STALENESS",
+		"42.1ms", // shard 0 last-solve latency
+		"0.00",   // static solves_total → zero advance rate on frame 2
 	} {
 		if !strings.Contains(frame, want) {
 			t.Errorf("frame missing %q:\n%s", want, frame)

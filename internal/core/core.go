@@ -490,6 +490,41 @@ func UsageReport(p *stream.Problem, x *transform.Extended, u *flow.Usage) []Node
 	return usage
 }
 
+// UsageReportShared is UsageReport over a merged shared-usage vector: a
+// sharded solve has no single flow evaluation covering every commodity,
+// but the Proc and Bandwidth nodes all live in the shared node prefix,
+// so the per-resource report is assembled from the coordinator's merged
+// global usage instead of a Usage's FNode. x may be any shard's build
+// over the same network (the prefix layout is identical across subset
+// builds); merged must have length x.SharedNodes.
+func UsageReportShared(p *stream.Problem, x *transform.Extended, merged []float64) []NodeUsage {
+	var usage []NodeUsage
+	for n := 0; n < len(merged); n++ {
+		node := graph.NodeID(n)
+		switch x.Kinds[n] {
+		case transform.Proc:
+			usage = append(usage, NodeUsage{
+				Name:        x.Names[n],
+				Kind:        "server",
+				Capacity:    x.Capacity[n],
+				Usage:       merged[n],
+				Utilization: merged[n] / x.Capacity[n],
+			})
+		case transform.Bandwidth:
+			orig := x.OrigEdge[x.G.Out(node)[0]]
+			edge := p.Net.G.Edge(orig)
+			usage = append(usage, NodeUsage{
+				Name:        p.Net.Names[edge.From] + "->" + p.Net.Names[edge.To],
+				Kind:        "link",
+				Capacity:    x.Capacity[n],
+				Usage:       merged[n],
+				Utilization: merged[n] / x.Capacity[n],
+			})
+		}
+	}
+	return usage
+}
+
 // collectPrices maps the reference optimum's positive shadow prices
 // back onto original servers and links, sorted by price descending.
 func collectPrices(p *stream.Problem, x *transform.Extended, ref *refopt.Result) []ResourcePrice {

@@ -1,0 +1,32 @@
+package gradient
+
+import (
+	"math"
+
+	"repro/internal/transform"
+)
+
+// ShadowPrices fills price[i] = ε·D'_i(F_i) for each node of the merged
+// global usage vector — the same per-node shadow price the attribution
+// ρ-wave reports for binding resources (Attribute's BindingNode.Price),
+// rederived by a price-exchange coordinator at the merged operating
+// point F instead of a single engine's local usage. Uncapacitated nodes
+// price at zero. The computation deliberately bypasses
+// transform.PenaltyDeriv: F is already the global total, so no External
+// term may be added on top.
+//
+// price and merged must have equal length (at most x.SharedNodes when
+// called on cross-shard state).
+func ShadowPrices(x *transform.Extended, merged, price []float64) {
+	if len(price) != len(merged) {
+		panic("gradient: ShadowPrices length mismatch")
+	}
+	for i, f := range merged {
+		c := x.Capacity[i]
+		if math.IsInf(c, 1) {
+			price[i] = 0
+			continue
+		}
+		price[i] = x.Epsilon * x.Penalty.Deriv(f, c)
+	}
+}

@@ -15,7 +15,10 @@ func (g *Graph) TopoSort() ([]NodeID, error) {
 // TopoSortFiltered returns a topological order of all nodes considering
 // only edges for which keep(e) is true. It returns ErrCycle when the
 // kept subgraph is cyclic. Kahn's algorithm; ties broken by node ID so
-// the order is deterministic.
+// the order is deterministic. The frontier is a min-heap on node ID:
+// wide graphs (many simultaneous zero-indegree nodes — e.g. thousands
+// of commodity sources) keep the whole width in the frontier, so a
+// linear-scan pop would make the sort quadratic.
 func (g *Graph) TopoSortFiltered(keep func(EdgeID) bool) ([]NodeID, error) {
 	n := g.NumNodes()
 	indeg := make([]int, n)
@@ -24,26 +27,30 @@ func (g *Graph) TopoSortFiltered(keep func(EdgeID) bool) ([]NodeID, error) {
 			indeg[edge.To]++
 		}
 	}
-	// Min-ID-first frontier for determinism. A simple sorted insertion
-	// queue is fine at the graph sizes the simulator uses.
-	frontier := make([]NodeID, 0, n)
+	// Two frontier fronts: the initially-free nodes are generated in
+	// ascending ID order and consumed by index, while nodes freed
+	// during the sweep go through a min-heap. Popping the smaller head
+	// of the two preserves exact min-ID-first order while keeping the
+	// (often dominant) initially-free majority at O(1) per node —
+	// filtered sorts keep only one commodity's edges, leaving nearly
+	// every node free from the start.
+	initial := make([]NodeID, 0, n)
 	for i := 0; i < n; i++ {
 		if indeg[i] == 0 {
-			frontier = append(frontier, NodeID(i))
+			initial = append(initial, NodeID(i))
 		}
 	}
+	var freed nodeMinHeap
+	next := 0
 	order := make([]NodeID, 0, n)
-	for len(frontier) > 0 {
-		// Pop the smallest ID.
-		minAt := 0
-		for i, v := range frontier {
-			if v < frontier[minAt] {
-				minAt = i
-			}
+	for next < len(initial) || len(freed) > 0 {
+		var u NodeID
+		if next < len(initial) && (len(freed) == 0 || initial[next] < freed[0]) {
+			u = initial[next]
+			next++
+		} else {
+			u = freed.pop()
 		}
-		u := frontier[minAt]
-		frontier[minAt] = frontier[len(frontier)-1]
-		frontier = frontier[:len(frontier)-1]
 		order = append(order, u)
 		for _, e := range g.out[u] {
 			if !keep(e) {
@@ -52,7 +59,7 @@ func (g *Graph) TopoSortFiltered(keep func(EdgeID) bool) ([]NodeID, error) {
 			v := g.edges[e].To
 			indeg[v]--
 			if indeg[v] == 0 {
-				frontier = append(frontier, v)
+				freed.push(v)
 			}
 		}
 	}
@@ -60,6 +67,50 @@ func (g *Graph) TopoSortFiltered(keep func(EdgeID) bool) ([]NodeID, error) {
 		return nil, ErrCycle
 	}
 	return order, nil
+}
+
+// nodeMinHeap is a binary min-heap of node IDs backing the topological
+// sort's deterministic min-ID-first frontier.
+type nodeMinHeap []NodeID
+
+func (h *nodeMinHeap) push(v NodeID) {
+	*h = append(*h, v)
+	s := *h
+	i := len(s) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if s[parent] <= s[i] {
+			break
+		}
+		s[parent], s[i] = s[i], s[parent]
+		i = parent
+	}
+}
+
+func (h *nodeMinHeap) pop() NodeID {
+	s := *h
+	top := s[0]
+	last := len(s) - 1
+	s[0] = s[last]
+	s = s[:last]
+	*h = s
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		min := i
+		if l < len(s) && s[l] < s[min] {
+			min = l
+		}
+		if r < len(s) && s[r] < s[min] {
+			min = r
+		}
+		if min == i {
+			break
+		}
+		s[i], s[min] = s[min], s[i]
+		i = min
+	}
+	return top
 }
 
 // IsAcyclic reports whether the kept subgraph has no directed cycle.

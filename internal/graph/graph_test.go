@@ -405,3 +405,90 @@ func TestQuickCoReachableIsReverseReachable(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// referenceTopoSort is the O(n²) min-ID-first Kahn's algorithm the
+// two-front frontier replaced: pop the smallest zero-indegree ID by
+// linear scan. It defines the order contract the fast path must match
+// exactly — solver trajectories depend on it bitwise.
+func referenceTopoSort(g *Graph, keep func(EdgeID) bool) ([]NodeID, error) {
+	n := g.NumNodes()
+	indeg := make([]int, n)
+	for e := 0; e < g.NumEdges(); e++ {
+		if keep(EdgeID(e)) {
+			indeg[g.Edge(EdgeID(e)).To]++
+		}
+	}
+	frontier := make([]NodeID, 0, n)
+	for i := 0; i < n; i++ {
+		if indeg[i] == 0 {
+			frontier = append(frontier, NodeID(i))
+		}
+	}
+	order := make([]NodeID, 0, n)
+	for len(frontier) > 0 {
+		minAt := 0
+		for i, v := range frontier {
+			if v < frontier[minAt] {
+				minAt = i
+			}
+		}
+		u := frontier[minAt]
+		frontier[minAt] = frontier[len(frontier)-1]
+		frontier = frontier[:len(frontier)-1]
+		order = append(order, u)
+		for _, e := range g.Out(u) {
+			if !keep(e) {
+				continue
+			}
+			v := g.Edge(e).To
+			indeg[v]--
+			if indeg[v] == 0 {
+				frontier = append(frontier, v)
+			}
+		}
+	}
+	if len(order) != n {
+		return nil, ErrCycle
+	}
+	return order, nil
+}
+
+// TestQuickTopoSortMatchesReference pins the heap-frontier sort to the
+// naive min-ID-first order on random DAGs, both unfiltered and under a
+// random edge filter (the per-commodity subgraph case where most nodes
+// start free).
+func TestQuickTopoSortMatchesReference(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		g := randomDAG(r, 2+r.Intn(40), 0.3)
+		kept := make([]bool, g.NumEdges())
+		for e := range kept {
+			kept[e] = r.Float64() < 0.5
+		}
+		for _, keep := range []func(EdgeID) bool{
+			func(EdgeID) bool { return true },
+			func(e EdgeID) bool { return kept[e] },
+		} {
+			want, err1 := referenceTopoSort(g, keep)
+			got, err2 := g.TopoSortFiltered(keep)
+			if (err1 == nil) != (err2 == nil) {
+				return false
+			}
+			if err1 != nil {
+				continue
+			}
+			if len(got) != len(want) {
+				return false
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -120,6 +120,17 @@ type SolverParams struct {
 	// Workers is informational: PR 4 guarantees bitwise-identical
 	// trajectories at any worker count.
 	Workers int `json:"workers,omitempty"`
+
+	// Shard topology of the recording server: shard count, placement
+	// salt, and the price-exchange cadence/damping of the dual
+	// decomposition. Zero on single-engine servers (and on journals
+	// from before sharding existed — the omitted fields decode to the
+	// unsharded defaults), so replay re-boots every run with the
+	// topology that recorded it.
+	Shards             int     `json:"shards,omitempty"`
+	PlacementSalt      uint64  `json:"placementSalt,omitempty"`
+	PriceExchangeEvery int     `json:"priceExchangeEvery,omitempty"`
+	PriceDamping       float64 `json:"priceDamping,omitempty"`
 }
 
 // Checkpoint is a full problem serialization at Record.Rev. Restart

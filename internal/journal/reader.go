@@ -227,6 +227,11 @@ type Recovered struct {
 	// CheckpointRev and MutationsApplied describe the roll-forward.
 	CheckpointRev    int64
 	MutationsApplied int
+	// Solver holds the solver knobs and shard topology from the newest
+	// restart checkpoint, so a recovering server can boot with the same
+	// configuration that recorded the journal tail. Nil on journals
+	// whose restart checkpoints predate solver-param recording.
+	Solver *SolverParams
 }
 
 // Recover reads the journal and rebuilds the problem the server should
@@ -240,9 +245,13 @@ func Recover(dir string) (*Recovered, error) {
 		return nil, err
 	}
 	cpIdx := -1
+	var solver *SolverParams
 	for i, r := range log.Records {
 		if r.Kind == KindCheckpoint {
 			cpIdx = i
+			if r.Checkpoint.Solver != nil {
+				solver = r.Checkpoint.Solver
+			}
 		}
 	}
 	if cpIdx < 0 {
@@ -253,7 +262,7 @@ func Recover(dir string) (*Recovered, error) {
 	if err != nil {
 		return nil, fmt.Errorf("journal: checkpoint at rev %d: %w", cp.Rev, err)
 	}
-	out := &Recovered{Log: log, Problem: p, Rev: cp.Rev, CheckpointRev: cp.Rev}
+	out := &Recovered{Log: log, Problem: p, Rev: cp.Rev, CheckpointRev: cp.Rev, Solver: solver}
 	for _, r := range log.Records[cpIdx+1:] {
 		if r.Kind != KindMutation {
 			continue

@@ -57,6 +57,42 @@ func TestRecoverRollsForward(t *testing.T) {
 	}
 }
 
+// TestRecoverSurfacesSolverParams writes a restart checkpoint carrying
+// shard topology followed by a plain checkpoint without one, and makes
+// sure recovery surfaces the topology so a rebooting daemon can adopt
+// it.
+func TestRecoverSurfacesSolverParams(t *testing.T) {
+	dir := t.TempDir()
+	w, err := Create(dir, Options{Fsync: FsyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pj, err := json.Marshal(toyProblem(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp := &SolverParams{Epsilon: 0.2, Eta: 0.04, MaxIters: 100, Shards: 4, PlacementSalt: 7, PriceExchangeEvery: 25, PriceDamping: 0.5}
+	if err := w.Append(Record{Kind: KindCheckpoint, Rev: 1, Checkpoint: &Checkpoint{Problem: pj, Restart: true, Solver: sp}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(Record{Kind: KindCheckpoint, Rev: 2, Checkpoint: &Checkpoint{Problem: pj}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	rec, err := Recover(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.CheckpointRev != 2 {
+		t.Fatalf("recovered from checkpoint rev %d, want 2", rec.CheckpointRev)
+	}
+	if rec.Solver == nil || rec.Solver.Shards != 4 || rec.Solver.PlacementSalt != 7 {
+		t.Fatalf("recovered solver params = %+v, want shard topology from restart checkpoint", rec.Solver)
+	}
+}
+
 // TestRecoverPrefersLastCheckpoint writes two checkpoints and makes
 // sure recovery rolls forward from the newest one only.
 func TestRecoverPrefersLastCheckpoint(t *testing.T) {

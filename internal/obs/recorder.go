@@ -445,6 +445,50 @@ func (r *Recorder) AdmissionFlip(generation int64, commodity string, admitted bo
 	})
 }
 
+// ShardAdvance records one solver shard's state after a price-exchange
+// round: cumulative solve seconds and iterations for the current solve,
+// the commodity count it owns, and — when the shard actually stepped —
+// its advance counter. The last-exchange timestamp feeds streamtop's
+// staleness column.
+func (r *Recorder) ShardAdvance(shard int, seconds float64, iterations, commodities int, stepped bool, unixSeconds float64) {
+	if r == nil {
+		return
+	}
+	label := strconv.Itoa(shard)
+	if stepped {
+		r.reg.Counter("streamopt_shard_solves_total",
+			"Price-exchange rounds in which this shard advanced its gradient engine.",
+			"shard", label).Inc()
+	}
+	r.reg.Gauge("streamopt_shard_solve_seconds",
+		"Wall-clock seconds this shard spent advancing in the current solve.",
+		"shard", label).Set(seconds)
+	r.reg.Gauge("streamopt_shard_iterations",
+		"Gradient iterations this shard ran in the current solve.",
+		"shard", label).Set(float64(iterations))
+	r.reg.Gauge("streamopt_shard_commodities",
+		"Commodities currently placed on this shard.",
+		"shard", label).Set(float64(commodities))
+	r.reg.Gauge("streamopt_shard_last_exchange_unix",
+		"Unix time of this shard's latest price-exchange round.",
+		"shard", label).Set(unixSeconds)
+}
+
+// PriceExchange records one completed coordinator round of the sharded
+// solve: the shard count and the largest damped external-usage update
+// (relative to capacity scale) the round applied.
+func (r *Recorder) PriceExchange(shards int, maxDelta float64) {
+	if r == nil {
+		return
+	}
+	r.reg.Gauge("streamopt_shard_count",
+		"Solver shards the admission service is partitioned across.").Set(float64(shards))
+	r.reg.Counter("streamopt_shard_exchange_rounds_total",
+		"Price-exchange rounds run by the shard coordinator.").Inc()
+	r.reg.Gauge("streamopt_shard_price_delta",
+		"Largest relative external-usage update of the latest exchange round.").Set(maxDelta)
+}
+
 // HTTPRequest records one served admission-API request: the per-route
 // counter and latency histogram, plus a structured request-log event
 // (method/path/status/duration/trace ID) through the sink.

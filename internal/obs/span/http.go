@@ -46,18 +46,21 @@ func isTraceHex(s string) bool {
 // query parameters are rejected with 400 rather than silently matching
 // nothing.
 func Handler(t *Tracer) http.HandlerFunc {
-	badRequest := func(w http.ResponseWriter, msg string) {
+	// Errors use the admission API's uniform envelope:
+	// {"error": {"code": ..., "message": ...}}.
+	writeErr := func(w http.ResponseWriter, status int, code, msg string) {
 		w.Header().Set("Content-Type", "application/json")
-		w.WriteHeader(http.StatusBadRequest)
-		_ = json.NewEncoder(w).Encode(map[string]string{"error": msg})
+		w.WriteHeader(status)
+		_ = json.NewEncoder(w).Encode(map[string]map[string]string{
+			"error": {"code": code, "message": msg},
+		})
+	}
+	badRequest := func(w http.ResponseWriter, msg string) {
+		writeErr(w, http.StatusBadRequest, "invalid_argument", msg)
 	}
 	return func(w http.ResponseWriter, r *http.Request) {
 		if t == nil {
-			w.Header().Set("Content-Type", "application/json")
-			w.WriteHeader(http.StatusNotFound)
-			_ = json.NewEncoder(w).Encode(map[string]string{
-				"error": "span tracing not enabled",
-			})
+			writeErr(w, http.StatusNotFound, "not_found", "span tracing not enabled")
 			return
 		}
 		q := r.URL.Query()

@@ -172,11 +172,18 @@ func verifyRun(runIdx int, run []journal.Record, opts Options, rep *Report, logf
 		MaxIters:      sp.MaxIters,
 		StationaryTol: sp.StationaryTol,
 		Workers:       workers,
-		Debounce:      -1, // replay batches by recorded revision, not wall-clock
-		HistoryCap:    -1,
-		FlipCap:       -1,
-		SolveGate:     gate,
-		Logf:          func(string, ...any) {},
+		// Recorded shard topology: a sharded run replays against the
+		// identical partition and exchange cadence; zero fields re-boot
+		// the single-engine path.
+		Shards:             sp.Shards,
+		PlacementSalt:      sp.PlacementSalt,
+		PriceExchangeEvery: sp.PriceExchangeEvery,
+		PriceDamping:       sp.PriceDamping,
+		Debounce:           -1, // replay batches by recorded revision, not wall-clock
+		HistoryCap:         -1,
+		FlipCap:            -1,
+		SolveGate:          gate,
+		Logf:               func(string, ...any) {},
 	})
 	if err != nil {
 		return err

@@ -173,6 +173,81 @@ func TestVerifyCleanRecording(t *testing.T) {
 	}
 }
 
+// TestVerifyShardedRecording journals a 4-shard server's run and
+// replays it: the restart checkpoint carries the shard count, placement
+// salt, and price-exchange cadence, so the verifier re-boots the
+// identical partition and the dual-decomposition trajectory reproduces
+// every digest bit-for-bit.
+func TestVerifyShardedRecording(t *testing.T) {
+	dir := t.TempDir()
+	spec, err := json.Marshal(map[string]any{
+		"name": "c2", "source": "a", "sink": "t2", "maxRate": 4.0,
+		"utility": map[string]any{"type": "log", "weight": 2.0, "scale": 1.0},
+		"edges": []map[string]any{
+			{"from": "a", "to": "b", "beta": 1, "cost": 1},
+			{"from": "b", "to": "t2", "beta": 1, "cost": 1},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	jw, err := journal.Create(dir, journal.Options{Fsync: journal.FsyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := serverOptions()
+	opts.Journal = jw
+	opts.CheckpointEvery = 2
+	opts.Shards = 4
+	opts.PlacementSalt = 7
+	s, err := server.New(toyProblem(t), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.WaitForGeneration(1, waitBudget); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.SetMaxRate("c1", 4); err != nil {
+		t.Fatal(err)
+	}
+	waitNext(t, s)
+	if _, err := s.AddCommodityJSON(spec); err != nil {
+		t.Fatal(err)
+	}
+	waitNext(t, s)
+	if _, err := s.SetCapacity("b", 6); err != nil {
+		t.Fatal(err)
+	}
+	waitNext(t, s)
+	if _, err := s.RemoveCommodity("c2"); err != nil {
+		t.Fatal(err)
+	}
+	waitNext(t, s)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := jw.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	rep, err := Verify(dir, Options{Timeout: waitBudget})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Ok() {
+		for _, m := range rep.Mismatches {
+			t.Errorf("mismatch: %s", m)
+		}
+		t.Fatal("sharded replay diverged from recording")
+	}
+	if rep.Runs != 1 {
+		t.Fatalf("Runs = %d, want 1", rep.Runs)
+	}
+	if rep.Mutations != 4 {
+		t.Fatalf("Mutations = %d, want 4", rep.Mutations)
+	}
+}
+
 // TestVerifyPinpointsCorruptedDigest corrupts one recorded digest's
 // utility and asserts the diff report names exactly that generation.
 func TestVerifyPinpointsCorruptedDigest(t *testing.T) {

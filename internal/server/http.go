@@ -225,7 +225,7 @@ func (s *Server) Handler(reg *obs.Registry) http.Handler {
 		}
 		rev, err := s.addCommodityJSON(ingressFrom(r), body)
 		if err != nil {
-			writeError(w, http.StatusBadRequest, err)
+			writeError(w, statusForMutation(err), err)
 			return
 		}
 		writeJSON(w, http.StatusCreated, map[string]any{"rev": rev})
@@ -234,7 +234,7 @@ func (s *Server) Handler(reg *obs.Registry) http.Handler {
 	mux.HandleFunc("DELETE /v1/commodities/{name}", func(w http.ResponseWriter, r *http.Request) {
 		rev, err := s.removeCommodity(ingressFrom(r), r.PathValue("name"))
 		if err != nil {
-			writeError(w, http.StatusNotFound, err)
+			writeError(w, statusForMutation(err), err)
 			return
 		}
 		writeJSON(w, http.StatusOK, map[string]any{"rev": rev})
@@ -514,11 +514,17 @@ func (s *Server) historyDiffs() []HistoryEntry {
 	return out
 }
 
-// statusForMutation maps "unknown X" validation errors to 404 and the
-// rest to 400.
+// statusForMutation maps a rejected mutation to its HTTP status:
+// unknown targets (commodities, nodes, links) → 404, duplicate names
+// and already-claimed resources → 409, every other validation failure
+// → 400.
 func statusForMutation(err error) int {
-	if strings.Contains(err.Error(), "unknown") {
+	msg := err.Error()
+	switch {
+	case strings.Contains(msg, "unknown"):
 		return http.StatusNotFound
+	case strings.Contains(msg, "duplicate"), strings.Contains(msg, "already"):
+		return http.StatusConflict
 	}
 	return http.StatusBadRequest
 }
@@ -529,6 +535,31 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_ = json.NewEncoder(w).Encode(v)
 }
 
+// apiError is the uniform error envelope every endpoint returns:
+// {"error": {"code": "...", "message": "..."}}. Code is a stable
+// machine-readable slug derived from the HTTP status; message is the
+// human-readable cause.
+type apiError struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+// errorCode maps an HTTP status to the envelope's stable code slug.
+func errorCode(status int) string {
+	switch status {
+	case http.StatusBadRequest:
+		return "invalid_argument"
+	case http.StatusNotFound:
+		return "not_found"
+	case http.StatusConflict:
+		return "conflict"
+	case http.StatusServiceUnavailable:
+		return "unavailable"
+	default:
+		return "internal"
+	}
+}
+
 func writeError(w http.ResponseWriter, status int, err error) {
-	writeJSON(w, status, map[string]string{"error": err.Error()})
+	writeJSON(w, status, map[string]apiError{"error": {Code: errorCode(status), Message: err.Error()}})
 }

@@ -1,0 +1,80 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// TestErrorEnvelope table-tests the uniform {"error": {code, message}}
+// envelope and the 400/404/409 mapping across every mutation endpoint:
+// malformed input → 400 invalid_argument, unknown targets → 404
+// not_found, duplicate names and claimed resources → 409 conflict.
+func TestErrorEnvelope(t *testing.T) {
+	_, ts := startServer(t, nil)
+	base := ts.URL
+
+	// toyProblem has commodity c1 (a→t1), servers a/b, sinks t1/t2.
+	cases := []struct {
+		name     string
+		method   string
+		url      string
+		body     string
+		want     int
+		wantCode string
+	}{
+		{"add malformed json", "POST", "/v1/commodities", `{"name":`, 400, "invalid_argument"},
+		{"add unknown source", "POST", "/v1/commodities",
+			`{"name":"cx","source":"ghost","sink":"t2","maxRate":1,"utility":{"type":"linear","slope":1},"edges":[]}`,
+			404, "not_found"},
+		{"add duplicate name", "POST", "/v1/commodities",
+			`{"name":"c1","source":"a","sink":"t2","maxRate":1,"utility":{"type":"linear","slope":1},"edges":[{"from":"a","to":"b","beta":1,"cost":1},{"from":"b","to":"t2","beta":1,"cost":1}]}`,
+			409, "conflict"},
+		{"add claimed sink", "POST", "/v1/commodities",
+			`{"name":"cx","source":"a","sink":"t1","maxRate":1,"utility":{"type":"linear","slope":1},"edges":[{"from":"a","to":"b","beta":1,"cost":1},{"from":"b","to":"t1","beta":1,"cost":1}]}`,
+			409, "conflict"},
+		{"delete unknown commodity", "DELETE", "/v1/commodities/ghost", "", 404, "not_found"},
+		{"patch unknown commodity", "PATCH", "/v1/commodities/ghost", `{"maxRate":2}`, 404, "not_found"},
+		{"patch empty body", "PATCH", "/v1/commodities/c1", `{}`, 400, "invalid_argument"},
+		{"patch negative rate", "PATCH", "/v1/commodities/c1", `{"maxRate":-3}`, 400, "invalid_argument"},
+		{"rates unknown commodity", "POST", "/v1/rates", `{"rates":{"ghost":2}}`, 404, "not_found"},
+		{"rates empty batch", "POST", "/v1/rates", `{"rates":{}}`, 400, "invalid_argument"},
+		{"capacity unknown node", "POST", "/v1/nodes/ghost/capacity", `{"capacity":5}`, 404, "not_found"},
+		{"capacity no value", "POST", "/v1/nodes/a/capacity", `{}`, 400, "invalid_argument"},
+		{"capacity both values", "POST", "/v1/nodes/a/capacity", `{"capacity":5,"scale":2}`, 400, "invalid_argument"},
+		{"bandwidth unknown link", "POST", "/v1/links/a/ghost/bandwidth", `{"bandwidth":5}`, 404, "not_found"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			req, err := http.NewRequest(tc.method, base+tc.url, strings.NewReader(tc.body))
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp, err := http.DefaultClient.Do(req)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer resp.Body.Close()
+			var e struct {
+				Error struct {
+					Code    string `json:"code"`
+					Message string `json:"message"`
+				} `json:"error"`
+			}
+			dec := json.NewDecoder(resp.Body)
+			if err := dec.Decode(&e); err != nil {
+				t.Fatalf("%s %s: body is not a JSON error envelope: %v", tc.method, tc.url, err)
+			}
+			if resp.StatusCode != tc.want {
+				t.Fatalf("%s %s = %d (%s), want %d", tc.method, tc.url, resp.StatusCode, e.Error.Message, tc.want)
+			}
+			if e.Error.Code != tc.wantCode {
+				t.Fatalf("%s %s code = %q, want %q (message: %s)", tc.method, tc.url, e.Error.Code, tc.wantCode, e.Error.Message)
+			}
+			if e.Error.Message == "" {
+				t.Fatalf("%s %s: envelope lacks a message", tc.method, tc.url)
+			}
+		})
+	}
+}

@@ -70,10 +70,16 @@ func TestQueryParamValidation(t *testing.T) {
 			}
 			if tc.want == http.StatusBadRequest {
 				var e struct {
-					Error string `json:"error"`
+					Error struct {
+						Code    string `json:"code"`
+						Message string `json:"message"`
+					} `json:"error"`
 				}
-				if err := json.Unmarshal(body, &e); err != nil || e.Error == "" {
-					t.Fatalf("400 body lacks error message: %s", body)
+				if err := json.Unmarshal(body, &e); err != nil || e.Error.Message == "" {
+					t.Fatalf("400 body lacks structured error envelope: %s", body)
+				}
+				if e.Error.Code != "invalid_argument" {
+					t.Fatalf("400 code = %q, want invalid_argument (body: %s)", e.Error.Code, body)
 				}
 			}
 		})

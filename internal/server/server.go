@@ -33,6 +33,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/obs/span"
 	"repro/internal/obs/trace"
+	"repro/internal/shard"
 	"repro/internal/stream"
 	"repro/internal/transform"
 )
@@ -49,8 +50,31 @@ type Options struct {
 	MaxIters      int     // default 4000
 	StationaryTol float64 // default 1e-3; <0 disables early stopping
 	// Workers bounds the solver's per-commodity wave pool
-	// (gradient.Config.Workers); 0 means GOMAXPROCS.
+	// (gradient.Config.Workers); 0 means GOMAXPROCS (divided across
+	// shards when Shards > 1).
 	Workers int
+
+	// Shards, when > 1, partitions commodities across that many
+	// independent solver shards coupled by a periodic price-exchange
+	// round (dual decomposition; see internal/shard). Each shard owns
+	// its own extended problem and engine and solves only its commodity
+	// subset against a damped estimate of the other shards' usage; a
+	// coordinator merges per-shard usage into global congestion state
+	// and rederives the barrier shadow prices between rounds. Shards ≤ 1
+	// (the default) keeps the single-engine path, bit-for-bit identical
+	// to previous releases.
+	Shards int
+	// PlacementSalt seeds the consistent-hash commodity→shard placement.
+	// Recorded in the journal so replay re-boots with the identical
+	// partition.
+	PlacementSalt uint64
+	// PriceExchangeEvery is how many gradient iterations each shard runs
+	// between price-exchange rounds. Default 25. Only used when
+	// Shards > 1.
+	PriceExchangeEvery int
+	// PriceDamping is the γ of the damped external-usage update in
+	// (0, 1]; default 0.5. Only used when Shards > 1.
+	PriceDamping float64
 
 	// Debounce is how long the solver waits after a mutation for more
 	// mutations before re-solving; bursts within the window coalesce
@@ -135,6 +159,14 @@ func (o *Options) setDefaults() {
 	}
 	if o.StationaryTol == 0 {
 		o.StationaryTol = 1e-3
+	}
+	if o.Shards > 1 {
+		if o.PriceExchangeEvery <= 0 {
+			o.PriceExchangeEvery = 25
+		}
+		if o.PriceDamping <= 0 || o.PriceDamping > 1 {
+			o.PriceDamping = 0.5
+		}
 	}
 	if o.Debounce == 0 {
 		o.Debounce = 25 * time.Millisecond
@@ -221,6 +253,12 @@ type Server struct {
 	rev         int64           // bumped per accepted mutation
 	pending     []*decision     // traced mutations awaiting a snapshot; under mu
 	journalMuts int             // mutations journaled since boot; drives periodic checkpoints
+	shardDirty  []bool          // shards the pending batch invalidates; under mu; nil unless sharded
+
+	// coord owns the solver shards and their price exchange when
+	// opts.Shards > 1; solver-goroutine only (mutations touch shardDirty,
+	// never the coordinator). Nil in single-engine mode.
+	coord *shard.Coordinator
 
 	snap atomic.Pointer[Snapshot]
 	gen  atomic.Int64
@@ -336,6 +374,29 @@ func New(p *stream.Problem, opts Options) (*Server, error) {
 		cancel:  cancel,
 		done:    make(chan struct{}),
 	}
+	if opts.Shards > 1 {
+		// Sharded mode: commodities are partitioned across independent
+		// solver shards; all shards start dirty so the first solve builds
+		// everything. Shard engines do not feed the iteration tracer —
+		// they step concurrently, and the phase tee is single-goroutine.
+		s.coord = shard.New(shard.Config{
+			Shards:        opts.Shards,
+			Salt:          opts.PlacementSalt,
+			Epsilon:       opts.Epsilon,
+			Eta:           opts.Eta,
+			MaxIters:      opts.MaxIters,
+			StationaryTol: opts.StationaryTol,
+			Workers:       opts.Workers,
+			ExchangeEvery: opts.PriceExchangeEvery,
+			Damping:       opts.PriceDamping,
+			Recorder:      opts.Recorder,
+			Logf:          opts.Logf,
+		})
+		s.shardDirty = make([]bool, opts.Shards)
+		for i := range s.shardDirty {
+			s.shardDirty[i] = true
+		}
+	}
 	if opts.Trace != nil || opts.Spans != nil {
 		// Attach before the solver loop starts so every iteration of
 		// every generation can be sampled. The tee keeps the per-solve
@@ -372,6 +433,14 @@ func New(p *stream.Problem, opts Options) (*Server, error) {
 					MaxIters:      opts.MaxIters,
 					StationaryTol: opts.StationaryTol,
 					Workers:       opts.Workers,
+					// Shard topology: zero for single-engine servers
+					// (omitted from the record, keeping old journals
+					// byte-compatible), recorded otherwise so replay
+					// re-boots with the identical partition.
+					Shards:             opts.Shards,
+					PlacementSalt:      opts.PlacementSalt,
+					PriceExchangeEvery: opts.PriceExchangeEvery,
+					PriceDamping:       opts.PriceDamping,
 				},
 			},
 		}
@@ -445,7 +514,12 @@ type ingress struct {
 // pending. payload is the journal payload (callers marshal it only
 // when journaling is on, keeping the disabled path allocation-free);
 // it is ignored when Journal is nil.
-func (s *Server) mutate(ing ingress, kind, target string, payload []byte, fn func(p *stream.Problem) error) (int64, error) {
+//
+// touched names the commodities the mutation affects, so sharded
+// servers rebuild only their owner shards; nil means network-wide
+// (capacity/bandwidth changes shift every shard's barrier) and dirties
+// all shards. Ignored in single-engine mode.
+func (s *Server) mutate(ing ingress, kind, target string, payload []byte, touched []string, fn func(p *stream.Problem) error) (int64, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	next := s.problem.Clone()
@@ -454,6 +528,7 @@ func (s *Server) mutate(ing ingress, kind, target string, payload []byte, fn fun
 	}
 	s.problem = next
 	s.rev++
+	s.markDirtyLocked(touched)
 	s.opts.Recorder.ServerMutation(kind, target)
 	s.trackDecisionLocked(ing, kind, target)
 	if s.opts.Journal != nil {
@@ -461,6 +536,24 @@ func (s *Server) mutate(ing ingress, kind, target string, payload []byte, fn fun
 	}
 	s.signal()
 	return s.rev, nil
+}
+
+// markDirtyLocked records which shards the accepted mutation
+// invalidates, for the next sharded solve's incremental Apply. Callers
+// hold s.mu; a single-engine server has no dirty set to maintain.
+func (s *Server) markDirtyLocked(touched []string) {
+	if s.coord == nil {
+		return
+	}
+	if touched == nil {
+		for i := range s.shardDirty {
+			s.shardDirty[i] = true
+		}
+		return
+	}
+	for _, name := range touched {
+		s.shardDirty[shard.Place(name, s.opts.PlacementSalt, s.opts.Shards)] = true
+	}
 }
 
 // journalMutationLocked appends one accepted mutation to the flight
@@ -548,7 +641,7 @@ func (s *Server) addCommodityJSON(ing ingress, spec []byte) (int64, error) {
 		Name string `json:"name"`
 	}
 	_ = json.Unmarshal(spec, &meta) // best-effort label; full parse validates
-	return s.mutate(ing, "add_commodity", meta.Name, spec, func(p *stream.Problem) error {
+	return s.mutate(ing, "add_commodity", meta.Name, spec, []string{meta.Name}, func(p *stream.Problem) error {
 		_, err := p.AddCommodityFromJSON(spec)
 		return err
 	})
@@ -560,7 +653,7 @@ func (s *Server) RemoveCommodity(name string) (int64, error) {
 }
 
 func (s *Server) removeCommodity(ing ingress, name string) (int64, error) {
-	return s.mutate(ing, "remove_commodity", name, nil, func(p *stream.Problem) error {
+	return s.mutate(ing, "remove_commodity", name, nil, []string{name}, func(p *stream.Problem) error {
 		if !p.RemoveCommodity(name) {
 			return fmt.Errorf("server: unknown commodity %q", name)
 		}
@@ -579,7 +672,7 @@ func (s *Server) setMaxRate(ing ingress, name string, rate float64) (int64, erro
 	if s.opts.Journal != nil {
 		payload, _ = json.Marshal(journal.RatePayload{Rate: rate})
 	}
-	return s.mutate(ing, "set_rate", name, payload, func(p *stream.Problem) error {
+	return s.mutate(ing, "set_rate", name, payload, []string{name}, func(p *stream.Problem) error {
 		return p.SetMaxRate(name, rate)
 	})
 }
@@ -608,7 +701,7 @@ func (s *Server) setMaxRates(ing ingress, rates map[string]float64) (int64, erro
 	if s.opts.Journal != nil {
 		payload, _ = json.Marshal(journal.RatesPayload{Rates: rates})
 	}
-	return s.mutate(ing, "set_rates", fmt.Sprintf("batch:%d", len(rates)), payload, func(p *stream.Problem) error {
+	return s.mutate(ing, "set_rates", fmt.Sprintf("batch:%d", len(rates)), payload, names, func(p *stream.Problem) error {
 		for _, name := range names {
 			if err := p.SetMaxRate(name, rates[name]); err != nil {
 				return err
@@ -625,7 +718,7 @@ func (s *Server) SetUtilityJSON(name string, spec []byte) (int64, error) {
 }
 
 func (s *Server) setUtilityJSON(ing ingress, name string, spec []byte) (int64, error) {
-	return s.mutate(ing, "set_utility", name, spec, func(p *stream.Problem) error {
+	return s.mutate(ing, "set_utility", name, spec, []string{name}, func(p *stream.Problem) error {
 		u, err := stream.ParseUtilityJSON(spec)
 		if err != nil {
 			return err
@@ -646,7 +739,7 @@ func (s *Server) setCapacity(ing ingress, node string, capacity float64) (int64,
 	if s.opts.Journal != nil {
 		payload, _ = json.Marshal(journal.CapacityPayload{Capacity: capacity})
 	}
-	return s.mutate(ing, "set_capacity", node, payload, func(p *stream.Problem) error {
+	return s.mutate(ing, "set_capacity", node, payload, nil, func(p *stream.Problem) error {
 		return p.Net.SetCapacity(node, capacity)
 	})
 }
@@ -661,7 +754,7 @@ func (s *Server) setBandwidth(ing ingress, from, to string, bandwidth float64) (
 	if s.opts.Journal != nil {
 		payload, _ = json.Marshal(journal.LinkPayload{From: from, To: to, Bandwidth: bandwidth})
 	}
-	return s.mutate(ing, "set_bandwidth", from+"->"+to, payload, func(p *stream.Problem) error {
+	return s.mutate(ing, "set_bandwidth", from+"->"+to, payload, nil, func(p *stream.Problem) error {
 		return p.Net.SetBandwidth(from, to, bandwidth)
 	})
 }
@@ -678,7 +771,7 @@ func (s *Server) scaleCapacity(ing ingress, node string, factor float64) (int64,
 	if s.opts.Journal != nil {
 		payload, _ = json.Marshal(journal.ScalePayload{Factor: factor})
 	}
-	return s.mutate(ing, "scale_capacity", node, payload, func(p *stream.Problem) error {
+	return s.mutate(ing, "scale_capacity", node, payload, nil, func(p *stream.Problem) error {
 		id, ok := p.Net.NodeByName(node)
 		if !ok {
 			return fmt.Errorf("server: unknown node %q", node)
@@ -697,7 +790,7 @@ func (s *Server) scaleBandwidth(ing ingress, from, to string, factor float64) (i
 	if s.opts.Journal != nil {
 		payload, _ = json.Marshal(journal.LinkPayload{From: from, To: to, Factor: factor})
 	}
-	return s.mutate(ing, "scale_bandwidth", from+"->"+to, payload, func(p *stream.Problem) error {
+	return s.mutate(ing, "scale_bandwidth", from+"->"+to, payload, nil, func(p *stream.Problem) error {
 		f, ok := p.Net.NodeByName(from)
 		if !ok {
 			return fmt.Errorf("server: unknown node %q", from)
@@ -792,6 +885,10 @@ func (s *Server) debounce() {
 // child spans of a "solve" span parented to the first coalesced
 // mutation's decision trace.
 func (s *Server) solveOnce() {
+	if s.coord != nil {
+		s.solveOnceSharded()
+		return
+	}
 	s.mu.Lock()
 	p := s.problem.Clone()
 	rev := s.rev
@@ -926,6 +1023,111 @@ func (s *Server) solveOnce() {
 		})
 	}
 	s.publish(snap, warm, iterations, batch, solveSpan)
+}
+
+// solveOnceSharded is solveOnce for a sharded server: instead of one
+// engine over the full problem, the coordinator rebuilds the shards the
+// batch dirtied (warm where topology allows) and runs price-exchange
+// rounds until the decomposition converges. The snapshot is stitched
+// from the per-shard results — one immutable global view under the
+// same generation counter, history ring, flip detection, and journal
+// digests as the single-engine path.
+func (s *Server) solveOnceSharded() {
+	s.mu.Lock()
+	p := s.problem.Clone()
+	rev := s.rev
+	batch := s.pending
+	s.pending = nil
+	dirty := s.shardDirty
+	s.shardDirty = make([]bool, s.opts.Shards)
+	s.mu.Unlock()
+
+	tr := s.opts.Spans
+	var solveSpan *span.Active
+	if tr != nil {
+		parent := span.Context{}
+		if len(batch) > 0 {
+			parent = batch[0].root.Context()
+		}
+		solveSpan = tr.Start("solve", parent)
+		solveSpan.SetAttrInt("rev", rev)
+		solveSpan.SetAttrInt("mutations_coalesced", int64(len(batch)))
+		solveSpan.SetAttrInt("shards", int64(s.opts.Shards))
+		for _, d := range batch {
+			d.coalesce.SetAttrInt("mutations_coalesced", int64(len(batch)))
+			d.coalesce.End()
+			if d != batch[0] {
+				d.root.SetAttr("solve_trace", solveSpan.Context().TraceHex())
+			}
+		}
+	}
+
+	start := time.Now()
+	if len(p.Commodities) == 0 {
+		s.coord.Clear(p)
+		s.publish(&Snapshot{
+			Rev: rev, Warm: false, Converged: true, Feasible: true,
+			SolveSeconds: time.Since(start).Seconds(),
+			problem:      p,
+		}, false, 0, batch, solveSpan)
+		return
+	}
+
+	bs := tr.Start("build", solveSpan.Context())
+	warm, err := s.coord.Apply(p, dirty)
+	bs.End()
+	if err != nil {
+		// Mutations are validated before acceptance, so this is a bug,
+		// not an operator error; keep the last good snapshot and log.
+		s.opts.Logf("server: sharded build failed at rev %d: %v", rev, err)
+		solveSpan.SetAttr("error", err.Error())
+		solveSpan.End()
+		for _, d := range batch {
+			d.root.SetAttr("error", err.Error())
+			d.root.End()
+		}
+		return
+	}
+	startKind := "cold"
+	if warm {
+		startKind = "warm"
+	}
+	solveSpan.SetAttr("start", startKind)
+
+	it := tr.Start("iterate", solveSpan.Context())
+	res := s.coord.Solve(s.ctx)
+	it.SetAttrInt("iterations", int64(res.Iterations))
+	it.SetAttrInt("rounds", int64(res.Rounds))
+	it.SetAttrBool("converged", res.Converged)
+	it.End()
+	if res.Err != nil {
+		s.opts.Recorder.Divergence("server", res.Iterations, res.Err.Error())
+		s.opts.Logf("server: sharded solve diverged at rev %d: %v", rev, res.Err)
+		s.maybeCapture("divergence", fmt.Sprintf("rev %d: %v", rev, res.Err))
+	}
+
+	snap := &Snapshot{
+		Rev:          rev,
+		Warm:         warm,
+		Iterations:   res.Iterations,
+		Converged:    res.Converged,
+		Drained:      res.Drained,
+		SolveSeconds: time.Since(start).Seconds(),
+		Utility:      res.Utility,
+		Feasible:     res.Feasible,
+		Usage:        s.coord.UsageReport(),
+		Explain:      s.coord.Explain(),
+		problem:      p,
+	}
+	for gi, cs := range s.coord.Commodities() {
+		snap.Commodities = append(snap.Commodities, CommodityStatus{
+			Name:     cs.Name,
+			Offered:  cs.Offered,
+			Admitted: cs.Admitted,
+			Utility:  p.Commodities[gi].Utility.Value(cs.Admitted),
+		})
+	}
+	s.publish(snap, warm, res.Iterations, batch, solveSpan)
 }
 
 // newEngine warm-starts from the previous snapshot's routing when it

@@ -242,8 +242,8 @@ func TestCommodityArrivalAndDepartureColdStart(t *testing.T) {
 		"utility": map[string]any{"type": "linear", "slope": 1.0},
 	}
 	resp, _ = doReq(t, http.MethodPost, ts.URL+"/v1/commodities", bad)
-	if resp.StatusCode != http.StatusBadRequest {
-		t.Fatalf("bad commodity accepted: status %d", resp.StatusCode)
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("bad commodity accepted: status %d, want 404 for unknown sink", resp.StatusCode)
 	}
 
 	resp, body = doReq(t, http.MethodDelete, ts.URL+"/v1/commodities/c2", nil)

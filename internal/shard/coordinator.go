@@ -1,0 +1,661 @@
+package shard
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/flow"
+	"repro/internal/gradient"
+	"repro/internal/obs"
+	"repro/internal/stream"
+	"repro/internal/transform"
+	"repro/internal/utility"
+)
+
+// Config tunes a sharded solve. The zero value of the solver knobs
+// reproduces the admission server's defaults; Shards must be ≥ 1.
+type Config struct {
+	// Shards is the number of solver shards commodities are partitioned
+	// across.
+	Shards int
+	// Salt seeds the consistent-hash commodity→shard placement; a
+	// recorded (Shards, Salt) pair replays to the identical partition.
+	Salt uint64
+
+	// Solver knobs, matching server.Options / core.Options semantics.
+	Epsilon       float64         // barrier coefficient ε; 0 → 0.2
+	Penalty       utility.Penalty // barrier family; nil → reciprocal
+	Eta           float64         // step scale η; 0 → 0.04
+	MaxIters      int             // per-shard per-solve budget; 0 → 4000
+	StationaryTol float64         // Theorem-2 tolerance; 0 → 1e-3, <0 disables
+	// Workers bounds each shard engine's wave pool. 0 → GOMAXPROCS
+	// divided across shards (every value yields the same trajectory).
+	Workers int
+
+	// ExchangeEvery is how many gradient iterations a shard runs
+	// between price-exchange rounds. 0 → 25.
+	ExchangeEvery int
+	// Damping is the γ of the damped external-usage update
+	// ext ← ext + γ·(target − ext); 0 → 0.5. Values in (0,1] keep the
+	// exchange a contraction toward the global fixed point.
+	Damping float64
+	// UsageTol is the relative per-node settle tolerance on external
+	// usage: a round whose damped updates all fall below
+	// UsageTol·max(1, C_i) counts as settled. 0 → 1e-4.
+	UsageTol float64
+
+	// Recorder receives the streamopt_shard_* metrics. Nil disables.
+	Recorder *obs.Recorder
+	// Logf receives warm-start fallback and divergence diagnostics.
+	// Nil discards.
+	Logf func(format string, args ...any)
+}
+
+func (c *Config) setDefaults() {
+	if c.Shards < 1 {
+		c.Shards = 1
+	}
+	if c.Epsilon <= 0 {
+		c.Epsilon = 0.2
+	}
+	if c.Eta <= 0 {
+		c.Eta = 0.04
+	}
+	if c.MaxIters <= 0 {
+		c.MaxIters = 4000
+	}
+	if c.StationaryTol == 0 {
+		c.StationaryTol = 1e-3
+	}
+	if c.ExchangeEvery <= 0 {
+		c.ExchangeEvery = 25
+	}
+	if c.Damping <= 0 || c.Damping > 1 {
+		c.Damping = 0.5
+	}
+	if c.UsageTol <= 0 {
+		c.UsageTol = 1e-4
+	}
+	if c.Workers <= 0 {
+		w := runtime.GOMAXPROCS(0) / c.Shards
+		if w < 1 {
+			w = 1
+		}
+		c.Workers = w
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
+}
+
+// UsageSummary is the message a shard sends the coordinator after an
+// advance: flow through the shared node prefix plus solve accounting.
+// Together with PriceUpdate it is the entire shard boundary — nothing
+// else crosses it, so a future multi-process deployment serializes
+// exactly these two shapes.
+type UsageSummary struct {
+	Shard      int       `json:"shard"`
+	Usage      []float64 `json:"usage"`
+	Utility    float64   `json:"utility"`
+	Iterations int       `json:"iterations"`
+	Stationary bool      `json:"stationary"`
+}
+
+// PriceUpdate is the message the coordinator broadcasts after merging
+// usage summaries: the damped external-usage vector the shard must
+// price its barrier against, and the barrier shadow prices
+// ε·D'_i(F_i) at the merged operating point.
+type PriceUpdate struct {
+	Round    int       `json:"round"`
+	External []float64 `json:"external"`
+	Prices   []float64 `json:"prices"`
+}
+
+// ShardStatus is one shard's slice of a Result.
+type ShardStatus struct {
+	Shard       int     `json:"shard"`
+	Commodities int     `json:"commodities"`
+	Iterations  int     `json:"iterations"`
+	Warm        bool    `json:"warm"`
+	Stationary  bool    `json:"stationary"`
+	Utility     float64 `json:"utility"`
+}
+
+// CommodityState is one commodity's admission outcome, stitched back
+// into global commodity order.
+type CommodityState struct {
+	Name     string
+	Offered  float64
+	Admitted float64
+}
+
+// Result is the outcome of one sharded solve.
+type Result struct {
+	// Utility is Σ_j U_j(a_j) over all shards.
+	Utility float64
+	// Iterations is the total gradient iterations across shards this
+	// solve; Rounds the price-exchange rounds.
+	Iterations int
+	Rounds     int
+	// Converged means every shard reached Theorem-2 stationarity and
+	// the external-usage exchange settled within tolerance.
+	Converged bool
+	// Drained reports a solve cut short by shutdown.
+	Drained bool
+	// Feasible is f_i ≤ C_i at the merged global usage.
+	Feasible bool
+	// Err is the first shard divergence observed, if any.
+	Err    error
+	Shards []ShardStatus
+}
+
+// Coordinator owns N solver shards and runs the dual-decomposition
+// price exchange between them. It is not safe for concurrent use; the
+// admission server drives it from its single solver goroutine.
+type Coordinator struct {
+	cfg     Config
+	p       *stream.Problem
+	runners []*runner
+	shared  int // shared node prefix length; 0 until first build
+	merged  []float64
+	prices  []float64
+	parts   [][]float64 // merge scratch, one entry per built runner
+}
+
+// runner is one solver shard: its own subset transform, workspace and
+// engine. All fields are touched only by the coordinator (sequentially)
+// or by the runner's own advance goroutine (exclusively), never both at
+// once.
+type runner struct {
+	id  int
+	cfg *Config
+
+	x   *transform.Extended
+	eng *gradient.Engine
+	u   *flow.Usage
+
+	names []string
+	local map[string]int
+
+	ext      []float64 // damped external usage, installed on x.External
+	own      []float64 // shared usage after the last advance
+	admitted []float64 // a_j per local commodity after the last advance
+	utility  float64
+
+	iters      int // iterations this solve
+	det        gradient.DivergenceDetector
+	stationary bool
+	extMoved   bool
+	diverged   bool
+	divergeErr error
+	warm       bool // last rebuild warm-started
+	stepped    bool // last advance performed ≥1 iteration
+	seconds    float64
+}
+
+// New creates a coordinator with empty shards; Apply installs the first
+// problem.
+func New(cfg Config) *Coordinator {
+	cfg.setDefaults()
+	c := &Coordinator{cfg: cfg}
+	for i := 0; i < cfg.Shards; i++ {
+		c.runners = append(c.runners, &runner{id: i, cfg: &c.cfg})
+	}
+	return c
+}
+
+// Shards returns the shard count.
+func (c *Coordinator) Shards() int { return c.cfg.Shards }
+
+// Clear drops every shard's engine and subset — the zero-commodity
+// state. The next Apply rebuilds dirty shards from scratch.
+func (c *Coordinator) Clear(p *stream.Problem) {
+	c.p = p
+	for _, r := range c.runners {
+		r.x, r.eng, r.u = nil, nil, nil
+		r.names = r.names[:0]
+		r.local = nil
+		clear(r.own)
+		clear(r.ext)
+		r.admitted = r.admitted[:0]
+		r.utility = 0
+		r.stationary = true
+		r.diverged, r.divergeErr = false, nil
+	}
+	if c.merged != nil {
+		clear(c.merged)
+		clear(c.prices)
+	}
+}
+
+// Apply installs a new desired problem and rebuilds the dirty shards
+// (dirty[i] true means shard i's commodity set or the shared network
+// parameters changed since its extended problem was built). It returns
+// whether every rebuild warm-started from the shard's previous routing.
+// Clean shards keep their engines and warm state untouched.
+func (c *Coordinator) Apply(p *stream.Problem, dirty []bool) (warm bool, err error) {
+	c.p = p
+	subsets := make([][]int, c.cfg.Shards)
+	for gi := range p.Commodities {
+		s := Place(p.Commodities[gi].Name, c.cfg.Salt, c.cfg.Shards)
+		subsets[s] = append(subsets[s], gi)
+	}
+	// Rebuild dirty shards concurrently: each rebuild only reads the
+	// shared problem and writes its own runner, and subset builds are
+	// the dominant cost of a topology change at large commodity counts.
+	warms := make([]bool, len(c.runners))
+	errs := make([]error, len(c.runners))
+	var wg sync.WaitGroup
+	for i, r := range c.runners {
+		if i < len(dirty) && !dirty[i] {
+			warms[i] = true
+			continue
+		}
+		wg.Add(1)
+		go func(i int, r *runner) {
+			defer wg.Done()
+			warms[i], errs[i] = r.rebuild(p, subsets[i])
+		}(i, r)
+	}
+	wg.Wait()
+	warm = true
+	for i := range c.runners {
+		if errs[i] != nil {
+			return false, errs[i]
+		}
+		if !warms[i] {
+			warm = false
+		}
+	}
+	if c.shared == 0 {
+		for _, r := range c.runners {
+			if r.x != nil {
+				c.shared = r.x.SharedNodes
+				break
+			}
+		}
+		c.merged = make([]float64, c.shared)
+		c.prices = make([]float64, c.shared)
+	}
+	return warm, nil
+}
+
+// rebuild reconstructs the shard's extended problem over subset and
+// rebinds the previous routing onto it when the subset topology allows
+// a warm start.
+func (r *runner) rebuild(p *stream.Problem, subset []int) (warm bool, err error) {
+	if subset == nil {
+		subset = []int{}
+	}
+	x, err := transform.Build(p, transform.Options{
+		Penalty:     r.cfg.Penalty,
+		Epsilon:     r.cfg.Epsilon,
+		Commodities: subset,
+	})
+	if err != nil {
+		return false, err
+	}
+	if r.ext == nil {
+		r.ext = make([]float64, x.SharedNodes)
+		r.own = make([]float64, x.SharedNodes)
+	}
+	x.SetExternal(r.ext)
+
+	r.names = r.names[:0]
+	r.local = make(map[string]int, len(x.Commodities))
+	for j := range x.Commodities {
+		r.names = append(r.names, x.Commodities[j].Name)
+		r.local[x.Commodities[j].Name] = j
+	}
+	r.admitted = make([]float64, len(x.Commodities))
+	r.diverged, r.divergeErr = false, nil
+
+	if len(x.Commodities) == 0 {
+		r.x, r.eng, r.u = x, nil, nil
+		clear(r.own)
+		r.utility = 0
+		r.stationary = true
+		r.warm = true
+		return true, nil
+	}
+
+	gcfg := gradient.Config{Eta: r.cfg.Eta, Workers: r.cfg.Workers}
+	warm = false
+	if r.eng != nil {
+		eng, err := gradient.NewFrom(x, r.eng.Routing(), gcfg)
+		if err == nil {
+			r.eng, warm = eng, true
+		} else if !errors.Is(err, flow.ErrTopologyChanged) {
+			r.cfg.Logf("shard %d: warm start failed unexpectedly, falling back to cold: %v", r.id, err)
+		}
+	}
+	if !warm {
+		r.eng = gradient.New(x, gcfg)
+	}
+	r.x = x
+	r.u = flow.NewUsage(x)
+	r.stationary = false
+	r.warm = warm
+	return warm, nil
+}
+
+// Solve runs price-exchange rounds until every shard is stationary and
+// the external-usage exchange has settled, the per-shard iteration
+// budgets are exhausted, or ctx is cancelled (drain). The whole round
+// structure is deterministic: shards advance in parallel but merge in
+// fixed shard order, so a given (shard state, mutation batch) always
+// produces the identical trajectory — the property replay verification
+// depends on.
+func (c *Coordinator) Solve(ctx context.Context) Result {
+	res := Result{}
+	for _, r := range c.runners {
+		r.iters = 0
+		r.seconds = 0
+		r.det = gradient.DivergenceDetector{}
+		if r.diverged {
+			// Retry a previously diverged shard, mirroring the
+			// single-engine server's per-solve fresh detector.
+			r.diverged = false
+			r.stationary = false
+		}
+	}
+	var anyX *transform.Extended
+	for _, r := range c.runners {
+		if r.x != nil {
+			anyX = r.x
+			break
+		}
+	}
+	if anyX == nil {
+		res.Converged, res.Feasible = true, true
+		return res
+	}
+
+	maxRounds := 8*(c.cfg.MaxIters/c.cfg.ExchangeEvery+1) + 256
+	for {
+		if ctx.Err() != nil {
+			res.Drained = true
+			break
+		}
+		stepped := c.advanceAll(ctx)
+		res.Rounds++
+		c.merge(anyX)
+		moved, maxDelta := c.updateExternals(anyX)
+		c.cfg.Recorder.PriceExchange(c.cfg.Shards, maxDelta)
+
+		allStationary, anyDiverged := true, false
+		for _, r := range c.runners {
+			if r.diverged {
+				anyDiverged = true
+			} else if r.eng != nil && !r.stationary {
+				allStationary = false
+			}
+		}
+		if anyDiverged && res.Err == nil {
+			for _, r := range c.runners {
+				if r.divergeErr != nil {
+					res.Err = r.divergeErr
+					break
+				}
+			}
+		}
+		if allStationary && !moved {
+			res.Converged = !anyDiverged
+			break
+		}
+		if !stepped && !moved {
+			break // budgets exhausted and exchange frozen
+		}
+		if res.Rounds >= maxRounds {
+			break
+		}
+	}
+
+	for _, r := range c.runners {
+		res.Iterations += r.iters
+		res.Utility += r.utility
+		res.Shards = append(res.Shards, ShardStatus{
+			Shard:       r.id,
+			Commodities: len(r.names),
+			Iterations:  r.iters,
+			Warm:        r.warm,
+			Stationary:  r.stationary,
+			Utility:     r.utility,
+		})
+	}
+	res.Feasible, _ = flow.FeasibleShared(anyX, c.merged)
+	return res
+}
+
+// advanceAll runs every shard's advance concurrently and reports
+// whether any shard performed at least one gradient iteration. Each
+// runner touches only its own state, so the only synchronization needed
+// is the join; the subsequent merge reads the results sequentially in
+// shard order.
+func (c *Coordinator) advanceAll(ctx context.Context) (stepped bool) {
+	var wg sync.WaitGroup
+	for _, r := range c.runners {
+		wg.Add(1)
+		go func(r *runner) {
+			defer wg.Done()
+			start := time.Now()
+			r.stepped = r.advance(ctx)
+			r.seconds += time.Since(start).Seconds()
+		}(r)
+	}
+	wg.Wait()
+	now := float64(time.Now().UnixNano()) / 1e9
+	for _, r := range c.runners {
+		if r.stepped {
+			stepped = true
+		}
+		c.cfg.Recorder.ShardAdvance(r.id, r.seconds, r.iters, len(r.names), r.stepped, now)
+	}
+	return stepped
+}
+
+// advance runs up to ExchangeEvery gradient iterations against the
+// shard's current external-usage vector, refreshing its usage summary.
+// A shard that is already stationary and whose external usage has not
+// moved since skips entirely.
+func (r *runner) advance(ctx context.Context) (stepped bool) {
+	if r.eng == nil || r.diverged {
+		return false
+	}
+	if r.stationary && !r.extMoved {
+		return false
+	}
+	tol := r.cfg.StationaryTol
+	flow.EvaluateInto(r.u, r.eng.Routing())
+	if tol > 0 {
+		rep := gradient.CheckStationarity(r.u)
+		if rep.MaxUsedGap <= tol {
+			r.stationary = true
+			r.extMoved = false
+			r.capture()
+			return false
+		}
+	}
+	r.stationary = false
+	n := r.cfg.ExchangeEvery
+	if left := r.cfg.MaxIters - r.iters; left < n {
+		n = left
+	}
+	if n <= 0 {
+		r.extMoved = false
+		r.capture()
+		return false
+	}
+	for i := 0; i < n; i++ {
+		if ctx.Err() != nil {
+			break
+		}
+		info := r.eng.Step()
+		r.iters++
+		stepped = true
+		if err := r.det.Observe(info); err != nil {
+			r.diverged = true
+			r.divergeErr = err
+			r.cfg.Logf("shard %d: solve diverged: %v", r.id, err)
+			break
+		}
+	}
+	flow.EvaluateInto(r.u, r.eng.Routing())
+	r.extMoved = false
+	r.capture()
+	return stepped
+}
+
+// capture refreshes the runner's usage summary — shared-prefix flow,
+// utility, per-commodity admitted rates — from the current evaluation.
+func (r *runner) capture() {
+	r.u.SharedUsage(r.own)
+	r.utility = r.u.Utility()
+	for j := range r.admitted {
+		r.admitted[j] = r.u.AdmittedRate(j)
+	}
+}
+
+// Summaries returns the latest per-shard usage messages (aliasing the
+// runners' buffers; callers must not retain them across rounds).
+func (c *Coordinator) Summaries() []UsageSummary {
+	out := make([]UsageSummary, 0, len(c.runners))
+	for _, r := range c.runners {
+		out = append(out, UsageSummary{
+			Shard: r.id, Usage: r.own, Utility: r.utility,
+			Iterations: r.iters, Stationary: r.stationary,
+		})
+	}
+	return out
+}
+
+// merge folds the per-shard usage summaries into the global congestion
+// view and rederives the barrier shadow prices at the merged operating
+// point, in fixed shard order for a deterministic reduction.
+func (c *Coordinator) merge(anyX *transform.Extended) {
+	c.parts = c.parts[:0]
+	for _, r := range c.runners {
+		if r.own != nil {
+			c.parts = append(c.parts, r.own)
+		}
+	}
+	flow.MergeShared(c.merged, c.parts...)
+	gradient.ShadowPrices(anyX, c.merged, c.prices)
+}
+
+// updateExternals applies the damped update
+// ext_s ← ext_s + γ·((F − own_s) − ext_s) per shard and reports whether
+// any per-node change exceeded the settle tolerance (relative to the
+// node's capacity scale).
+func (c *Coordinator) updateExternals(anyX *transform.Extended) (moved bool, maxDelta float64) {
+	γ := c.cfg.Damping
+	for _, r := range c.runners {
+		if r.ext == nil {
+			continue
+		}
+		shardMax := 0.0
+		for i := range r.ext {
+			target := c.merged[i] - r.own[i]
+			if target < 0 {
+				target = 0
+			}
+			d := γ * (target - r.ext[i])
+			r.ext[i] += d
+			scale := 1.0
+			if cc := anyX.Capacity[i]; cc > 1 && !isInf(cc) {
+				scale = cc
+			}
+			if rel := abs(d) / scale; rel > shardMax {
+				shardMax = rel
+			}
+		}
+		if shardMax > maxDelta {
+			maxDelta = shardMax
+		}
+		if shardMax > c.cfg.UsageTol {
+			r.extMoved = true
+			moved = true
+		}
+	}
+	return moved, maxDelta
+}
+
+// Prices returns a copy of the barrier shadow prices λ_i = ε·D'_i(F_i)
+// at the latest merged operating point.
+func (c *Coordinator) Prices() []float64 {
+	return append([]float64(nil), c.prices...)
+}
+
+// Merged returns a copy of the latest merged global usage.
+func (c *Coordinator) Merged() []float64 {
+	return append([]float64(nil), c.merged...)
+}
+
+// Commodities stitches per-commodity admission state back into the
+// global commodity order of the problem last Applied.
+func (c *Coordinator) Commodities() []CommodityState {
+	if c.p == nil {
+		return nil
+	}
+	out := make([]CommodityState, 0, len(c.p.Commodities))
+	for gi := range c.p.Commodities {
+		cm := c.p.Commodities[gi]
+		st := CommodityState{Name: cm.Name, Offered: cm.MaxRate}
+		r := c.runners[Place(cm.Name, c.cfg.Salt, c.cfg.Shards)]
+		if j, ok := r.local[cm.Name]; ok && j < len(r.admitted) {
+			st.Admitted = r.admitted[j]
+		}
+		out = append(out, st)
+	}
+	return out
+}
+
+// UsageReport maps the merged global usage back onto the original
+// network — the sharded equivalent of core.UsageReport.
+func (c *Coordinator) UsageReport() []core.NodeUsage {
+	for _, r := range c.runners {
+		if r.x != nil {
+			return core.UsageReportShared(c.p, r.x, c.merged)
+		}
+	}
+	return nil
+}
+
+// Explain stitches the per-shard bottleneck attributions into global
+// commodity order. Each shard attributes at its own final evaluation,
+// whose marginals already price congestion at the merged operating
+// point through the external term.
+func (c *Coordinator) Explain() []core.CommodityExplain {
+	if c.p == nil {
+		return nil
+	}
+	byName := make(map[string]core.CommodityExplain)
+	for _, r := range c.runners {
+		if r.eng == nil || r.u == nil {
+			continue
+		}
+		for _, ce := range core.Explain(c.p, r.x, r.u) {
+			byName[ce.Name] = ce
+		}
+	}
+	out := make([]core.CommodityExplain, 0, len(c.p.Commodities))
+	for gi := range c.p.Commodities {
+		if ce, ok := byName[c.p.Commodities[gi].Name]; ok {
+			out = append(out, ce)
+		}
+	}
+	return out
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+func isInf(v float64) bool { return v > 1e308 }

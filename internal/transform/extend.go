@@ -79,6 +79,27 @@ type Extended struct {
 
 	Commodities []Commodity
 
+	// SharedNodes is the length of the node prefix shared by every
+	// build over the same network: the N original nodes followed by the
+	// M bandwidth nodes, in identical ID order regardless of which
+	// commodity subset was built. Dummy nodes (per-commodity,
+	// uncapacitated) follow and differ between subset builds, so
+	// cross-shard usage exchange is defined over [0, SharedNodes).
+	SharedNodes int
+
+	// Subset, when non-nil, maps local commodity index -> index into
+	// the source Problem's commodity list (Options.Commodities echoed
+	// back). Nil for a full build.
+	Subset []int
+
+	// External[i] is flow through shared node i contributed by
+	// commodities outside this build (other shards). The barrier is
+	// evaluated at own + external usage, so the marginal wave prices
+	// congestion at the global operating point. Nil (the single-shard
+	// case) means zero external flow everywhere and leaves every code
+	// path bitwise-identical to an unsharded build.
+	External []float64
+
 	// Member[j][e] reports whether extended edge e is usable by
 	// commodity j (trimmed to edges on some source→sink path).
 	Member [][]bool
@@ -125,6 +146,12 @@ type Options struct {
 	// Epsilon scales the penalty term (the paper's ε; §6 uses 0.2).
 	// Zero or negative means 0.2.
 	Epsilon float64
+	// Commodities restricts the build to the given indices into
+	// p.Commodities (ascending, no duplicates). Nil builds all of them.
+	// The shared node prefix (originals + bandwidth nodes) is identical
+	// across subset builds over the same network; only the dummy nodes
+	// and per-commodity tables shrink.
+	Commodities []int
 }
 
 // Build constructs the extended problem from a validated stream.Problem.
@@ -140,12 +167,32 @@ func Build(p *stream.Problem, opts Options) (*Extended, error) {
 		opts.Epsilon = 0.2
 	}
 
+	incl := opts.Commodities
+	if incl != nil {
+		for i, gi := range incl {
+			if gi < 0 || gi >= len(p.Commodities) {
+				return nil, fmt.Errorf("transform: commodity index %d out of range [0,%d)", gi, len(p.Commodities))
+			}
+			if i > 0 && gi <= incl[i-1] {
+				return nil, fmt.Errorf("transform: commodity indices must be strictly ascending")
+			}
+		}
+	}
+
 	og := p.Net.G
-	n, m, j := og.NumNodes(), og.NumEdges(), len(p.Commodities)
+	n, m := og.NumNodes(), og.NumEdges()
+	j := len(p.Commodities)
+	if incl != nil {
+		j = len(incl)
+	}
 	x := &Extended{
-		G:       graph.New(n+m+j, 2*m+2*j),
-		Penalty: opts.Penalty,
-		Epsilon: opts.Epsilon,
+		G:           graph.New(n+m+j, 2*m+2*j),
+		Penalty:     opts.Penalty,
+		Epsilon:     opts.Epsilon,
+		SharedNodes: n + m,
+	}
+	if incl != nil {
+		x.Subset = append([]int(nil), incl...)
 	}
 
 	addNode := func(name string, kind NodeKind, capacity float64, orig graph.NodeID) graph.NodeID {
@@ -194,8 +241,17 @@ func Build(p *stream.Problem, opts Options) (*Extended, error) {
 		}
 	}
 
-	// Dummy nodes and links: one super-source per commodity.
-	for _, c := range p.Commodities {
+	order := incl
+	if order == nil {
+		order = make([]int, j)
+		for i := range order {
+			order[i] = i
+		}
+	}
+
+	// Dummy nodes and links: one super-source per included commodity.
+	for _, gi := range order {
+		c := p.Commodities[gi]
 		d := addNode("dummy:"+c.Name, Dummy, math.Inf(1), graph.Invalid)
 		input, err := addEdge(d, c.Source, graph.Invalid, false)
 		if err != nil {
@@ -226,7 +282,8 @@ func Build(p *stream.Problem, opts Options) (*Extended, error) {
 	x.Member = make([][]bool, j)
 	x.Beta = make([][]float64, j)
 	x.Cost = make([][]float64, j)
-	for ci, c := range p.Commodities {
+	for ci, gi := range order {
+		c := p.Commodities[gi]
 		member := make([]bool, ext)
 		beta := make([]float64, ext)
 		cost := make([]float64, ext)
@@ -369,25 +426,43 @@ func (x *Extended) IsDiffLink(j int, e graph.EdgeID) bool {
 	return x.Commodities[j].DiffLink == e
 }
 
-// PenaltyValue returns ε·D_i(z) for node i, zero for uncapacitated
-// nodes (dummies and sinks).
+// PenaltyValue returns ε·D_i(z + External_i) for node i, zero for
+// uncapacitated nodes (dummies and sinks). With External set (sharded
+// solves) the barrier is evaluated at the global operating point: own
+// flow z plus the flow other shards route through the same node.
 func (x *Extended) PenaltyValue(i graph.NodeID, z float64) float64 {
 	c := x.Capacity[i]
 	if math.IsInf(c, 1) {
 		return 0
 	}
+	if int(i) < len(x.External) {
+		z += x.External[i]
+	}
 	return x.Epsilon * x.Penalty.Value(z, c)
 }
 
-// PenaltyDeriv returns ε·D'_i(z) for node i, zero for uncapacitated
-// nodes. This is the ∂A_i/∂f_ik of eq. (11) for non-difference links.
+// PenaltyDeriv returns ε·D'_i(z + External_i) for node i, zero for
+// uncapacitated nodes. This is the ∂A_i/∂f_ik of eq. (11) for
+// non-difference links; under sharding it is the external-price term of
+// the marginal wave — congestion priced at global, not shard-local,
+// usage.
 func (x *Extended) PenaltyDeriv(i graph.NodeID, z float64) float64 {
 	c := x.Capacity[i]
 	if math.IsInf(c, 1) {
 		return 0
 	}
+	if int(i) < len(x.External) {
+		z += x.External[i]
+	}
 	return x.Epsilon * x.Penalty.Deriv(z, c)
 }
+
+// SetExternal installs ext (length ≤ SharedNodes; usually exactly
+// SharedNodes) as the external-usage vector the barrier adds to own
+// flow. The slice is retained, not copied, so a coordinator can update
+// it in place between solve rounds as long as no wave is running. Nil
+// restores the unsharded behaviour.
+func (x *Extended) SetExternal(ext []float64) { x.External = ext }
 
 // LossValue returns Y_(i,k)(z): the utility loss when edge e carries z,
 // nonzero only on difference links (eq. 1).
