@@ -696,3 +696,64 @@ func BenchmarkJournalAppend(b *testing.B) {
 		}
 	}
 }
+
+// --- Sparse subgraph representation (E13) ---
+
+// scale10kInstance generates the J=10k workload the sparse-subgraph
+// representation targets: a 48-server shared core carrying 10,000
+// commodities whose member subgraphs are 6-hop chains, so each
+// commodity touches O(path) of the extended graph, not O(n+m).
+func scale10kInstance(b *testing.B) *stream.Problem {
+	b.Helper()
+	p, err := randnet.GenerateSparse(randnet.Config{
+		Seed: 13, Nodes: 48, Layers: 6, Commodities: 10000,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return p
+}
+
+// BenchmarkBuildSubset prices one shard's cold subset build of a
+// 4-shard J=10k deployment — the boot-time phase the ROADMAP measured
+// as dominated by the dense O(J·(n+m)) per-commodity tables before the
+// sparse Subgraph representation.
+func BenchmarkBuildSubset(b *testing.B) {
+	p := scale10kInstance(b)
+	const shards = 4
+	var incl []int
+	for gi := range p.Commodities {
+		if shard.Place(p.Commodities[gi].Name, 7, shards) == 0 {
+			incl = append(incl, gi)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var bytes int64
+	for i := 0; i < b.N; i++ {
+		x, err := transform.Build(p, transform.Options{Commodities: incl})
+		if err != nil {
+			b.Fatal(err)
+		}
+		bytes = x.BuildBytes()
+	}
+	b.ReportMetric(float64(bytes)/float64(len(incl)), "bytes/commodity")
+}
+
+// BenchmarkEvaluateSparse prices one full flow evaluation across all
+// 10k commodities with a reused workspace: O(Σ_j member) work and zero
+// allocations, where the dense layout swept J·(n+m) rows.
+func BenchmarkEvaluateSparse(b *testing.B) {
+	p := scale10kInstance(b)
+	x, err := transform.Build(p, transform.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := flow.NewInitial(x)
+	ws := flow.NewUsage(x)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		flow.EvaluateInto(ws, r)
+	}
+}

@@ -4,6 +4,13 @@
 // U[1,100], potentials U[1,10], consumption U[1,5].
 //
 //	go run ./cmd/netgen -seed 42 > instance.json
+//
+// With -sparse the generator switches to the chain-over-shared-core
+// family (randnet.GenerateSparse): commodity count is no longer bound
+// by the node count, and each commodity's member subgraph stays
+// O(layers). This is the regime for scale tests:
+//
+//	go run ./cmd/netgen -sparse -nodes 48 -layers 6 -commodities 10000 > scale.json
 package main
 
 import (
@@ -13,6 +20,7 @@ import (
 	"os"
 
 	"repro/internal/randnet"
+	"repro/internal/stream"
 )
 
 func main() {
@@ -21,21 +29,31 @@ func main() {
 		nodes       = flag.Int("nodes", 40, "processing nodes")
 		commodities = flag.Int("commodities", 3, "commodities (source/sink pairs)")
 		layers      = flag.Int("layers", 5, "DAG layers (graph depth)")
+		sparse      = flag.Bool("sparse", false, "chain-per-commodity family over a shared core (many-commodity scale)")
 	)
 	flag.Parse()
-	if err := realMain(os.Stdout, *seed, *nodes, *commodities, *layers); err != nil {
+	if err := realMain(os.Stdout, *seed, *nodes, *commodities, *layers, *sparse); err != nil {
 		fmt.Fprintln(os.Stderr, "netgen:", err)
 		os.Exit(1)
 	}
 }
 
-func realMain(out io.Writer, seed int64, nodes, commodities, layers int) error {
-	p, err := randnet.Generate(randnet.Config{
+func realMain(out io.Writer, seed int64, nodes, commodities, layers int, sparse bool) error {
+	cfg := randnet.Config{
 		Seed:        seed,
 		Nodes:       nodes,
 		Commodities: commodities,
 		Layers:      layers,
-	})
+	}
+	var (
+		p   *stream.Problem
+		err error
+	)
+	if sparse {
+		p, err = randnet.GenerateSparse(cfg)
+	} else {
+		p, err = randnet.Generate(cfg)
+	}
 	if err != nil {
 		return err
 	}

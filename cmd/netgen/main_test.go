@@ -9,7 +9,7 @@ import (
 
 func TestRealMainEmitsValidInstance(t *testing.T) {
 	var buf bytes.Buffer
-	if err := realMain(&buf, 7, 16, 2, 4); err != nil {
+	if err := realMain(&buf, 7, 16, 2, 4, false); err != nil {
 		t.Fatal(err)
 	}
 	p, err := stream.ParseProblem(buf.Bytes())
@@ -23,10 +23,10 @@ func TestRealMainEmitsValidInstance(t *testing.T) {
 
 func TestRealMainDeterministic(t *testing.T) {
 	var a, b bytes.Buffer
-	if err := realMain(&a, 3, 12, 2, 3); err != nil {
+	if err := realMain(&a, 3, 12, 2, 3, false); err != nil {
 		t.Fatal(err)
 	}
-	if err := realMain(&b, 3, 12, 2, 3); err != nil {
+	if err := realMain(&b, 3, 12, 2, 3, false); err != nil {
 		t.Fatal(err)
 	}
 	if a.String() != b.String() {
@@ -36,7 +36,27 @@ func TestRealMainDeterministic(t *testing.T) {
 
 func TestRealMainRejectsBadConfig(t *testing.T) {
 	var buf bytes.Buffer
-	if err := realMain(&buf, 1, 4, 9, 2); err == nil {
+	if err := realMain(&buf, 1, 4, 9, 2, false); err == nil {
 		t.Fatal("too many commodities accepted")
+	}
+}
+
+// TestRealMainSparse: -sparse lifts the commodities ≤ nodes/layers
+// constraint — a commodity count far beyond the core size parses back
+// as a valid instance.
+func TestRealMainSparse(t *testing.T) {
+	var buf bytes.Buffer
+	if err := realMain(&buf, 7, 20, 100, 4, true); err != nil {
+		t.Fatal(err)
+	}
+	p, err := stream.ParseProblem(buf.Bytes())
+	if err != nil {
+		t.Fatalf("emitted JSON does not parse: %v", err)
+	}
+	if len(p.Commodities) != 100 {
+		t.Fatalf("commodities = %d, want 100", len(p.Commodities))
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
 	}
 }

@@ -172,6 +172,14 @@ func render(client *http.Client, base string, cfg cliConfig, prevGen int64, prev
 			fmtBytes(metrics.value("streamopt_journal_unsynced_bytes")),
 			metrics.sum("streamopt_capture_total"))
 	}
+	// Sparse-subgraph build footprint (unsharded daemons publish the
+	// unlabeled gauge; sharded daemons report per shard in the table,
+	// so an exact-key check keeps this line off a sharded frame).
+	if _, ok := metrics["streamopt_build_bytes"]; ok {
+		fmt.Fprintf(&b, "build      %s resident (%s/commodity)\n",
+			fmtBytes(metrics.value("streamopt_build_bytes")),
+			fmtBytes(metrics.value("streamopt_build_bytes_per_commodity")))
+	}
 	// Per-shard solver view (present when the daemon runs -shards > 1).
 	if metrics.has("streamopt_shard_commodities") {
 		writeShardTable(&b, metrics, prevMetrics, prevAt)
@@ -224,8 +232,8 @@ func writeShardTable(b *strings.Builder, metrics, prev metricSet, prevAt time.Ti
 		metrics.value("streamopt_shard_count"),
 		metrics.value("streamopt_shard_exchange_rounds_total"),
 		metrics.value("streamopt_shard_price_delta"))
-	fmt.Fprintf(b, "%-6s %8s %10s %12s %10s %12s\n",
-		"SHARD", "COMMOD", "SOLVE/S", "LAST-SOLVE", "ITERS", "STALENESS")
+	fmt.Fprintf(b, "%-6s %8s %10s %12s %10s %10s %12s\n",
+		"SHARD", "COMMOD", "SOLVE/S", "LAST-SOLVE", "ITERS", "BUILD", "STALENESS")
 	now := float64(time.Now().UnixNano()) / 1e9
 	for _, id := range shards {
 		key := func(family string) string { return family + `{shard="` + id + `"}` }
@@ -240,12 +248,13 @@ func writeShardTable(b *strings.Builder, metrics, prev metricSet, prevAt time.Ti
 		if ts := metrics.value(key("streamopt_shard_last_exchange_unix")); ts > 0 {
 			stale = fmtAge(now - ts)
 		}
-		fmt.Fprintf(b, "%-6s %8.0f %10s %12s %10.0f %12s\n",
+		fmt.Fprintf(b, "%-6s %8.0f %10s %12s %10.0f %10s %12s\n",
 			id,
 			metrics.value(key("streamopt_shard_commodities")),
 			rate,
 			fmtDur(metrics.value(key("streamopt_shard_solve_seconds"))),
 			metrics.value(key("streamopt_shard_iterations")),
+			fmtBytes(metrics.value(key("streamopt_build_bytes"))),
 			stale)
 	}
 }

@@ -146,6 +146,8 @@ func TestRealMainAgainstFakeServer(t *testing.T) {
 				"streamopt_shard_solve_seconds{shard=\"1\"} 0.0007\n"+
 				"streamopt_shard_iterations{shard=\"0\"} 350\n"+
 				"streamopt_shard_iterations{shard=\"1\"} 125\n"+
+				"streamopt_build_bytes{shard=\"0\"} 1048576\n"+
+				"streamopt_build_bytes{shard=\"1\"} 524288\n"+
 				"streamopt_shard_last_exchange_unix{shard=\"0\"} %d\n"+
 				"streamopt_shard_last_exchange_unix{shard=\"1\"} %d\n",
 			exchangeUnix, exchangeUnix)
@@ -202,6 +204,8 @@ func TestRealMainAgainstFakeServer(t *testing.T) {
 		"captures 3", // summed across reasons
 		"2 shards   exchange rounds 40   price Δ 1.25e-05",
 		"SHARD",
+		"BUILD",
+		"1.0MiB", // shard 0 subset build footprint
 		"STALENESS",
 		"42.1ms", // shard 0 last-solve latency
 		"0.00",   // static solves_total → zero advance rate on frame 2

@@ -20,7 +20,10 @@
 // The algorithm runs on the extended graph (single resource per node)
 // with the dummy difference links excluded: admission control comes
 // from a capped source buffer whose overflow is dropped, not from
-// explicit rejection routing.
+// explicit rejection routing. Buffers and transfer scans use each
+// commodity's Subgraph local indexing, with a per-node inverted list of
+// (commodity, local node) pairs standing in for the old dense
+// member-adjacency scans.
 package backpressure
 
 import (
@@ -57,8 +60,7 @@ type Config struct {
 func (c *Config) setDefaults(x *transform.Extended) {
 	depth := 1
 	for j := range x.Commodities {
-		member := x.Member[j]
-		if l, err := x.G.LongestPathLen(func(e graph.EdgeID) bool { return member[e] }); err == nil && l > depth {
+		if l := x.Sub[j].Depth(); l > depth {
 			depth = l
 		}
 	}
@@ -83,13 +85,25 @@ type StepInfo struct {
 	Messages int
 }
 
+// visit is one entry of a node's inverted member list: commodity j is
+// present at this node with local node index ln in X.Sub[j].
+type visit struct {
+	j  int32
+	ln int32
+}
+
 // Engine is the back-pressure runtime.
 type Engine struct {
 	X   *transform.Extended
 	cfg Config
 
-	// q[j][n]: commodity-j buffer at node n, in node-local input units.
+	// q[j][ln]: commodity-j buffer at member node ln (X.Sub[j] local
+	// indexing), in node-local input units.
 	q [][]float64
+	// at[n] lists the commodities present at extended node n in
+	// ascending commodity order, so a per-node scan visits (j asc,
+	// member out-edge asc) — the same order as the old dense scan.
+	at [][]visit
 	// gSink[j] converts sink-unit arrivals back to source units.
 	gSink []float64
 	// weight[j] values one source unit of commodity j (U'_j(0); exact
@@ -109,12 +123,17 @@ func New(x *transform.Extended, cfg Config) *Engine {
 		X:              x,
 		cfg:            cfg,
 		q:              make([][]float64, nc),
+		at:             make([][]visit, x.G.NumNodes()),
 		gSink:          make([]float64, nc),
 		weight:         make([]float64, nc),
 		totalDelivered: make([]float64, nc),
 	}
 	for j := 0; j < nc; j++ {
-		e.q[j] = make([]float64, x.G.NumNodes())
+		sg := &x.Sub[j]
+		e.q[j] = make([]float64, sg.NumNodes())
+		for ln, n := range sg.Nodes {
+			e.at[n] = append(e.at[n], visit{j: int32(j), ln: int32(ln)})
+		}
 		e.gSink[j] = sinkPotential(x, j)
 		e.weight[j] = x.Commodities[j].Utility.Deriv(0)
 	}
@@ -124,34 +143,34 @@ func New(x *transform.Extended, cfg Config) *Engine {
 // sinkPotential computes g_sink(j): the β path-product from the dummy
 // node to the sink over member edges (well defined by Property 1).
 func sinkPotential(x *transform.Extended, j int) float64 {
-	c := &x.Commodities[j]
-	g := make([]float64, x.G.NumNodes())
-	g[c.Dummy] = 1
-	for _, n := range x.Topo[j] {
-		if g[n] == 0 {
+	sg := &x.Sub[j]
+	g := make([]float64, sg.NumNodes())
+	g[sg.Dummy] = 1
+	for _, ln := range sg.Topo {
+		if g[ln] == 0 {
 			continue
 		}
-		for _, e := range x.MemberOut(j, n) {
-			if e == c.DiffLink {
+		for _, le := range sg.Out(ln) {
+			if le == sg.DiffLink {
 				continue
 			}
-			head := x.G.Edge(e).To
-			if g[head] == 0 {
-				g[head] = g[n] * x.Beta[j][e]
+			if head := sg.Head[le]; g[head] == 0 {
+				g[head] = g[ln] * sg.Beta[le]
 			}
 		}
 	}
-	if g[c.Sink] == 0 {
+	if g[sg.Sink] == 0 {
 		return 1
 	}
-	return g[c.Sink]
+	return g[sg.Sink]
 }
 
 // transfer is one candidate (commodity, edge) move considered by a
 // node's local allocation.
 type transfer struct {
-	j int
-	e graph.EdgeID
+	j  int32
+	le int32        // local edge index in X.Sub[j]
+	e  graph.EdgeID // global edge ID, for deterministic tie-breaks
 	// gain is the potential decrease per unit of node resource spent:
 	// (q_tail − β·q_head)/c under the quadratic potential Σ q²/2.
 	gain float64
@@ -176,7 +195,8 @@ func (e *Engine) Step() StepInfo {
 	// Inject λ_j at the dummy buffers, dropping overflow (admission).
 	for j := 0; j < nc; j++ {
 		c := &x.Commodities[j]
-		e.q[j][c.Dummy] = math.Min(e.q[j][c.Dummy]+c.MaxRate, e.cfg.BufferCap)
+		sg := &x.Sub[j]
+		e.q[j][sg.Dummy] = math.Min(e.q[j][sg.Dummy]+c.MaxRate, e.cfg.BufferCap)
 	}
 
 	// Snapshot buffer levels: every node decides on its neighbors'
@@ -198,26 +218,26 @@ func (e *Engine) Step() StepInfo {
 
 		// Collect positive-gain transfer options.
 		var options []transfer
-		for j := 0; j < nc; j++ {
-			diff := x.Commodities[j].DiffLink
-			for _, edge := range x.MemberOut(j, node) {
-				if edge == diff {
+		for _, v := range e.at[n] {
+			sg := &x.Sub[v.j]
+			for _, le := range sg.Out(v.ln) {
+				if le == sg.DiffLink {
 					continue
 				}
 				messages++ // head told this tail its buffer level
-				if snapshot[j][n] <= 0 {
+				if snapshot[v.j][v.ln] <= 0 {
 					continue
 				}
-				head := x.G.Edge(edge).To
-				beta := x.Beta[j][edge]
-				gain := snapshot[j][n] - beta*snapshot[j][head]
+				beta := sg.Beta[le]
+				gain := snapshot[v.j][v.ln] - beta*snapshot[v.j][sg.Head[le]]
 				if gain <= 0 {
 					continue
 				}
 				options = append(options, transfer{
-					j:    j,
-					e:    edge,
-					gain: gain / x.Cost[j][edge],
+					j:    v.j,
+					le:   le,
+					e:    sg.Edges[le],
+					gain: gain / sg.Cost[le],
 					want: e.cfg.Damping * gain / (1 + beta*beta),
 				})
 			}
@@ -235,14 +255,15 @@ func (e *Engine) Step() StepInfo {
 		// Greedy fractional allocation of the node's resource.
 		remaining := capacity
 		avail := make([]float64, nc)
-		for j := 0; j < nc; j++ {
-			avail[j] = snapshot[j][n]
+		for _, v := range e.at[n] {
+			avail[v.j] = snapshot[v.j][v.ln]
 		}
 		for _, opt := range options {
 			if remaining <= 0 && !math.IsInf(capacity, 1) {
 				break
 			}
-			cost := x.Cost[opt.j][opt.e]
+			sg := &x.Sub[opt.j]
+			cost := sg.Cost[opt.le]
 			amount := math.Min(avail[opt.j], opt.want)
 			if !math.IsInf(capacity, 1) {
 				amount = math.Min(amount, remaining/cost)
@@ -250,11 +271,11 @@ func (e *Engine) Step() StepInfo {
 			if amount <= 0 {
 				continue
 			}
-			head := x.G.Edge(opt.e).To
-			out := amount * x.Beta[opt.j][opt.e]
-			e.q[opt.j][n] -= amount
+			head := sg.Head[opt.le]
+			out := amount * sg.Beta[opt.le]
+			e.q[opt.j][sg.Tail[opt.le]] -= amount
 			avail[opt.j] -= amount
-			if head == x.Commodities[opt.j].Sink {
+			if head == sg.Sink {
 				delivered[opt.j] += out / e.gSink[opt.j]
 			} else {
 				e.q[opt.j][head] += out
@@ -303,9 +324,14 @@ func (e *Engine) Run(n, sampleEvery int) []StepInfo {
 	return trace
 }
 
-// Buffers exposes a copy of the commodity-j buffer levels (for tests).
+// Buffers exposes a copy of the commodity-j buffer levels indexed by
+// extended node ID (for tests); non-member nodes report zero.
 func (e *Engine) Buffers(j int) []float64 {
-	return append([]float64(nil), e.q[j]...)
+	out := make([]float64, e.X.G.NumNodes())
+	for ln, n := range e.X.Sub[j].Nodes {
+		out[n] = e.q[j][ln]
+	}
+	return out
 }
 
 // TotalMessages reports buffer-level exchanges across all iterations.

@@ -39,12 +39,16 @@ type rhoMsg struct {
 	Tagged bool
 }
 
-// commodityState is one node's per-commodity protocol state.
+// commodityState is one node's per-commodity protocol state. Node
+// actors know their incident member edges and those edges' parameters
+// only — the node-local view the paper's protocol assumes.
 type commodityState struct {
-	outEdges []graph.EdgeID // member out-edges (deterministic order)
-	inEdges  []graph.EdgeID // member in-edges
+	outEdges []graph.EdgeID // member out-edges (ascending edge ID)
+	inEdges  []graph.EdgeID // member in-edges (ascending edge ID)
 
-	phi map[graph.EdgeID]float64
+	phi  map[graph.EdgeID]float64
+	beta map[graph.EdgeID]float64 // β_e(j) per member out-edge
+	cost map[graph.EdgeID]float64 // c_e(j) per member out-edge
 
 	// Forecast-wave state (reset each iteration).
 	t        float64
@@ -107,18 +111,38 @@ func NewFrom(x *transform.Extended, r *flow.Routing, cfg gradient.Config) *Runti
 		cfg.Eta = 0.04
 	}
 	rt := &Runtime{X: x, cfg: cfg, nodes: make([]*nodeState, x.G.NumNodes()), maxLatency: 1}
+	// Scatter each commodity's sparse member subgraph into per-node
+	// incident-edge lists; ascending local edge index is ascending
+	// global edge ID, so the per-node order matches the filtered scans
+	// this replaced.
+	nc := x.NumCommodities()
+	outAdj := make([]map[graph.NodeID][]graph.EdgeID, nc)
+	inAdj := make([]map[graph.NodeID][]graph.EdgeID, nc)
+	for j := 0; j < nc; j++ {
+		sg := &x.Sub[j]
+		outAdj[j] = make(map[graph.NodeID][]graph.EdgeID)
+		inAdj[j] = make(map[graph.NodeID][]graph.EdgeID)
+		for le, e := range sg.Edges {
+			tail, head := sg.Nodes[sg.Tail[le]], sg.Nodes[sg.Head[le]]
+			outAdj[j][tail] = append(outAdj[j][tail], e)
+			inAdj[j][head] = append(inAdj[j][head], e)
+		}
+	}
 	for n := range rt.nodes {
 		node := graph.NodeID(n)
-		st := &nodeState{id: node, per: make([]commodityState, x.NumCommodities())}
+		st := &nodeState{id: node, per: make([]commodityState, nc)}
 		for j := range x.Commodities {
 			cs := &st.per[j]
 			cs.phi = make(map[graph.EdgeID]float64)
-			// Alias the precomputed member adjacency (ascending edge-ID
-			// order, same as the filtered scans this replaced).
-			cs.outEdges = x.MemberOut(j, node)
-			cs.inEdges = x.MemberIn(j, node)
+			cs.outEdges = outAdj[j][node]
+			cs.inEdges = inAdj[j][node]
+			cs.beta = make(map[graph.EdgeID]float64, len(cs.outEdges))
+			cs.cost = make(map[graph.EdgeID]float64, len(cs.outEdges))
 			for _, e := range cs.outEdges {
-				cs.phi[e] = r.Phi[j][e]
+				le := x.Sub[j].LocalEdge(e)
+				cs.phi[e] = r.Phi[j][le]
+				cs.beta[e] = x.Sub[j].Beta[le]
+				cs.cost[e] = x.Sub[j].Cost[le]
 			}
 			cs.fEdge = make(map[graph.EdgeID]float64, len(cs.outEdges))
 			cs.rhoIn = make(map[graph.EdgeID]float64, len(cs.outEdges))
@@ -136,7 +160,7 @@ func (rt *Runtime) Routing() *flow.Routing {
 	for _, st := range rt.nodes {
 		for j := range st.per {
 			for _, e := range st.per[j].outEdges {
-				r.Phi[j][e] = st.per[j].phi[e]
+				r.SetAt(j, e, st.per[j].phi[e])
 			}
 		}
 	}
@@ -268,10 +292,10 @@ func (rt *Runtime) emitFlowSend(st *nodeState, j int, send func(to graph.NodeID,
 	cs := &st.per[j]
 	for _, e := range cs.outEdges {
 		phi := cs.phi[e]
-		fe := cs.t * phi * x.Cost[j][e]
+		fe := cs.t * phi * cs.cost[e]
 		cs.fEdge[e] = fe
 		st.f += fe
-		send(x.G.Edge(e).To, flowMsg{J: j, E: e, Amount: cs.t * phi * x.Beta[j][e]})
+		send(x.G.Edge(e).To, flowMsg{J: j, E: e, Amount: cs.t * phi * cs.beta[e]})
 	}
 }
 
@@ -297,7 +321,7 @@ func (rt *Runtime) linkD(st *nodeState, j int, e graph.EdgeID) float64 {
 	x := rt.X
 	cs := &st.per[j]
 	dAdf := x.PenaltyDeriv(st.id, st.f) + x.LossDeriv(j, e, cs.fEdge[e])
-	return dAdf*x.Cost[j][e] + x.Beta[j][e]*cs.rhoIn[e]
+	return dAdf*cs.cost[e] + cs.beta[e]*cs.rhoIn[e]
 }
 
 // computeRho evaluates eq. 9 and the §5 tag condition from received
@@ -319,7 +343,7 @@ func (rt *Runtime) computeRho(st *nodeState, j int) {
 		}
 		// Scale-corrected improper-link test (see gradient.ComputeTags):
 		// compare marginal costs per source unit.
-		if cs.rho > rt.X.Beta[j][e]*cs.rhoIn[e] || cs.t == 0 {
+		if cs.rho > cs.beta[e]*cs.rhoIn[e] || cs.t == 0 {
 			continue
 		}
 		if cs.phi[e] >= rt.cfg.Eta/cs.t*(rt.linkD(st, j, e)-cs.rho) {

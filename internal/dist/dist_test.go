@@ -104,8 +104,7 @@ func TestRoundsMatchMemberDepth(t *testing.T) {
 	x := buildRandom(t, 7, 5, 20, 2)
 	depth := 0
 	for j := range x.Commodities {
-		member := x.Member[j]
-		l, err := x.G.LongestPathLen(func(e graph.EdgeID) bool { return member[e] })
+		l, err := x.G.LongestPathLen(func(e graph.EdgeID) bool { return x.MemberEdge(j, e) })
 		if err != nil {
 			t.Fatal(err)
 		}

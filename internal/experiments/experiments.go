@@ -277,12 +277,7 @@ func RunT3(seed int64, layerSweep []int, scale Scale) ([]T3Row, error) {
 		}
 		depth := 0
 		for j := range x.Commodities {
-			member := x.Member[j]
-			l, err := x.G.LongestPathLen(func(e graph.EdgeID) bool { return member[e] })
-			if err != nil {
-				return nil, err
-			}
-			if l > depth {
+			if l := x.Sub[j].Depth(); l > depth {
 				depth = l
 			}
 		}
@@ -573,8 +568,9 @@ func RunE6(seed int64, gammas []float64, scale Scale) ([]E6Row, error) {
 		// Count binding resources at the LP optimum.
 		usage := make([]float64, x.G.NumNodes())
 		for j := range x.Commodities {
-			for e := 0; e < x.G.NumEdges(); e++ {
-				usage[x.G.Edge(graph.EdgeID(e)).From] += ref.EdgeInput[j][e] * x.Cost[j][e]
+			sg := &x.Sub[j]
+			for le, e := range sg.Edges {
+				usage[sg.Nodes[sg.Tail[le]]] += ref.EdgeInput[j][e] * sg.Cost[le]
 			}
 		}
 		for n := 0; n < x.G.NumNodes(); n++ {

@@ -26,93 +26,92 @@ type PathFlow struct {
 const decomposeEps = 1e-9
 
 // DecomposePaths performs a flow decomposition of commodity j's
-// evaluated flow into at most |E| source→sink paths. Shrinkage is
-// handled by measuring every edge's residual in *source units*: edge e
-// with tail potential g_tail carries y_e = t·φ input units, which is
-// y_e/g_tail source units. The decomposition greedily extracts the
-// widest-first path until everything is assigned; on a DAG this always
-// terminates with each edge's flow fully covered.
+// evaluated flow into at most |member edges| source→sink paths.
+// Shrinkage is handled by measuring every edge's residual in *source
+// units*: edge e with tail potential g_tail carries y_e = t·φ input
+// units, which is y_e/g_tail source units. The decomposition greedily
+// extracts the widest-first path until everything is assigned; on a DAG
+// this always terminates with each edge's flow fully covered. All work
+// is over commodity j's member subgraph — O(member), not O(n+m) — with
+// path nodes reported as extended (global) node IDs.
 //
 // The rejected share (dummy → sink over the difference link) comes out
 // as one path with ViaDiffLink set, so the returned rates always sum to
 // λ_j.
 func DecomposePaths(u *Usage, j int) ([]PathFlow, error) {
 	x := u.R.X
-	c := &x.Commodities[j]
-	member := x.Member[j]
+	sg := &x.Sub[j]
+	ne := sg.NumEdges()
 
-	// Residual per edge, in source units. g is the potential (β path
-	// product from the dummy), well defined by Property 1.
-	g := make([]float64, x.G.NumNodes())
-	g[c.Dummy] = 1
-	for _, n := range x.Topo[j] {
-		if g[n] == 0 {
+	// Residual per member edge, in source units. g is the potential (β
+	// path product from the dummy), well defined by Property 1.
+	g := make([]float64, sg.NumNodes())
+	g[sg.Dummy] = 1
+	for _, ln := range sg.Topo {
+		if g[ln] == 0 {
 			continue
 		}
-		for _, e := range x.G.Out(n) {
-			if !member[e] || e == c.DiffLink {
+		for _, le := range sg.Out(ln) {
+			if le == sg.DiffLink {
 				continue
 			}
-			head := x.G.Edge(e).To
+			head := sg.Head[le]
 			if g[head] == 0 {
-				g[head] = g[n] * x.Beta[j][e]
+				g[head] = g[ln] * sg.Beta[le]
 			}
 		}
 	}
-	residual := make([]float64, x.G.NumEdges())
-	for e := 0; e < x.G.NumEdges(); e++ {
-		if !member[e] {
-			continue
-		}
-		tail := x.G.Edge(graph.EdgeID(e)).From
-		inputRate := u.T[j][tail] * u.R.Phi[j][graph.EdgeID(e)]
+	residual := make([]float64, ne)
+	for le := int32(0); le < int32(ne); le++ {
+		tail := sg.Tail[le]
+		inputRate := u.T[j][tail] * u.R.Phi[j][le]
 		if g[tail] > 0 {
-			residual[e] = inputRate / g[tail]
+			residual[le] = inputRate / g[tail]
 		}
 	}
 
 	var paths []PathFlow
-	for iter := 0; iter <= x.G.NumEdges(); iter++ {
+	for iter := 0; iter <= ne; iter++ {
 		// Follow the widest positive-residual edge from the dummy.
 		var (
-			nodes  = []graph.NodeID{c.Dummy}
-			edges  []graph.EdgeID
+			nodes  = []graph.NodeID{x.Commodities[j].Dummy}
+			edges  []int32
 			rate   = math.Inf(1)
 			viaDif = false
 		)
-		node := c.Dummy
-		for node != c.Sink {
-			best := graph.EdgeID(graph.Invalid)
+		node := sg.Dummy
+		for node != sg.Sink {
+			best := int32(-1)
 			width := decomposeEps
-			for _, e := range x.G.Out(node) {
-				if member[e] && residual[e] > width {
-					width = residual[e]
-					best = e
+			for _, le := range sg.Out(node) {
+				if residual[le] > width {
+					width = residual[le]
+					best = le
 				}
 			}
-			if best == graph.Invalid {
-				if node == c.Dummy {
+			if best < 0 {
+				if node == sg.Dummy {
 					// All flow decomposed.
 					return paths, nil
 				}
-				return nil, fmt.Errorf("flow: decompose: stranded at node %d (flow balance violated?)", node)
+				return nil, fmt.Errorf("flow: decompose: stranded at node %d (flow balance violated?)", sg.Nodes[node])
 			}
 			if residual[best] < rate {
 				rate = residual[best]
 			}
-			if best == c.DiffLink {
+			if best == sg.DiffLink {
 				viaDif = true
 			}
 			edges = append(edges, best)
-			node = x.G.Edge(best).To
-			nodes = append(nodes, node)
+			node = sg.Head[best]
+			nodes = append(nodes, sg.Nodes[node])
 		}
-		for _, e := range edges {
-			residual[e] -= rate
+		for _, le := range edges {
+			residual[le] -= rate
 		}
 		delivered := rate
-		for _, e := range edges {
-			delivered *= x.Beta[j][e]
+		for _, le := range edges {
+			delivered *= sg.Beta[le]
 		}
 		paths = append(paths, PathFlow{
 			Nodes:         nodes,
@@ -121,5 +120,5 @@ func DecomposePaths(u *Usage, j int) ([]PathFlow, error) {
 			ViaDiffLink:   viaDif,
 		})
 	}
-	return nil, fmt.Errorf("flow: decompose: did not terminate in %d paths", x.G.NumEdges())
+	return nil, fmt.Errorf("flow: decompose: did not terminate in %d paths", ne)
 }

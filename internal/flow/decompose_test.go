@@ -59,7 +59,7 @@ func TestDecomposePathsAreConnected(t *testing.T) {
 			}
 			for i := 0; i+1 < len(p.Nodes); i++ {
 				e := x.G.EdgeBetween(p.Nodes[i], p.Nodes[i+1])
-				if e == graph.Invalid || !x.Member[j][e] {
+				if e == graph.Invalid || !x.MemberEdge(j, e) {
 					t.Fatalf("path hop %d→%d not a member edge", p.Nodes[i], p.Nodes[i+1])
 				}
 			}
@@ -130,15 +130,12 @@ func TestQuickDecomposeCoversAllEdgesWithinBound(t *testing.T) {
 				for i := 0; i+1 < len(p.Nodes); i++ {
 					e := x.G.EdgeBetween(p.Nodes[i], p.Nodes[i+1])
 					rebuilt[e] += carried
-					carried *= x.Beta[j][e]
+					carried *= x.EdgeBeta(j, e)
 				}
 			}
-			for e := 0; e < x.G.NumEdges(); e++ {
-				if !x.Member[j][e] {
-					continue
-				}
-				tail := x.G.Edge(graph.EdgeID(e)).From
-				want := u.T[j][tail] * rt.Phi[j][graph.EdgeID(e)]
+			for _, e := range x.MemberEdges(j) {
+				tail := x.G.Edge(e).From
+				want := u.TAt(j, tail) * rt.At(j, e)
 				if math.Abs(rebuilt[e]-want) > 1e-6*(1+want) {
 					t.Logf("seed %d commodity %d edge %d: rebuilt %g, want %g", seed, j, e, rebuilt[e], want)
 					return false

@@ -1,0 +1,154 @@
+package flow
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/randnet"
+	"repro/internal/transform"
+)
+
+// denseUsage is the pre-sparse-refactor evaluation result in full-width
+// global indexing, produced by denseEvaluate below.
+type denseUsage struct {
+	T      [][]float64 // [j][extended node]
+	FEdge  [][]float64 // [j][extended edge]
+	Arrive [][]float64 // [j][extended edge]
+	FNode  []float64   // [extended node]
+}
+
+// denseEvaluate re-implements the dense full-graph evaluation sweep the
+// sparse Subgraph representation replaced: full-width rows, the member
+// DAG walked via graph.TopoSortFiltered with a per-edge membership
+// filter, non-member edges skipped inline. It is the reference for the
+// bitwise-parity contract: the sparse Evaluate must visit the same
+// (node, edge) pairs in the same order, so every float operation — and
+// therefore every accumulated rounding — is identical.
+func denseEvaluate(t *testing.T, r *Routing) *denseUsage {
+	t.Helper()
+	x := r.X
+	nn, ne := x.G.NumNodes(), x.G.NumEdges()
+	nc := x.NumCommodities()
+	d := &denseUsage{
+		T:      make([][]float64, nc),
+		FEdge:  make([][]float64, nc),
+		Arrive: make([][]float64, nc),
+		FNode:  make([]float64, nn),
+	}
+	for j := 0; j < nc; j++ {
+		d.T[j] = make([]float64, nn)
+		d.FEdge[j] = make([]float64, ne)
+		d.Arrive[j] = make([]float64, ne)
+		c := &x.Commodities[j]
+		topo, err := x.G.TopoSortFiltered(func(e graph.EdgeID) bool { return x.MemberEdge(j, e) })
+		if err != nil {
+			t.Fatal(err)
+		}
+		d.T[j][c.Dummy] = c.MaxRate
+		for _, n := range topo {
+			tn := d.T[j][n]
+			if tn == 0 || n == c.Sink {
+				continue
+			}
+			for _, e := range x.G.Out(n) {
+				if !x.MemberEdge(j, e) {
+					continue
+				}
+				p := r.At(j, e)
+				if p == 0 {
+					continue
+				}
+				f := tn * p * x.EdgeCost(j, e)
+				d.FEdge[j][e] = f
+				a := tn * p * x.EdgeBeta(j, e)
+				d.Arrive[j][e] = a
+				d.T[j][x.G.Edge(e).To] += a
+				d.FNode[n] += f
+			}
+		}
+	}
+	return d
+}
+
+// parityInstances are the instances the sparse-vs-dense contract is
+// checked on: the §6 paper instance (E4 scale), the many-commodity E6
+// shape, and the seed sweep the sharded-parity tests use.
+func parityInstances(t *testing.T) map[string]*transform.Extended {
+	t.Helper()
+	cfgs := map[string]randnet.Config{
+		"paper-e4":          {Seed: 2, Nodes: 40, Commodities: 3},
+		"many-commodity-e6": {Seed: 5, Nodes: 32, Layers: 4, Commodities: 8},
+		"sweep-seed2":       {Seed: 2, Nodes: 24, Commodities: 4},
+		"sweep-seed3":       {Seed: 3, Nodes: 24, Commodities: 4},
+		"sweep-seed5":       {Seed: 5, Nodes: 24, Commodities: 4},
+	}
+	out := make(map[string]*transform.Extended, len(cfgs))
+	for name, cfg := range cfgs {
+		p, err := randnet.Generate(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		x, err := transform.Build(p, transform.Options{Epsilon: 0.2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[name] = x
+	}
+	return out
+}
+
+// TestSparseEvaluateMatchesDenseReferenceBitwise: on every parity
+// instance and several routings, the sparse evaluation equals the
+// dense full-graph reference scan bit for bit — t, per-edge flows,
+// arrivals, node usage, and the derived admitted/delivered rates.
+func TestSparseEvaluateMatchesDenseReferenceBitwise(t *testing.T) {
+	for name, x := range parityInstances(t) {
+		t.Run(name, func(t *testing.T) {
+			for _, frac := range []float64{0, 0.3, 0.75, 1} {
+				r := NewInitial(x)
+				for j := range x.Commodities {
+					c := &x.Commodities[j]
+					r.SetAt(j, c.InputLink, frac)
+					r.SetAt(j, c.DiffLink, 1-frac)
+				}
+				u := Evaluate(r)
+				d := denseEvaluate(t, r)
+				if !sameBits(u.FNode, d.FNode) {
+					t.Fatalf("frac %g: FNode differs from dense reference", frac)
+				}
+				for j := range x.Commodities {
+					sg := &x.Sub[j]
+					for ln, n := range sg.Nodes {
+						if u.T[j][ln] != d.T[j][n] {
+							t.Fatalf("frac %g commodity %d node %d: t %v vs dense %v",
+								frac, j, n, u.T[j][ln], d.T[j][n])
+						}
+					}
+					for le, e := range sg.Edges {
+						if u.FEdge[j][le] != d.FEdge[j][e] {
+							t.Fatalf("frac %g commodity %d edge %d: f %v vs dense %v",
+								frac, j, e, u.FEdge[j][le], d.FEdge[j][e])
+						}
+						if u.Arrive[j][le] != d.Arrive[j][e] {
+							t.Fatalf("frac %g commodity %d edge %d: arrive %v vs dense %v",
+								frac, j, e, u.Arrive[j][le], d.Arrive[j][e])
+						}
+					}
+					// Non-member rows of the dense reference must be
+					// zero — the sparse layout cannot even represent
+					// flow there.
+					for e := 0; e < x.G.NumEdges(); e++ {
+						if sg.LocalEdge(graph.EdgeID(e)) < 0 && d.FEdge[j][e] != 0 {
+							t.Fatalf("dense reference put flow on non-member edge %d", e)
+						}
+					}
+					c := &x.Commodities[j]
+					wantAdmitted := c.MaxRate * r.At(j, c.InputLink)
+					if got := u.AdmittedRate(j); got != wantAdmitted {
+						t.Fatalf("frac %g commodity %d: admitted %v, dense %v", frac, j, got, wantAdmitted)
+					}
+				}
+			}
+		})
+	}
+}

@@ -42,7 +42,7 @@ func randomInstance(t testing.TB, seed int64) *transform.Extended {
 func randomRouting(x *transform.Extended, r *rand.Rand) *Routing {
 	rt := NewZero(x)
 	for j := range x.Commodities {
-		member := x.Member[j]
+		sg := &x.Sub[j]
 		sink := x.Commodities[j].Sink
 		for n := 0; n < x.G.NumNodes(); n++ {
 			node := graph.NodeID(n)
@@ -51,7 +51,7 @@ func randomRouting(x *transform.Extended, r *rand.Rand) *Routing {
 			}
 			var outs []graph.EdgeID
 			for _, e := range x.G.Out(node) {
-				if member[e] {
+				if x.MemberEdge(j, e) {
 					outs = append(outs, e)
 				}
 			}
@@ -65,7 +65,7 @@ func randomRouting(x *transform.Extended, r *rand.Rand) *Routing {
 				total += weights[i]
 			}
 			for i, e := range outs {
-				rt.Phi[j][e] = weights[i] / total
+				rt.Phi[j][sg.LocalEdge(e)] = weights[i] / total
 			}
 		}
 	}
@@ -87,7 +87,6 @@ func TestQuickFlowConservation(t *testing.T) {
 		u := Evaluate(rt)
 		for j := range x.Commodities {
 			c := &x.Commodities[j]
-			member := x.Member[j]
 			for n := 0; n < x.G.NumNodes(); n++ {
 				node := graph.NodeID(n)
 				if node == c.Sink {
@@ -95,14 +94,14 @@ func TestQuickFlowConservation(t *testing.T) {
 				}
 				out := 0.0
 				for _, e := range x.G.Out(node) {
-					if member[e] {
-						out += u.T[j][n] * rt.Phi[j][e]
+					if x.MemberEdge(j, e) {
+						out += u.TAt(j, node) * rt.At(j, e)
 					}
 				}
 				in := 0.0
 				for _, e := range x.G.In(node) {
-					if member[e] {
-						in += u.Arrive[j][e]
+					if x.MemberEdge(j, e) {
+						in += u.ArriveAt(j, e)
 					}
 				}
 				want := 0.0
@@ -150,25 +149,28 @@ func TestQuickDeliveredMatchesPotential(t *testing.T) {
 }
 
 // potentials recomputes g over member edges (dummy difference link
-// excluded so the real network's path product is measured).
+// excluded so the real network's path product is measured), walking the
+// commodity's sparse subgraph and scattering to extended node IDs.
 func potentials(x *transform.Extended, j int) []float64 {
-	c := &x.Commodities[j]
+	sg := &x.Sub[j]
 	g := make([]float64, x.G.NumNodes())
-	g[c.Dummy] = 1
-	member := x.Member[j]
-	for _, n := range x.Topo[j] {
-		if g[n] == 0 {
+	lg := make([]float64, sg.NumNodes())
+	lg[sg.Dummy] = 1
+	for _, ln := range sg.Topo {
+		if lg[ln] == 0 {
 			continue
 		}
-		for _, e := range x.G.Out(n) {
-			if !member[e] || e == c.DiffLink {
+		for _, le := range sg.Out(ln) {
+			if le == sg.DiffLink {
 				continue
 			}
-			head := x.G.Edge(e).To
-			if g[head] == 0 {
-				g[head] = g[n] * x.Beta[j][e]
+			if head := sg.Head[le]; lg[head] == 0 {
+				lg[head] = lg[ln] * sg.Beta[le]
 			}
 		}
+	}
+	for ln, n := range sg.Nodes {
+		g[n] = lg[ln]
 	}
 	return g
 }
@@ -204,8 +206,9 @@ func TestQuickFNodeAggregation(t *testing.T) {
 		u := Evaluate(rt)
 		sum := make([]float64, x.G.NumNodes())
 		for j := range x.Commodities {
-			for e := 0; e < x.G.NumEdges(); e++ {
-				sum[x.G.Edge(graph.EdgeID(e)).From] += u.FEdge[j][e]
+			sg := &x.Sub[j]
+			for le, e := range sg.Edges {
+				sum[x.G.Edge(e).From] += u.FEdge[j][le]
 			}
 		}
 		for n := range sum {

@@ -8,30 +8,40 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"slices"
 
 	"repro/internal/graph"
 	"repro/internal/transform"
 )
 
-// Routing is a per-commodity routing-variable set φ: Phi[j][e] is the
-// fraction of commodity j's traffic at the tail of extended edge e that
-// is processed over e. Fractions are positive only on member edges, and
-// sum to one over the member out-edges of every node that can carry
-// commodity-j traffic.
+// Routing is a per-commodity routing-variable set φ: Phi[j][le] is the
+// fraction of commodity j's traffic at the tail of member edge le
+// (X.Sub[j] local edge indexing) that is processed over it. Rows are
+// sized by each commodity's member edge count — O(member), not O(ne) —
+// and sum to one over the member out-edges of every node that can carry
+// commodity-j traffic. Callers holding global edge IDs use At/SetAt.
 type Routing struct {
 	X   *transform.Extended
 	Phi [][]float64
 }
 
 // NewZero returns an all-zero routing-variable set. The per-commodity
-// rows share one flat nc×ne backing array, so a routing used as an
-// iteration buffer stays cache-contiguous.
+// rows share one flat backing array sized to the total member edge
+// count, so a routing used as an iteration buffer stays
+// cache-contiguous.
 func NewZero(x *transform.Extended) *Routing {
-	nc, ne := x.NumCommodities(), x.G.NumEdges()
-	back := make([]float64, nc*ne)
+	nc := x.NumCommodities()
+	total := 0
+	for j := 0; j < nc; j++ {
+		total += x.Sub[j].NumEdges()
+	}
+	back := make([]float64, total)
 	phi := make([][]float64, nc)
-	for j := range phi {
-		phi[j] = back[j*ne : (j+1)*ne : (j+1)*ne]
+	off := 0
+	for j := 0; j < nc; j++ {
+		end := off + x.Sub[j].NumEdges()
+		phi[j] = back[off:end:end]
+		off = end
 	}
 	return &Routing{X: x, Phi: phi}
 }
@@ -43,23 +53,44 @@ func NewZero(x *transform.Extended) *Routing {
 func NewInitial(x *transform.Extended) *Routing {
 	r := NewZero(x)
 	for j := range x.Commodities {
-		c := &x.Commodities[j]
-		for n := 0; n < x.G.NumNodes(); n++ {
-			node := graph.NodeID(n)
-			if node == c.Sink {
+		sg := &x.Sub[j]
+		for l := int32(0); l < int32(sg.NumNodes()); l++ {
+			if l == sg.Sink {
 				continue
 			}
-			if node == c.Dummy {
-				r.Phi[j][c.DiffLink] = 1
+			if l == sg.Dummy {
+				r.Phi[j][sg.DiffLink] = 1
 				continue
 			}
-			outs := x.MemberOut(j, node)
-			for _, e := range outs {
-				r.Phi[j][e] = 1 / float64(len(outs))
+			outs := sg.Out(l)
+			for _, le := range outs {
+				r.Phi[j][le] = 1 / float64(len(outs))
 			}
 		}
 	}
 	return r
+}
+
+// At returns φ for commodity j on extended edge e, zero when e is not a
+// member edge. O(log member edges) — a convenience for cold paths and
+// tests; hot loops index Phi[j] locally.
+func (r *Routing) At(j int, e graph.EdgeID) float64 {
+	if le := r.X.Sub[j].LocalEdge(e); le >= 0 {
+		return r.Phi[j][le]
+	}
+	return 0
+}
+
+// SetAt sets φ for commodity j on extended edge e, which must be a
+// member edge (panics otherwise — a fraction on a non-member edge can
+// never be represented, matching the old dense tables where it was a
+// validation error).
+func (r *Routing) SetAt(j int, e graph.EdgeID, v float64) {
+	le := r.X.Sub[j].LocalEdge(e)
+	if le < 0 {
+		panic(fmt.Sprintf("flow: SetAt: edge %d is not a member edge of commodity %d", e, j))
+	}
+	r.Phi[j][le] = v
 }
 
 // Clone deep-copies the routing set.
@@ -80,11 +111,13 @@ func (r *Routing) Clone() *Routing {
 var ErrTopologyChanged = errors.New("flow: extended topology changed")
 
 // Rebind deep-copies the routing set onto another extended problem with
-// the same topology (same node/edge/commodity layout). This is how a
-// converged routing warm-starts the optimizer after problem parameters
-// (offered rates, capacities) change: the φ values carry over, the
-// evaluation context does not. A shape mismatch wraps
-// ErrTopologyChanged and names the dimension that moved.
+// the same topology (same node/edge/commodity layout and identical
+// per-commodity member edge sets). This is how a converged routing
+// warm-starts the optimizer after problem parameters (offered rates,
+// capacities) change: the φ values carry over, the evaluation context
+// does not. A shape mismatch wraps ErrTopologyChanged and names the
+// dimension that moved; the member-set comparison is O(total member),
+// cheaper than the value copy it gates.
 func (r *Routing) Rebind(x *transform.Extended) (*Routing, error) {
 	if nx, nr := x.NumCommodities(), r.X.NumCommodities(); nx != nr {
 		return nil, fmt.Errorf("%w: target has %d commodities, routing was built for %d",
@@ -98,6 +131,12 @@ func (r *Routing) Rebind(x *transform.Extended) (*Routing, error) {
 		return nil, fmt.Errorf("%w: target has %d extended edges, routing was built for %d",
 			ErrTopologyChanged, nx, nr)
 	}
+	for j := range x.Sub {
+		if !slices.Equal(x.Sub[j].Edges, r.X.Sub[j].Edges) {
+			return nil, fmt.Errorf("%w: commodity %d member edge set changed",
+				ErrTopologyChanged, j)
+		}
+	}
 	c := NewZero(x)
 	for j := range r.Phi {
 		copy(c.Phi[j], r.Phi[j])
@@ -105,34 +144,31 @@ func (r *Routing) Rebind(x *transform.Extended) (*Routing, error) {
 	return c, nil
 }
 
-// Validate checks the §4 routing-decision conditions: φ ≥ 0, φ = 0 off
-// the member subgraph, and Σ_k φ_ik(j) = 1 at every non-sink node with
-// member out-edges.
+// Validate checks the §4 routing-decision conditions: φ ≥ 0 and finite,
+// and Σ_k φ_ik(j) = 1 at every non-sink node with member out-edges.
+// (φ on non-member edges is unrepresentable in the sparse rows, so the
+// old off-member check is structural now.)
 func (r *Routing) Validate() error {
 	x := r.X
 	const tol = 1e-9
 	for j := range x.Commodities {
-		member := x.Member[j]
-		for e, v := range r.Phi[j] {
+		sg := &x.Sub[j]
+		for le, v := range r.Phi[j] {
 			if v < -tol || math.IsNaN(v) {
-				return fmt.Errorf("flow: commodity %d edge %d: phi = %g", j, e, v)
-			}
-			if !member[e] && v > tol {
-				return fmt.Errorf("flow: commodity %d edge %d: phi = %g on non-member edge", j, e, v)
+				return fmt.Errorf("flow: commodity %d edge %d: phi = %g", j, sg.Edges[le], v)
 			}
 		}
-		for n := 0; n < x.G.NumNodes(); n++ {
-			node := graph.NodeID(n)
-			if node == x.Commodities[j].Sink {
+		for l := int32(0); l < int32(sg.NumNodes()); l++ {
+			if l == sg.Sink {
 				continue
 			}
-			outs := x.MemberOut(j, node)
+			outs := sg.Out(l)
 			sum, hasMember := 0.0, len(outs) > 0
-			for _, e := range outs {
-				sum += r.Phi[j][e]
+			for _, le := range outs {
+				sum += r.Phi[j][le]
 			}
 			if hasMember && math.Abs(sum-1) > 1e-6 {
-				return fmt.Errorf("flow: commodity %d node %q: phi sums to %g", j, x.Names[n], sum)
+				return fmt.Errorf("flow: commodity %d node %q: phi sums to %g", j, x.Names[sg.Nodes[l]], sum)
 			}
 		}
 	}

@@ -1,6 +1,8 @@
 package flow
 
 import (
+	"errors"
+	"fmt"
 	"math"
 
 	"repro/internal/graph"
@@ -9,50 +11,100 @@ import (
 
 // Usage is the traffic and resource state induced by a routing set:
 // the unique solution of the flow-balance equations (eq. 3) plus the
-// resource usage rates of eqs. (4)–(5).
+// resource usage rates of eqs. (4)–(5). Per-commodity rows use the
+// commodity's Subgraph local indexing (T by local node, FEdge/Arrive by
+// local edge); only FNode spans the full extended node range, because
+// it accumulates cross-commodity flow at shared nodes.
 type Usage struct {
 	R *Routing
-	// T[j][n] is t_n(j): the expected commodity-j traffic rate at node
-	// n, in node-local input units.
+	// T[j][ln] is t_n(j): the expected commodity-j traffic rate at
+	// member node ln (local index), in node-local input units.
 	T [][]float64
-	// FEdge[j][e] is node-resource usage from the tail of e by
-	// commodity j: t_i(j)·φ_e(j)·c_e(j) (eq. 4 per commodity).
+	// FEdge[j][le] is node-resource usage from the tail of member edge
+	// le by commodity j: t_i(j)·φ_e(j)·c_e(j) (eq. 4 per commodity).
 	FEdge [][]float64
-	// Arrive[j][e] is the flow delivered to the head of e:
+	// Arrive[j][le] is the flow delivered to the head of member edge le:
 	// t_i(j)·φ_e(j)·β_e(j).
 	Arrive [][]float64
-	// FNode[n] is f_n = Σ_e Σ_j FEdge[j][e] over e ∈ out(n) (eq. 5).
+	// FNode[n] is f_n = Σ_e Σ_j FEdge over e ∈ out(n) (eq. 5), indexed
+	// by extended node ID.
 	FNode []float64
 
-	// Flat backing arrays of the row slices above (tBack is nc×nn,
-	// feBack and arBack are nc×ne). EvaluateInto zeroes them with
-	// single clear() passes instead of reallocating; they are nil for a
-	// Usage assembled by hand, in which case EvaluateInto falls back to
-	// row-by-row clearing.
+	// Flat backing arrays of the row slices above (tBack is Σ member
+	// nodes, feBack and arBack are Σ member edges). EvaluateInto zeroes
+	// them with single clear() passes instead of reallocating; they are
+	// nil for a Usage assembled by hand, in which case EvaluateInto
+	// falls back to row-by-row clearing.
 	tBack, feBack, arBack []float64
 }
 
 // NewUsage allocates a reusable evaluation workspace for the extended
-// problem x: one flat float64 array per field, row-sliced per
-// commodity, so repeated EvaluateInto calls touch contiguous memory and
-// allocate nothing.
+// problem x: per-commodity rows sized by each commodity's member node
+// and edge counts (sliced from one flat array per field, so repeated
+// EvaluateInto calls touch contiguous memory and allocate nothing),
+// plus a full-width FNode accumulator. Total memory is O(Σ member),
+// not O(J·(n+m)).
 func NewUsage(x *transform.Extended) *Usage {
-	nn, ne, nc := x.G.NumNodes(), x.G.NumEdges(), x.NumCommodities()
+	nc := x.NumCommodities()
+	totalN, totalE := 0, 0
+	for j := 0; j < nc; j++ {
+		totalN += x.Sub[j].NumNodes()
+		totalE += x.Sub[j].NumEdges()
+	}
 	u := &Usage{
 		T:      make([][]float64, nc),
 		FEdge:  make([][]float64, nc),
 		Arrive: make([][]float64, nc),
-		FNode:  make([]float64, nn),
-		tBack:  make([]float64, nc*nn),
-		feBack: make([]float64, nc*ne),
-		arBack: make([]float64, nc*ne),
+		FNode:  make([]float64, x.G.NumNodes()),
+		tBack:  make([]float64, totalN),
+		feBack: make([]float64, totalE),
+		arBack: make([]float64, totalE),
 	}
+	offN, offE := 0, 0
 	for j := 0; j < nc; j++ {
-		u.T[j] = u.tBack[j*nn : (j+1)*nn : (j+1)*nn]
-		u.FEdge[j] = u.feBack[j*ne : (j+1)*ne : (j+1)*ne]
-		u.Arrive[j] = u.arBack[j*ne : (j+1)*ne : (j+1)*ne]
+		endN := offN + x.Sub[j].NumNodes()
+		endE := offE + x.Sub[j].NumEdges()
+		u.T[j] = u.tBack[offN:endN:endN]
+		u.FEdge[j] = u.feBack[offE:endE:endE]
+		u.Arrive[j] = u.arBack[offE:endE:endE]
+		offN, offE = endN, endE
 	}
 	return u
+}
+
+// ErrWorkspaceShape is wrapped by the error EvaluateInto panics with
+// (and TryEvaluateInto returns) when a workspace does not match the
+// routing's extended problem — wrong commodity count, node count, or
+// per-commodity member row sizes. Callers that reuse workspaces across
+// rebuilds (the admission server's solve loop, shard runners) match it
+// with errors.Is and recover by allocating a fresh workspace with
+// NewUsage, the same cold-fallback shape as flow.ErrTopologyChanged.
+var ErrWorkspaceShape = errors.New("flow: usage workspace shape mismatch")
+
+// shapeErr builds the detailed ErrWorkspaceShape wrapper.
+func shapeErr(format string, args ...any) error {
+	return fmt.Errorf("%w: %s (workspace from NewUsage on a different or rebuilt extended problem?)",
+		ErrWorkspaceShape, fmt.Sprintf(format, args...))
+}
+
+// checkShape verifies that u was allocated for x's per-commodity member
+// sizes. O(commodities).
+func (u *Usage) checkShape(x *transform.Extended) error {
+	nc, nn := x.NumCommodities(), x.G.NumNodes()
+	if len(u.T) != nc || len(u.FEdge) != nc || len(u.Arrive) != nc {
+		return shapeErr("workspace has %d commodity rows, problem has %d", len(u.T), nc)
+	}
+	if len(u.FNode) != nn {
+		return shapeErr("workspace FNode spans %d nodes, problem has %d", len(u.FNode), nn)
+	}
+	for j := 0; j < nc; j++ {
+		sg := &x.Sub[j]
+		if len(u.T[j]) != sg.NumNodes() || len(u.FEdge[j]) != sg.NumEdges() || len(u.Arrive[j]) != sg.NumEdges() {
+			return shapeErr("commodity %d rows sized (%d nodes, %d edges), member subgraph has (%d, %d)",
+				j, len(u.T[j]), len(u.FEdge[j]), sg.NumNodes(), sg.NumEdges())
+		}
+	}
+	return nil
 }
 
 // Evaluate solves the flow-balance equations by a forward sweep in
@@ -67,15 +119,40 @@ func Evaluate(r *Routing) *Usage {
 }
 
 // EvaluateInto runs the forward sweep into the preallocated workspace
-// u, which must be shaped for r's extended problem (NewUsage). The
-// workspace is zeroed and refilled; the result is bit-identical to
-// Evaluate(r). After the call u.R is r.
+// u, which must have been allocated by NewUsage for r's extended
+// problem (per-commodity member-sized rows plus the full-width FNode
+// accumulator). The workspace is zeroed and refilled; the result is
+// bit-identical to Evaluate(r). After the call u.R is r. A mismatched
+// workspace panics with an error wrapping ErrWorkspaceShape; callers
+// that want to recover instead use TryEvaluateInto.
 func EvaluateInto(u *Usage, r *Routing) {
-	x := r.X
-	nn, nc := x.G.NumNodes(), x.NumCommodities()
-	if len(u.FNode) != nn || len(u.T) != nc {
-		panic("flow: EvaluateInto workspace shaped for a different extended problem")
+	if err := u.checkShape(r.X); err != nil {
+		panic(err)
 	}
+	evaluateInto(u, r)
+}
+
+// TryEvaluateInto is EvaluateInto returning the shape mismatch as an
+// error (wrapping ErrWorkspaceShape) instead of panicking, for callers
+// with a recovery path — e.g. falling back to a freshly allocated
+// workspace after an extended problem was rebuilt underneath them.
+func TryEvaluateInto(u *Usage, r *Routing) error {
+	if err := u.checkShape(r.X); err != nil {
+		return err
+	}
+	evaluateInto(u, r)
+	return nil
+}
+
+// evaluateInto is the shape-checked forward sweep. Per commodity it
+// walks the member subgraph in local topo order, scattering node usage
+// into the shared FNode accumulator in exactly the (commodity, topo
+// position, ascending edge) order the dense filtered scan used, so
+// floating-point accumulation — and therefore whole solver
+// trajectories — stays bitwise-identical to the dense representation.
+func evaluateInto(u *Usage, r *Routing) {
+	x := r.X
+	nc := x.NumCommodities()
 	if u.tBack != nil {
 		clear(u.tBack)
 		clear(u.feBack)
@@ -90,42 +167,71 @@ func EvaluateInto(u *Usage, r *Routing) {
 	clear(u.FNode)
 	u.R = r
 	for j := 0; j < nc; j++ {
+		sg := &x.Sub[j]
 		t, fe, ar := u.T[j], u.FEdge[j], u.Arrive[j]
-		cost, beta, phi := x.Cost[j], x.Beta[j], r.Phi[j]
-		c := &x.Commodities[j]
-		t[c.Dummy] = c.MaxRate // r_i(j) of eq. 2
-		for _, n := range x.Topo[j] {
-			tn := t[n]
-			if tn == 0 || n == c.Sink {
+		cost, beta, phi := sg.Cost, sg.Beta, r.Phi[j]
+		t[sg.Dummy] = x.Commodities[j].MaxRate // r_i(j) of eq. 2
+		for _, ln := range sg.Topo {
+			tn := t[ln]
+			if tn == 0 || ln == sg.Sink {
 				continue
 			}
-			for _, e := range x.MemberOut(j, n) {
-				p := phi[e]
+			n := sg.Nodes[ln]
+			for _, le := range sg.Out(ln) {
+				p := phi[le]
 				if p == 0 {
 					continue
 				}
-				f := tn * p * cost[e]
-				fe[e] = f
-				a := tn * p * beta[e]
-				ar[e] = a
-				t[x.G.Edge(e).To] += a
+				f := tn * p * cost[le]
+				fe[le] = f
+				a := tn * p * beta[le]
+				ar[le] = a
+				t[sg.Head[le]] += a
 				u.FNode[n] += f
 			}
 		}
 	}
 }
 
+// TAt returns t_n(j) for extended node n, zero when n is not a member
+// node. O(log member nodes) — for cold paths and tests.
+func (u *Usage) TAt(j int, n graph.NodeID) float64 {
+	if ln := u.R.X.Sub[j].LocalNode(n); ln >= 0 {
+		return u.T[j][ln]
+	}
+	return 0
+}
+
+// FEdgeAt returns commodity j's resource usage on extended edge e, zero
+// when e is not a member edge. O(log member edges).
+func (u *Usage) FEdgeAt(j int, e graph.EdgeID) float64 {
+	if le := u.R.X.Sub[j].LocalEdge(e); le >= 0 {
+		return u.FEdge[j][le]
+	}
+	return 0
+}
+
+// ArriveAt returns the flow commodity j delivers to the head of
+// extended edge e, zero when e is not a member edge. O(log member
+// edges).
+func (u *Usage) ArriveAt(j int, e graph.EdgeID) float64 {
+	if le := u.R.X.Sub[j].LocalEdge(e); le >= 0 {
+		return u.Arrive[j][le]
+	}
+	return 0
+}
+
 // AdmittedRate returns a_j: the rate the dummy node sends into the real
 // network over the input link.
 func (u *Usage) AdmittedRate(j int) float64 {
-	c := &u.R.X.Commodities[j]
-	return c.MaxRate * u.R.Phi[j][c.InputLink]
+	x := u.R.X
+	return x.Commodities[j].MaxRate * u.R.Phi[j][x.Sub[j].InputLink]
 }
 
 // RejectedRate returns λ_j − a_j, the flow on the difference link.
 func (u *Usage) RejectedRate(j int) float64 {
-	c := &u.R.X.Commodities[j]
-	return c.MaxRate * u.R.Phi[j][c.DiffLink]
+	x := u.R.X
+	return x.Commodities[j].MaxRate * u.R.Phi[j][x.Sub[j].DiffLink]
 }
 
 // Utility returns Σ_j U_j(a_j), the quantity the paper maximizes.
@@ -143,7 +249,7 @@ func (u *Usage) UtilityLoss() float64 {
 	total := 0.0
 	for j := range x.Commodities {
 		c := &x.Commodities[j]
-		total += x.LossValue(j, c.DiffLink, u.FEdge[j][c.DiffLink])
+		total += x.LossValue(j, c.DiffLink, u.FEdge[j][x.Sub[j].DiffLink])
 	}
 	return total
 }
@@ -243,14 +349,13 @@ func FeasibleShared(x *transform.Extended, merged []float64) (ok bool, slack flo
 // the real network (excluding the difference link), in sink units: this
 // is g_sink(j)·a_j when Property 1 holds.
 func (u *Usage) DeliveredRate(j int) float64 {
-	x := u.R.X
-	c := &x.Commodities[j]
+	sg := &u.R.X.Sub[j]
 	total := 0.0
-	for _, e := range x.G.In(c.Sink) {
-		if e == c.DiffLink {
+	for _, le := range sg.In(sg.Sink) {
+		if le == sg.DiffLink {
 			continue
 		}
-		total += u.Arrive[j][e]
+		total += u.Arrive[j][le]
 	}
 	return total
 }

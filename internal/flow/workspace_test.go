@@ -27,8 +27,8 @@ func admitSome(x *transform.Extended, frac float64) *Routing {
 	r := NewInitial(x)
 	for j := range x.Commodities {
 		c := &x.Commodities[j]
-		r.Phi[j][c.InputLink] = frac
-		r.Phi[j][c.DiffLink] = 1 - frac
+		r.SetAt(j, c.InputLink, frac)
+		r.SetAt(j, c.DiffLink, 1-frac)
 	}
 	return r
 }

@@ -38,9 +38,9 @@ type arena struct {
 }
 
 func newArena(x *transform.Extended, workers int) *arena {
-	nn, ne := x.G.NumNodes(), x.G.NumEdges()
 	a := &arena{ws: make([]waveWorkspace, x.NumCommodities()), workers: workers}
 	for j := range a.ws {
+		nn, ne := x.Sub[j].NumNodes(), x.Sub[j].NumEdges()
 		a.ws[j] = waveWorkspace{
 			m:      Marginals{Rho: make([]float64, nn), LinkD: make([]float64, ne)},
 			depth:  make([]int, nn),

@@ -74,6 +74,7 @@ const (
 func Attribute(u *flow.Usage, j int) Attribution {
 	x := u.R.X
 	c := &x.Commodities[j]
+	sg := &x.Sub[j]
 	m := ComputeMarginals(u, j)
 	a := u.AdmittedRate(j)
 
@@ -83,30 +84,32 @@ func Attribute(u *flow.Usage, j int) Attribution {
 		Admitted:        a,
 		Utility:         c.Utility.Value(a),
 		MarginalUtility: c.Utility.Deriv(a),
-		PathCost:        m.LinkD[c.InputLink],
+		PathCost:        m.LinkD[sg.InputLink],
 	}
 	at.Gap = at.MarginalUtility - at.PathCost
 
-	// Walk the capacitated nodes carrying commodity-j flow; a node's
-	// commodity-j throughput is Σ_{e∈out(n)} FEdge[j][e].
+	// Walk the capacitated member nodes carrying commodity-j flow; a
+	// node's commodity-j throughput is Σ_{e∈out(n)} FEdge[j][e].
+	// (Ascending local index = ascending global ID; non-member nodes
+	// carry no commodity-j flow, so restricting the walk loses nothing.)
 	var worst *BindingNode
-	for n := 0; n < x.G.NumNodes(); n++ {
-		node := graph.NodeID(n)
-		capacity := x.Capacity[n]
+	for ln := int32(0); ln < int32(sg.NumNodes()); ln++ {
+		node := sg.Nodes[ln]
+		capacity := x.Capacity[node]
 		if math.IsInf(capacity, 1) || capacity <= 0 {
 			continue
 		}
 		used := 0.0
-		for _, e := range x.MemberOut(j, node) {
-			used += u.FEdge[j][e]
+		for _, le := range sg.Out(ln) {
+			used += u.FEdge[j][le]
 		}
 		if used <= minFlow {
 			continue
 		}
 		bn := BindingNode{
 			Node:        node,
-			Utilization: u.FNode[n] / capacity,
-			Price:       x.PenaltyDeriv(node, u.FNode[n]),
+			Utilization: u.FNode[node] / capacity,
+			Price:       x.PenaltyDeriv(node, u.FNode[node]),
 		}
 		if worst == nil || bn.Price > worst.Price {
 			w := bn

@@ -29,26 +29,28 @@ import (
 // faithfully anyway, and Config.DisableBlocking ablates it (bench
 // BenchmarkBlockingAblation).
 func ComputeTags(u *flow.Usage, j int, m *Marginals, eta float64) []bool {
-	return ComputeTagsInto(u, j, m, eta, make([]bool, u.R.X.G.NumNodes()))
+	return ComputeTagsInto(u, j, m, eta, make([]bool, u.R.X.Sub[j].NumNodes()))
 }
 
-// ComputeTagsInto is the workspace form of ComputeTags: tagged (sized
-// NumNodes) is zeroed, refilled, and returned.
+// ComputeTagsInto is the workspace form of ComputeTags: tagged (with
+// capacity for the commodity's member node count, local indexing) is
+// resliced, zeroed, refilled, and returned.
 func ComputeTagsInto(u *flow.Usage, j int, m *Marginals, eta float64, tagged []bool) []bool {
 	x := u.R.X
+	sg := &x.Sub[j]
+	tagged = tagged[:sg.NumNodes()]
 	clear(tagged)
-	sink := x.Commodities[j].Sink
 	phi := u.R.Phi[j]
-	for _, l := range x.RevTopo(j) {
-		if l == sink {
+	for _, l := range sg.RevTopo() {
+		if l == sg.Sink {
 			continue
 		}
 		t := u.T[j][l]
-		for _, e := range x.MemberOut(j, l) {
-			if phi[e] <= 0 {
+		for _, le := range sg.Out(l) {
+			if phi[le] <= 0 {
 				continue
 			}
-			head := x.G.Edge(e).To
+			head := sg.Head[le]
 			if tagged[head] {
 				tagged[l] = true
 				break
@@ -57,7 +59,7 @@ func ComputeTagsInto(u *flow.Usage, j int, m *Marginals, eta float64, tagged []b
 			// whose marginal cost per source unit is no better than
 			// ours (the β factor converts both sides to source units;
 			// see the doc comment above).
-			if m.Rho[l] > x.Beta[j][e]*m.Rho[head] {
+			if m.Rho[l] > sg.Beta[le]*m.Rho[head] {
 				continue
 			}
 			// Condition (18): the improper link survives this
@@ -66,7 +68,7 @@ func ComputeTagsInto(u *flow.Usage, j int, m *Marginals, eta float64, tagged []b
 			if t == 0 {
 				continue
 			}
-			if u.R.Phi[j][e] >= eta/t*(m.LinkD[e]-m.Rho[l]) {
+			if phi[le] >= eta/t*(m.LinkD[le]-m.Rho[l]) {
 				tagged[l] = true
 				break
 			}

@@ -78,39 +78,37 @@ func TestMarginalMatchesFiniteDifference(t *testing.T) {
 	r := flow.NewInitial(x)
 	// A non-trivial interior point: admit 60%, lean 70/30 toward a.
 	c := &x.Commodities[0]
-	r.Phi[0][c.InputLink] = 0.6
-	r.Phi[0][c.DiffLink] = 0.4
+	sg := &x.Sub[0]
+	r.SetAt(0, c.InputLink, 0.6)
+	r.SetAt(0, c.DiffLink, 0.4)
 	src := c.Source
 	var srcOuts []graph.EdgeID
 	for _, e := range x.G.Out(src) {
-		if x.Member[0][e] {
+		if x.MemberEdge(0, e) {
 			srcOuts = append(srcOuts, e)
 		}
 	}
-	r.Phi[0][srcOuts[0]] = 0.7
-	r.Phi[0][srcOuts[1]] = 0.3
+	r.SetAt(0, srcOuts[0], 0.7)
+	r.SetAt(0, srcOuts[1], 0.3)
 
 	u := flow.Evaluate(r)
 	m := ComputeMarginals(u, 0)
 
 	const h = 1e-7
 	base := u.TotalCost()
-	for e := 0; e < x.G.NumEdges(); e++ {
-		if !x.Member[0][e] {
-			continue
-		}
-		tail := x.G.Edge(graph.EdgeID(e)).From
-		ti := u.T[0][tail]
+	for _, e := range x.MemberEdges(0) {
+		tail := x.G.Edge(e).From
+		ti := u.TAt(0, tail)
 		if ti == 0 {
 			continue // derivative information is 0·d; skip
 		}
 		bumped := r.Clone()
-		bumped.Phi[0][e] += h
+		bumped.SetAt(0, e, bumped.At(0, e)+h)
 		got := (flow.Evaluate(bumped).TotalCost() - base) / h
-		want := ti * m.LinkD[e]
+		want := ti * m.LinkDAt(sg, e)
 		if math.Abs(got-want) > 1e-3*(1+math.Abs(want)) {
 			t.Errorf("edge %d (%s→%s): dA/dphi = %g, analytic %g",
-				e, x.Names[x.G.Edge(graph.EdgeID(e)).From], x.Names[x.G.Edge(graph.EdgeID(e)).To], got, want)
+				e, x.Names[x.G.Edge(e).From], x.Names[x.G.Edge(e).To], got, want)
 		}
 	}
 }
@@ -120,13 +118,14 @@ func TestRhoZeroAtSinkAndCompositionality(t *testing.T) {
 	x := twoPath(t, 20, utility.Linear{Slope: 1})
 	r := flow.NewInitial(x)
 	c := &x.Commodities[0]
-	r.Phi[0][c.InputLink] = 0.5
-	r.Phi[0][c.DiffLink] = 0.5
+	sg := &x.Sub[0]
+	r.SetAt(0, c.InputLink, 0.5)
+	r.SetAt(0, c.DiffLink, 0.5)
 	u := flow.Evaluate(r)
 	m := ComputeMarginals(u, 0)
 
-	if m.Rho[c.Sink] != 0 {
-		t.Fatalf("rho(sink) = %g, want 0", m.Rho[c.Sink])
+	if m.RhoAt(sg, c.Sink) != 0 {
+		t.Fatalf("rho(sink) = %g, want 0", m.RhoAt(sg, c.Sink))
 	}
 	for n := 0; n < x.G.NumNodes(); n++ {
 		node := graph.NodeID(n)
@@ -135,13 +134,13 @@ func TestRhoZeroAtSinkAndCompositionality(t *testing.T) {
 		}
 		sum, any := 0.0, false
 		for _, e := range x.G.Out(node) {
-			if x.Member[0][e] {
-				sum += r.Phi[0][e] * m.LinkD[e]
+			if x.MemberEdge(0, e) {
+				sum += r.At(0, e) * m.LinkDAt(sg, e)
 				any = true
 			}
 		}
-		if any && math.Abs(m.Rho[n]-sum) > 1e-12 {
-			t.Fatalf("rho(%s) = %g, want %g", x.Names[n], m.Rho[n], sum)
+		if any && math.Abs(m.RhoAt(sg, node)-sum) > 1e-12 {
+			t.Fatalf("rho(%s) = %g, want %g", x.Names[n], m.RhoAt(sg, node), sum)
 		}
 	}
 }
@@ -153,12 +152,12 @@ func TestDiffLinkMarginalIsMarginalUtility(t *testing.T) {
 	x := twoPath(t, lambda, util)
 	r := flow.NewInitial(x)
 	c := &x.Commodities[0]
-	r.Phi[0][c.InputLink] = 0.25
-	r.Phi[0][c.DiffLink] = 0.75
+	r.SetAt(0, c.InputLink, 0.25)
+	r.SetAt(0, c.DiffLink, 0.75)
 	u := flow.Evaluate(r)
 	m := ComputeMarginals(u, 0)
 	admitted := 0.25 * lambda
-	if got, want := m.LinkD[c.DiffLink], util.Deriv(admitted); math.Abs(got-want) > 1e-12 {
+	if got, want := m.LinkDAt(&x.Sub[0], c.DiffLink), util.Deriv(admitted); math.Abs(got-want) > 1e-12 {
 		t.Fatalf("LinkD(diff) = %g, want U'(a) = %g", got, want)
 	}
 }
@@ -252,7 +251,7 @@ func TestSplitsMatchBarrierOptimum(t *testing.T) {
 		t.Fatalf("admitted = %g, want ≈ λ = 20", admitted)
 	}
 	wantA := (20 + 12*math.Sqrt(3)) / (3 + math.Sqrt(3))
-	ta, tb := u.T[0][aNode], u.T[0][bNode]
+	ta, tb := u.TAt(0, aNode), u.TAt(0, bNode)
 	if math.Abs(ta-wantA) > 0.15 {
 		t.Fatalf("t(a) = %g, want barrier optimum ≈ %g", ta, wantA)
 	}

@@ -14,6 +14,10 @@
 //  3. routing update Γ: shift routing fraction from expensive links to
 //     each node's best unblocked link (eqs. 14–17).
 //
+// All per-commodity state is held in the commodity's Subgraph local
+// indexing (transform.Subgraph), so one commodity's wave costs O(its
+// member edges) in both time and memory.
+//
 // The synchronous engine is deterministic and exactly equivalent to
 // the message-passing execution in internal/dist (tests in that
 // package assert trajectory equality); it also accounts for the
@@ -24,16 +28,19 @@ package gradient
 import (
 	"repro/internal/flow"
 	"repro/internal/graph"
+	"repro/internal/transform"
 )
 
 // Marginals holds the first-order information of one iteration for one
-// commodity.
+// commodity, indexed by the commodity's Subgraph local node/edge
+// indexes.
 type Marginals struct {
-	// Rho[n] is ∂A/∂r_n(j): the marginal cost of injecting one more
-	// unit of commodity-j traffic at node n (eq. 9); zero at the sink.
+	// Rho[ln] is ∂A/∂r_n(j): the marginal cost of injecting one more
+	// unit of commodity-j traffic at member node ln (eq. 9); zero at
+	// the sink.
 	Rho []float64
-	// LinkD[e] is the per-link marginal of eqs. (10) and (13):
-	// ∂A_i/∂f_e·c_e(j) + β_e(j)·Rho[head(e)], defined on member edges.
+	// LinkD[le] is the per-link marginal of eqs. (10) and (13):
+	// ∂A_i/∂f_e·c_e(j) + β_e(j)·Rho[head(e)], per member edge.
 	LinkD []float64
 	// Rounds is the number of sequential message-exchange steps the
 	// upstream wave needs: the depth of the member DAG below each node,
@@ -51,64 +58,92 @@ type Marginals struct {
 // It allocates fresh buffers per call; iteration loops reuse a
 // workspace through ComputeMarginalsInto.
 func ComputeMarginals(u *flow.Usage, j int) *Marginals {
-	x := u.R.X
-	nn, ne := x.G.NumNodes(), x.G.NumEdges()
+	sg := &u.R.X.Sub[j]
 	m := &Marginals{
-		Rho:   make([]float64, nn),
-		LinkD: make([]float64, ne),
+		Rho:   make([]float64, sg.NumNodes()),
+		LinkD: make([]float64, sg.NumEdges()),
 	}
-	ComputeMarginalsInto(u, j, m, make([]int, nn))
+	ComputeMarginalsInto(u, j, m, make([]int, sg.NumNodes()))
 	return m
 }
 
 // ComputeMarginalsInto runs the marginal-cost wave into the
-// preallocated m (Rho sized NumNodes, LinkD sized NumEdges) using depth
-// (sized NumNodes) as scratch for the per-node wave-round counters. All
-// buffers are zeroed and refilled; the result is bit-identical to
-// ComputeMarginals.
+// preallocated m, using depth as scratch for the per-node wave-round
+// counters. m.Rho and depth need capacity for the commodity's member
+// node count, m.LinkD for its member edge count (a workspace sized for
+// the largest commodity serves all of them — the buffers are resliced
+// to this commodity's sizes). All buffers are zeroed and refilled; the
+// result is bit-identical to ComputeMarginals.
 func ComputeMarginalsInto(u *flow.Usage, j int, m *Marginals, depth []int) {
 	x := u.R.X
+	sg := &x.Sub[j]
+	nn, ne := sg.NumNodes(), sg.NumEdges()
+	m.Rho = m.Rho[:nn]
+	m.LinkD = m.LinkD[:ne]
+	depth = depth[:nn]
 	clear(m.Rho)
 	clear(m.LinkD)
 	clear(depth)
 	m.Rounds, m.Messages = 0, 0
-	sink := x.Commodities[j].Sink
 	phi := u.R.Phi[j]
-	beta := x.Beta[j]
-	for _, n := range x.RevTopo(j) {
-		if n == sink {
-			m.Rho[n] = 0 // convention ∂A/∂r_j(j) = 0
+	beta := sg.Beta
+	for _, ln := range sg.RevTopo() {
+		if ln == sg.Sink {
+			m.Rho[ln] = 0 // convention ∂A/∂r_j(j) = 0
 			continue
 		}
 		var (
 			rho    float64
 			rounds int
 		)
-		for _, e := range x.MemberOut(j, n) {
-			head := x.G.Edge(e).To
-			d := marginalCostPerUnit(u, j, n, e) + beta[e]*m.Rho[head]
-			m.LinkD[e] = d
-			rho += phi[e] * d
+		n := sg.Nodes[ln]
+		for _, le := range sg.Out(ln) {
+			head := sg.Head[le]
+			d := marginalCostPerUnit(u, j, sg, n, le) + beta[le]*m.Rho[head]
+			m.LinkD[le] = d
+			rho += phi[le] * d
 			m.Messages++ // head broadcasts rho to this tail
 			if depth[head]+1 > rounds {
 				rounds = depth[head] + 1
 			}
 		}
-		m.Rho[n] = rho
-		depth[n] = rounds
+		m.Rho[ln] = rho
+		depth[ln] = rounds
 		if rounds > m.Rounds {
 			m.Rounds = rounds
 		}
 	}
 }
 
+// RhoAt reads Rho by extended node ID (zero for non-member nodes).
+// O(log member nodes); diagnostics and tests only — hot loops index the
+// local arrays directly.
+func (m *Marginals) RhoAt(sg *transform.Subgraph, n graph.NodeID) float64 {
+	if ln := sg.LocalNode(n); ln >= 0 {
+		return m.Rho[ln]
+	}
+	return 0
+}
+
+// LinkDAt reads LinkD by extended edge ID (zero for non-member edges).
+func (m *Marginals) LinkDAt(sg *transform.Subgraph, e graph.EdgeID) float64 {
+	if le := sg.LocalEdge(e); le >= 0 {
+		return m.LinkD[le]
+	}
+	return 0
+}
+
 // marginalCostPerUnit is ∂A_i/∂f_e·c_e(j): the direct cost of pushing
-// one more unit of commodity j over edge e at its tail i. From eq. 11,
-// ∂A_i/∂f_e is the barrier derivative ε·D'_i(f_i) everywhere except on
-// a difference link, where it is the utility-loss derivative
-// U'_j(λ_j − f_e).
-func marginalCostPerUnit(u *flow.Usage, j int, i graph.NodeID, e graph.EdgeID) float64 {
+// one more unit of commodity j over member edge le at its tail i (the
+// extended node n). From eq. 11, ∂A_i/∂f_e is the barrier derivative
+// ε·D'_i(f_i) everywhere except on a difference link, where it is the
+// utility-loss derivative U'_j(λ_j − f_e).
+func marginalCostPerUnit(u *flow.Usage, j int, sg *transform.Subgraph, n graph.NodeID, le int32) float64 {
 	x := u.R.X
-	dAdf := x.PenaltyDeriv(i, u.FNode[i]) + x.LossDeriv(j, e, u.FEdge[j][e])
-	return dAdf * x.Cost[j][e]
+	var loss float64
+	if le == sg.DiffLink {
+		loss = x.LossDeriv(j, x.Commodities[j].DiffLink, u.FEdge[j][le])
+	}
+	dAdf := x.PenaltyDeriv(n, u.FNode[n]) + loss
+	return dAdf * sg.Cost[le]
 }

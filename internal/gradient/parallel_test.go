@@ -59,6 +59,12 @@ func TestParallelTrajectoryBitwiseIdentical(t *testing.T) {
 		// A many-commodity instance (E6 scale) where the pool has real
 		// work to split.
 		{"many-commodity", randnet.Config{Seed: 5, Nodes: 32, Layers: 4, Commodities: 8}, 200},
+		// The seed sweep the sharded parity tests use — same instances,
+		// so the worker-pool and shard determinism contracts are checked
+		// on identical ground.
+		{"sweep-seed2", randnet.Config{Seed: 2, Nodes: 24, Commodities: 4}, 150},
+		{"sweep-seed3", randnet.Config{Seed: 3, Nodes: 24, Commodities: 4}, 150},
+		{"sweep-seed5", randnet.Config{Seed: 5, Nodes: 24, Commodities: 4}, 150},
 	}
 	for _, tc := range instances {
 		t.Run(tc.name, func(t *testing.T) {

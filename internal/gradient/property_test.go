@@ -7,7 +7,6 @@ import (
 	"testing/quick"
 
 	"repro/internal/flow"
-	"repro/internal/graph"
 	"repro/internal/randnet"
 	"repro/internal/transform"
 )
@@ -97,7 +96,7 @@ func TestQuickMarginalsNonNegative(t *testing.T) {
 		u := flow.Evaluate(eng.Routing())
 		for j := range x.Commodities {
 			m := ComputeMarginals(u, j)
-			if m.Rho[x.Commodities[j].Sink] != 0 {
+			if m.RhoAt(&x.Sub[j], x.Commodities[j].Sink) != 0 {
 				return false
 			}
 			for n, rho := range m.Rho {
@@ -150,28 +149,28 @@ func TestQuickStationaryPointSatisfiesOptimalityCondition(t *testing.T) {
 		u := flow.Evaluate(eng.Routing())
 		for j := range x.Commodities {
 			m := ComputeMarginals(u, j)
-			member := x.Member[j]
-			for n := 0; n < x.G.NumNodes(); n++ {
-				node := graph.NodeID(n)
-				if node == x.Commodities[j].Sink || u.T[j][n] < 1e-3 {
+			sg := &x.Sub[j]
+			for ln := int32(0); ln < int32(sg.NumNodes()); ln++ {
+				node := sg.Nodes[ln]
+				if node == x.Commodities[j].Sink || u.T[j][ln] < 1e-3 {
 					continue
 				}
 				min := math.Inf(1)
-				for _, e := range x.G.Out(node) {
-					if member[e] && m.LinkD[e] < min {
-						min = m.LinkD[e]
+				for _, le := range sg.Out(ln) {
+					if m.LinkD[le] < min {
+						min = m.LinkD[le]
 					}
 				}
-				for _, e := range x.G.Out(node) {
-					if !member[e] || u.R.Phi[j][e] < 1e-3 {
+				for _, le := range sg.Out(ln) {
+					if u.R.Phi[j][le] < 1e-3 {
 						continue
 					}
 					// Used links must be near-optimal (eq. 12). The
 					// tolerance is loose: finite η stops short of the
 					// exact stationary point.
-					if m.LinkD[e] > min+0.35*(1+min) {
+					if m.LinkD[le] > min+0.35*(1+min) {
 						t.Logf("seed %d commodity %d node %d: used link %d marginal %g, min %g",
-							seed, j, n, e, m.LinkD[e], min)
+							seed, j, node, sg.Edges[le], m.LinkD[le], min)
 						return false
 					}
 				}

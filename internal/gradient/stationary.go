@@ -44,31 +44,34 @@ func CheckStationarity(u *flow.Usage) StationarityReport {
 	rep := StationarityReport{WorstNode: graph.Invalid, WorstCommodity: -1}
 	for j := range x.Commodities {
 		m := ComputeMarginals(u, j)
-		sink := x.Commodities[j].Sink
-		for n := 0; n < x.G.NumNodes(); n++ {
-			node := graph.NodeID(n)
-			if node == sink || u.T[j][n] <= MinTraffic {
+		sg := &x.Sub[j]
+		// Member nodes in ascending local index — the same ascending
+		// global-ID order the dense full-graph scan visited, since
+		// non-member nodes carried no traffic and were skipped.
+		for ln := int32(0); ln < int32(sg.NumNodes()); ln++ {
+			if ln == sg.Sink || u.T[j][ln] <= MinTraffic {
 				continue
 			}
+			outs := sg.Out(ln)
 			minD := math.Inf(1)
-			for _, e := range x.MemberOut(j, node) {
-				if m.LinkD[e] < minD {
-					minD = m.LinkD[e]
+			for _, le := range outs {
+				if m.LinkD[le] < minD {
+					minD = m.LinkD[le]
 				}
 			}
 			if math.IsInf(minD, 1) {
 				continue
 			}
-			for _, e := range x.MemberOut(j, node) {
-				if u.R.Phi[j][e] > MinPhi {
-					gap := (m.LinkD[e] - minD) / (1 + minD)
+			for _, le := range outs {
+				if u.R.Phi[j][le] > MinPhi {
+					gap := (m.LinkD[le] - minD) / (1 + minD)
 					if gap > rep.MaxUsedGap {
 						rep.MaxUsedGap = gap
-						rep.WorstNode = node
+						rep.WorstNode = sg.Nodes[ln]
 						rep.WorstCommodity = j
 					}
 				}
-				if viol := (m.Rho[n] - m.LinkD[e]) / (1 + m.Rho[n]); viol > rep.MaxSufficientViolation {
+				if viol := (m.Rho[ln] - m.LinkD[le]) / (1 + m.Rho[ln]); viol > rep.MaxSufficientViolation {
 					rep.MaxSufficientViolation = viol
 				}
 			}

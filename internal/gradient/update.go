@@ -4,13 +4,14 @@ import (
 	"math"
 
 	"repro/internal/flow"
-	"repro/internal/graph"
+	"repro/internal/transform"
 )
 
 // ApplyGamma performs the §5 routing update Γ (eqs. 14–17) for
 // commodity j, writing the new routing variables into next (which may
 // alias u's routing for in-place update only if callers do not need the
-// old values; the engine always passes a clone).
+// old values; the engine always passes a clone). tagged uses commodity
+// j's local node indexing, as returned by ComputeTags.
 //
 // At each node the fraction routed over every non-best unblocked link
 // decreases by Δ = min(φ, η·a/t) where a is the link's marginal excess
@@ -19,67 +20,65 @@ import (
 // and the update shifts the full fraction — the limit Gallager's
 // analysis prescribes (DESIGN.md §6).
 func ApplyGamma(u *flow.Usage, j int, m *Marginals, tagged []bool, eta float64, next *flow.Routing) {
-	x := u.R.X
-	sink := x.Commodities[j].Sink
-	for _, n := range x.Topo[j] {
-		if n == sink {
+	sg := &u.R.X.Sub[j]
+	for _, ln := range sg.Topo {
+		if ln == sg.Sink {
 			continue
 		}
-		updateNode(u, j, m, tagged, eta, next, n)
+		updateNode(u, j, sg, m, tagged, eta, next, ln)
 	}
 }
 
-func updateNode(u *flow.Usage, j int, m *Marginals, tagged []bool, eta float64, next *flow.Routing, n graph.NodeID) {
-	x := u.R.X
+func updateNode(u *flow.Usage, j int, sg *transform.Subgraph, m *Marginals, tagged []bool, eta float64, next *flow.Routing, ln int32) {
 	phi := u.R.Phi[j]
 
 	// Find the best (minimum-marginal) unblocked out-link; ties break
 	// toward the lowest edge ID for determinism. A node k is blocked
 	// (k ∈ B_i(j)) when φ_ik = 0 and k's broadcast was tagged.
-	best := graph.EdgeID(graph.Invalid)
+	best := int32(-1)
 	bestD := math.Inf(1)
-	outs := x.MemberOut(j, n)
-	for _, e := range outs {
-		if blocked(u, j, tagged, e) {
+	outs := sg.Out(ln)
+	for _, le := range outs {
+		if blocked(phi, sg, tagged, le) {
 			continue
 		}
-		if d := m.LinkD[e]; d < bestD {
+		if d := m.LinkD[le]; d < bestD {
 			bestD = d
-			best = e
+			best = le
 		}
 	}
-	if best == graph.Invalid {
+	if best < 0 {
 		return // node carries no commodity-j traffic options
 	}
 
-	t := u.T[j][n]
+	t := u.T[j][ln]
 	moved := 0.0
-	for _, e := range outs {
-		if e == best {
+	for _, le := range outs {
+		if le == best {
 			continue
 		}
-		if blocked(u, j, tagged, e) {
-			next.Phi[j][e] = 0 // eq. 14
+		if blocked(phi, sg, tagged, le) {
+			next.Phi[j][le] = 0 // eq. 14
 			continue
 		}
-		a := m.LinkD[e] - bestD // eq. 15
+		a := m.LinkD[le] - bestD // eq. 15
 		var delta float64
 		if t > 0 {
-			delta = math.Min(phi[e], eta*a/t) // eq. 16
+			delta = math.Min(phi[le], eta*a/t) // eq. 16
 		} else {
-			delta = phi[e] // t → 0 limit: empty every non-best link
+			delta = phi[le] // t → 0 limit: empty every non-best link
 		}
-		next.Phi[j][e] = phi[e] - delta
+		next.Phi[j][le] = phi[le] - delta
 		moved += delta
 	}
 	next.Phi[j][best] = phi[best] + moved // eq. 17
 }
 
-// blocked reports whether edge e's head is in the tail's blocked set:
-// zero routing fraction and a tagged broadcast.
-func blocked(u *flow.Usage, j int, tagged []bool, e graph.EdgeID) bool {
+// blocked reports whether member edge le's head is in the tail's
+// blocked set: zero routing fraction and a tagged broadcast.
+func blocked(phi []float64, sg *transform.Subgraph, tagged []bool, le int32) bool {
 	if tagged == nil {
 		return false
 	}
-	return u.R.Phi[j][e] == 0 && tagged[u.R.X.G.Edge(e).To]
+	return phi[le] == 0 && tagged[sg.Head[le]]
 }

@@ -80,6 +80,13 @@ type Result struct {
 	QueueTrace []float64
 }
 
+// visit is one entry of a node's inverted member list: commodity j is
+// present at the node with local node index ln in X.Sub[j].
+type visit struct {
+	j  int32
+	ln int32
+}
+
 // Run simulates the network under the given routing decision.
 //
 // Per tick: arrivals enter each dummy node; the dummy immediately
@@ -90,6 +97,11 @@ type Result struct {
 // edge e costs c_e(j) resource, and when total demand exceeds the
 // capacity all transfers scale down proportionally; forwarded work
 // arrives at the head queue multiplied by β_e(j); sinks absorb.
+//
+// Queues are held in each commodity's Subgraph local indexing (O(member
+// nodes) memory per commodity); a per-node inverted list of (commodity,
+// local node) pairs replaces the old dense membership scans while
+// visiting the same (node, commodity, edge) order.
 func Run(r *flow.Routing, cfg Config) (*Result, error) {
 	cfg.setDefaults()
 	x := r.X
@@ -101,8 +113,13 @@ func Run(r *flow.Routing, cfg Config) (*Result, error) {
 	nn := x.G.NumNodes()
 	nc := x.NumCommodities()
 	q := make([][]float64, nc)
+	at := make([][]visit, nn)
 	for j := range q {
-		q[j] = make([]float64, nn)
+		sg := &x.Sub[j]
+		q[j] = make([]float64, sg.NumNodes())
+		for ln, n := range sg.Nodes {
+			at[n] = append(at[n], visit{j: int32(j), ln: int32(ln)})
+		}
 	}
 	res := &Result{
 		Delivered: make([]float64, nc),
@@ -115,13 +132,14 @@ func Run(r *flow.Routing, cfg Config) (*Result, error) {
 		// Arrivals + admission at the dummies.
 		for j := 0; j < nc; j++ {
 			c := &x.Commodities[j]
+			sg := &x.Sub[j]
 			amount := c.MaxRate
 			if cfg.Arrivals == Poisson {
 				amount = poisson(rng, c.MaxRate)
 			}
-			admitted := amount * r.Phi[j][c.InputLink]
+			admitted := amount * r.Phi[j][sg.InputLink]
 			dropped := amount - admitted
-			q[j][c.Source] += admitted
+			q[j][sg.Source] += admitted
 			tickDropped += dropped
 			if tick >= cfg.Warmup {
 				res.Dropped[j] += dropped
@@ -132,7 +150,7 @@ func Run(r *flow.Routing, cfg Config) (*Result, error) {
 		// backlog simultaneously (like the synchronous protocols).
 		arrivals := make([][]float64, nc)
 		for j := range arrivals {
-			arrivals[j] = make([]float64, nn)
+			arrivals[j] = make([]float64, len(q[j]))
 		}
 		for n := 0; n < nn; n++ {
 			node := graph.NodeID(n)
@@ -141,14 +159,13 @@ func Run(r *flow.Routing, cfg Config) (*Result, error) {
 			}
 			// Demand if every queue were fully forwarded this tick.
 			demand := 0.0
-			for j := 0; j < nc; j++ {
-				if q[j][n] <= 0 {
+			for _, v := range at[n] {
+				if q[v.j][v.ln] <= 0 {
 					continue
 				}
-				for _, e := range x.G.Out(node) {
-					if x.Member[j][e] {
-						demand += q[j][n] * r.Phi[j][e] * x.Cost[j][e]
-					}
+				sg := &x.Sub[v.j]
+				for _, le := range sg.Out(v.ln) {
+					demand += q[v.j][v.ln] * r.Phi[v.j][le] * sg.Cost[le]
 				}
 			}
 			if demand == 0 {
@@ -158,43 +175,40 @@ func Run(r *flow.Routing, cfg Config) (*Result, error) {
 			if capn := x.Capacity[n]; !math.IsInf(capn, 1) && demand > capn {
 				share = capn / demand
 			}
-			for j := 0; j < nc; j++ {
-				if q[j][n] <= 0 {
+			for _, v := range at[n] {
+				if q[v.j][v.ln] <= 0 {
 					continue
 				}
-				sink := x.Commodities[j].Sink
+				sg := &x.Sub[v.j]
 				served := 0.0
-				for _, e := range x.G.Out(node) {
-					if !x.Member[j][e] {
-						continue
-					}
-					xfer := q[j][n] * r.Phi[j][e] * share
+				for _, le := range sg.Out(v.ln) {
+					xfer := q[v.j][v.ln] * r.Phi[v.j][le] * share
 					served += xfer
-					head := x.G.Edge(e).To
-					out := xfer * x.Beta[j][e]
-					if head == sink {
+					head := sg.Head[le]
+					out := xfer * sg.Beta[le]
+					if head == sg.Sink {
 						tickDelivered += out
 						if tick >= cfg.Warmup {
-							res.Delivered[j] += out
+							res.Delivered[v.j] += out
 						}
 					} else {
-						arrivals[j][head] += out
+						arrivals[v.j][head] += out
 					}
 				}
-				q[j][n] -= served
+				q[v.j][v.ln] -= served
 			}
 		}
 		for j := 0; j < nc; j++ {
-			for n := 0; n < nn; n++ {
-				q[j][n] += arrivals[j][n]
+			for ln := range q[j] {
+				q[j][ln] += arrivals[j][ln]
 			}
 		}
 
 		if tick >= cfg.Warmup {
 			total := 0.0
 			for j := 0; j < nc; j++ {
-				for n := 0; n < nn; n++ {
-					total += q[j][n]
+				for ln := range q[j] {
+					total += q[j][ln]
 				}
 			}
 			res.AvgQueue += total
@@ -234,28 +248,26 @@ func Run(r *flow.Routing, cfg Config) (*Result, error) {
 
 // sinkPotential is the β path product from dummy to sink (Property 1).
 func sinkPotential(x *transform.Extended, j int) float64 {
-	c := &x.Commodities[j]
-	g := make([]float64, x.G.NumNodes())
-	g[c.Dummy] = 1
-	member := x.Member[j]
-	for _, n := range x.Topo[j] {
-		if g[n] == 0 {
+	sg := &x.Sub[j]
+	g := make([]float64, sg.NumNodes())
+	g[sg.Dummy] = 1
+	for _, ln := range sg.Topo {
+		if g[ln] == 0 {
 			continue
 		}
-		for _, e := range x.G.Out(n) {
-			if !member[e] || e == c.DiffLink {
+		for _, le := range sg.Out(ln) {
+			if le == sg.DiffLink {
 				continue
 			}
-			head := x.G.Edge(e).To
-			if g[head] == 0 {
-				g[head] = g[n] * x.Beta[j][e]
+			if head := sg.Head[le]; g[head] == 0 {
+				g[head] = g[ln] * sg.Beta[le]
 			}
 		}
 	}
-	if g[c.Sink] == 0 {
+	if g[sg.Sink] == 0 {
 		return 1
 	}
-	return g[c.Sink]
+	return g[sg.Sink]
 }
 
 // poisson draws a Poisson(mean) sample. For large means it uses the

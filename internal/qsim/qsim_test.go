@@ -77,8 +77,8 @@ func TestOverloadedRoutingGrowsQueues(t *testing.T) {
 	r := flow.NewInitial(x)
 	for j := range x.Commodities {
 		c := &x.Commodities[j]
-		r.Phi[j][c.InputLink] = 1
-		r.Phi[j][c.DiffLink] = 0
+		r.SetAt(j, c.InputLink, 1)
+		r.SetAt(j, c.DiffLink, 0)
 	}
 	// Verify this routing is actually infeasible (it admits λ ≫ C).
 	if ok, _ := flow.Evaluate(r).Feasible(); ok {
@@ -140,8 +140,8 @@ func TestDeterministicWithSeed(t *testing.T) {
 
 func TestRejectsInvalidRouting(t *testing.T) {
 	x, r := solvedInstance(t, 4)
-	r.Phi[0][x.Commodities[0].InputLink] = 0.5 // break the simplex
-	r.Phi[0][x.Commodities[0].DiffLink] = 0.2
+	r.SetAt(0, x.Commodities[0].InputLink, 0.5) // break the simplex
+	r.SetAt(0, x.Commodities[0].DiffLink, 0.2)
 	if _, err := Run(r, Config{Ticks: 100}); err == nil {
 		t.Fatal("invalid routing accepted")
 	}

@@ -1,0 +1,106 @@
+package randnet
+
+import (
+	"testing"
+
+	"repro/internal/stream"
+	"repro/internal/transform"
+)
+
+func TestGenerateSparseValidAndSized(t *testing.T) {
+	cfg := Config{Seed: 11, Nodes: 30, Layers: 5, Commodities: 200}
+	p, err := GenerateSparse(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Commodities) != cfg.Commodities {
+		t.Fatalf("commodities = %d, want %d", len(p.Commodities), cfg.Commodities)
+	}
+	procs, sinks := 0, 0
+	for _, k := range p.Net.Kinds {
+		switch k {
+		case stream.Processing:
+			procs++
+		case stream.Sink:
+			sinks++
+		}
+	}
+	if procs != cfg.Nodes {
+		t.Fatalf("processing nodes = %d, want %d", procs, cfg.Nodes)
+	}
+	if sinks != cfg.Commodities {
+		t.Fatalf("sinks = %d, want one per commodity (%d)", sinks, cfg.Commodities)
+	}
+	// The whole point of the sparse family: edge count grows with
+	// J·Layers, not J². Every commodity adds at most Layers core links
+	// plus its private sink link.
+	if max := cfg.Commodities * cfg.Layers; p.Net.G.NumEdges() > max {
+		t.Fatalf("edges = %d, want ≤ %d (chains only)", p.Net.G.NumEdges(), max)
+	}
+}
+
+func TestGenerateSparseDeterministic(t *testing.T) {
+	cfg := Config{Seed: 4, Nodes: 24, Layers: 4, Commodities: 50}
+	a, err := GenerateSparse(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GenerateSparse(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Net.G.NumEdges() != b.Net.G.NumEdges() || a.Net.G.NumNodes() != b.Net.G.NumNodes() {
+		t.Fatalf("topology differs across identical seeds: %d/%d vs %d/%d edges/nodes",
+			a.Net.G.NumEdges(), a.Net.G.NumNodes(), b.Net.G.NumEdges(), b.Net.G.NumNodes())
+	}
+	for j := range a.Commodities {
+		if a.Commodities[j].MaxRate != b.Commodities[j].MaxRate {
+			t.Fatalf("commodity %d rate %v vs %v", j, a.Commodities[j].MaxRate, b.Commodities[j].MaxRate)
+		}
+	}
+}
+
+// TestGenerateSparseMemberSubgraphsSmall: each commodity's member
+// subgraph after the extended-graph transform is a chain — O(Layers)
+// nodes and edges — independent of the total commodity count. This is
+// the invariant that makes the sparse Subgraph representation O(member
+// edges) instead of O(n+m) per commodity.
+func TestGenerateSparseMemberSubgraphsSmall(t *testing.T) {
+	cfg := Config{Seed: 9, Nodes: 36, Layers: 6, Commodities: 120}
+	p, err := GenerateSparse(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, err := transform.Build(p, transform.Options{Epsilon: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Chain of Layers core hops + sink hop, each hop a node + bandwidth
+	// node pair in the extended graph, plus dummy/input/diff overhead.
+	maxNodes := 2*(cfg.Layers+2) + 3
+	maxEdges := 2*(cfg.Layers+1) + 3
+	for j := range x.Sub {
+		sg := &x.Sub[j]
+		if sg.NumNodes() > maxNodes || sg.NumEdges() > maxEdges {
+			t.Fatalf("commodity %d subgraph %d nodes/%d edges, want ≤ %d/%d",
+				j, sg.NumNodes(), sg.NumEdges(), maxNodes, maxEdges)
+		}
+	}
+	// Footprint must be O(member edges): per-commodity bytes bounded by
+	// a constant for this chain-shaped family.
+	if per := float64(x.BuildBytes()) / float64(len(p.Commodities)); per > 4096 {
+		t.Fatalf("build footprint %.0f bytes/commodity, want ≤ 4096", per)
+	}
+}
+
+func TestGenerateSparseRejectsBadConfigs(t *testing.T) {
+	if _, err := GenerateSparse(Config{Seed: 1, Nodes: 20, Layers: 1, Commodities: 5}); err == nil {
+		t.Fatal("Layers=1 accepted")
+	}
+	if _, err := GenerateSparse(Config{Seed: 1, Nodes: 3, Layers: 5, Commodities: 5}); err == nil {
+		t.Fatal("Nodes < Layers accepted")
+	}
+}

@@ -16,7 +16,6 @@ import (
 	"fmt"
 	"math"
 
-	"repro/internal/graph"
 	"repro/internal/lp"
 	"repro/internal/transform"
 	"repro/internal/utility"
@@ -61,18 +60,17 @@ func Solve(x *transform.Extended, opts Options) (*Result, error) {
 	ne := x.G.NumEdges()
 	nc := x.NumCommodities()
 
-	// Variable layout: per commodity, one y variable per member edge,
-	// then PWL segment variables per commodity.
-	varOf := make([][]int, nc) // varOf[j][e] = LP variable or -1
+	// Variable layout: per commodity, one y variable per member edge
+	// (Subgraph local index; ascending local index is ascending global
+	// edge ID, so the numbering matches the old dense member scan), then
+	// PWL segment variables per commodity.
+	varOf := make([][]int, nc) // varOf[j][le] = LP variable
 	numVars := 0
 	for j := 0; j < nc; j++ {
-		varOf[j] = make([]int, ne)
-		for e := 0; e < ne; e++ {
-			varOf[j][e] = -1
-			if x.Member[j][e] {
-				varOf[j][e] = numVars
-				numVars++
-			}
+		varOf[j] = make([]int, x.Sub[j].NumEdges())
+		for le := range varOf[j] {
+			varOf[j][le] = numVars
+			numVars++
 		}
 	}
 	type segment struct {
@@ -113,8 +111,7 @@ func Solve(x *transform.Extended, opts Options) (*Result, error) {
 
 	// Admission coupling: Σ_k s_jk = a_j = y on the input link.
 	for j := 0; j < nc; j++ {
-		c := &x.Commodities[j]
-		coeffs := map[int]float64{varOf[j][c.InputLink]: 1}
+		coeffs := map[int]float64{varOf[j][x.Sub[j].InputLink]: 1}
 		for _, s := range segs[j] {
 			coeffs[s.v] -= 1
 			if coeffs[s.v] == 0 {
@@ -126,29 +123,28 @@ func Solve(x *transform.Extended, opts Options) (*Result, error) {
 		}
 	}
 
-	// Flow balance with shrinkage (eq. 7) per commodity per node:
+	// Flow balance with shrinkage (eq. 7) per commodity per member node:
 	// Σ_out y_e − Σ_in β_e·y_e = r (λ_j at the dummy, 0 elsewhere,
-	// unconstrained at the sink).
+	// unconstrained at the sink). Ascending local node index visits the
+	// same nodes in the same order as the old full-graph scan (nodes
+	// without member edges produced no constraint rows there), so the LP
+	// rows — and therefore the dual indices — are unchanged.
 	for j := 0; j < nc; j++ {
 		c := &x.Commodities[j]
-		for n := 0; n < x.G.NumNodes(); n++ {
-			node := graph.NodeID(n)
-			if node == c.Sink {
+		sg := &x.Sub[j]
+		for ln := int32(0); ln < int32(sg.NumNodes()); ln++ {
+			if ln == sg.Sink {
 				continue
 			}
 			coeffs := make(map[int]float64)
-			for _, e := range x.G.Out(node) {
-				if v := varOf[j][e]; v >= 0 {
-					coeffs[v] += 1
-				}
+			for _, le := range sg.Out(ln) {
+				coeffs[varOf[j][le]] += 1
 			}
-			for _, e := range x.G.In(node) {
-				if v := varOf[j][e]; v >= 0 {
-					coeffs[v] -= x.Beta[j][e]
-				}
+			for _, le := range sg.In(ln) {
+				coeffs[varOf[j][le]] -= sg.Beta[le]
 			}
 			rhs := 0.0
-			if node == c.Dummy {
+			if ln == sg.Dummy {
 				rhs = c.MaxRate
 			}
 			if len(coeffs) == 0 {
@@ -164,9 +160,17 @@ func Solve(x *transform.Extended, opts Options) (*Result, error) {
 	}
 
 	// Capacity (eq. 6): Σ_j Σ_{e ∈ out(n)} c_e(j)·y_e(j) ≤ C_n for
-	// every capacitated node (bandwidth nodes carry B_ik here).
+	// every capacitated node (bandwidth nodes carry B_ik here), scanned
+	// via a per-node inverted list of (commodity, local node) presences.
 	// capRow[n] records each capacity constraint's LP row so the dual
 	// values can be read back as per-node shadow prices.
+	type visit struct{ j, ln int32 }
+	at := make([][]visit, x.G.NumNodes())
+	for j := 0; j < nc; j++ {
+		for ln, n := range x.Sub[j].Nodes {
+			at[n] = append(at[n], visit{j: int32(j), ln: int32(ln)})
+		}
+	}
 	capRow := make([]int, x.G.NumNodes())
 	nRows := countRows(p)
 	for n := 0; n < x.G.NumNodes(); n++ {
@@ -176,11 +180,10 @@ func Solve(x *transform.Extended, opts Options) (*Result, error) {
 			continue
 		}
 		coeffs := make(map[int]float64)
-		for j := 0; j < nc; j++ {
-			for _, e := range x.G.Out(graph.NodeID(n)) {
-				if v := varOf[j][e]; v >= 0 {
-					coeffs[v] += x.Cost[j][e]
-				}
+		for _, v := range at[n] {
+			sg := &x.Sub[v.j]
+			for _, le := range sg.Out(v.ln) {
+				coeffs[varOf[v.j][le]] += sg.Cost[le]
 			}
 		}
 		if len(coeffs) == 0 {
@@ -210,13 +213,14 @@ func Solve(x *transform.Extended, opts Options) (*Result, error) {
 	}
 	for j := 0; j < nc; j++ {
 		c := &x.Commodities[j]
-		res.Admitted[j] = sol.X[varOf[j][c.InputLink]]
+		sg := &x.Sub[j]
+		res.Admitted[j] = sol.X[varOf[j][sg.InputLink]]
 		res.Utility += c.Utility.Value(res.Admitted[j])
+		// EdgeInput stays dense over extended edges: external consumers
+		// (experiments, reports) index it by global edge ID.
 		res.EdgeInput[j] = make([]float64, ne)
-		for e := 0; e < ne; e++ {
-			if v := varOf[j][e]; v >= 0 {
-				res.EdgeInput[j][e] = sol.X[v]
-			}
+		for le, e := range sg.Edges {
+			res.EdgeInput[j][e] = sol.X[varOf[j][le]]
 		}
 	}
 	return res, nil

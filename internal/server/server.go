@@ -934,6 +934,9 @@ func (s *Server) solveOnce() {
 	bs := tr.Start("build", solveSpan.Context())
 	x, err := transform.Build(p, transform.Options{Epsilon: s.opts.Epsilon})
 	bs.End()
+	if err == nil {
+		s.opts.Recorder.BuildFootprint(-1, x.BuildBytes(), len(p.Commodities))
+	}
 	if err != nil {
 		// Mutations are validated before acceptance, so this is a bug,
 		// not an operator error; keep the last good snapshot and log.
@@ -1141,7 +1144,10 @@ func (s *Server) newEngine(x *transform.Extended, cfg gradient.Config) (*gradien
 		if err == nil {
 			return eng, true
 		}
-		if errors.Is(err, flow.ErrTopologyChanged) {
+		if errors.Is(err, flow.ErrTopologyChanged) || errors.Is(err, flow.ErrWorkspaceShape) {
+			// Both mean the previous routing's shape no longer fits the
+			// rebuilt problem (membership or workspace rows changed) —
+			// recoverable by starting cold.
 			s.opts.Logf("server: cold start (expected): %v", err)
 		} else {
 			s.opts.Logf("server: warm start failed unexpectedly, falling back to cold: %v", err)

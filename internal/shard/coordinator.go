@@ -299,6 +299,7 @@ func (r *runner) rebuild(p *stream.Problem, subset []int) (warm bool, err error)
 	if err != nil {
 		return false, err
 	}
+	r.cfg.Recorder.BuildFootprint(r.id, x.BuildBytes(), len(subset))
 	if r.ext == nil {
 		r.ext = make([]float64, x.SharedNodes)
 		r.own = make([]float64, x.SharedNodes)
@@ -470,7 +471,7 @@ func (r *runner) advance(ctx context.Context) (stepped bool) {
 		return false
 	}
 	tol := r.cfg.StationaryTol
-	flow.EvaluateInto(r.u, r.eng.Routing())
+	r.evaluate()
 	if tol > 0 {
 		rep := gradient.CheckStationarity(r.u)
 		if rep.MaxUsedGap <= tol {
@@ -504,10 +505,23 @@ func (r *runner) advance(ctx context.Context) (stepped bool) {
 			break
 		}
 	}
-	flow.EvaluateInto(r.u, r.eng.Routing())
+	r.evaluate()
 	r.extMoved = false
 	r.capture()
 	return stepped
+}
+
+// evaluate refreshes the runner's usage workspace from the engine's
+// current routing. The workspace is rebuilt alongside the engine, so a
+// shape mismatch means a stale workspace survived a rebuild race; it
+// is recovered by reallocating (flow.ErrWorkspaceShape is typed for
+// exactly this), not by crashing the shard.
+func (r *runner) evaluate() {
+	if err := flow.TryEvaluateInto(r.u, r.eng.Routing()); err != nil {
+		r.cfg.Logf("shard %d: stale usage workspace, reallocating: %v", r.id, err)
+		r.u = flow.NewUsage(r.eng.X)
+		flow.EvaluateInto(r.u, r.eng.Routing())
+	}
 }
 
 // capture refreshes the runner's usage summary — shared-prefix flow,

@@ -181,6 +181,54 @@ func TestShardedDeterministic(t *testing.T) {
 	}
 }
 
+// TestShardedReplayBitwiseIdentical: at Shards ∈ {1, 4}, re-running the
+// coordinator with the same config on the same problem reproduces the
+// Result.Utility and every per-commodity admitted rate bit for bit, on
+// the E4 paper instance, the E6 many-commodity instance, and the seed
+// sweep. With the sparse per-commodity subgraphs this is the end-to-end
+// determinism contract: subset build, local evaluation, and the
+// dual-price exchange must all be fixed-order.
+func TestShardedReplayBitwiseIdentical(t *testing.T) {
+	instances := []struct {
+		name string
+		cfg  randnet.Config
+	}{
+		{"paper-e4", randnet.Config{Seed: 2, Nodes: 40, Commodities: 3}},
+		{"many-commodity-e6", randnet.Config{Seed: 5, Nodes: 32, Layers: 4, Commodities: 8}},
+		{"sweep-seed2", randnet.Config{Seed: 2, Nodes: 24, Commodities: 4}},
+		{"sweep-seed3", randnet.Config{Seed: 3, Nodes: 24, Commodities: 4}},
+		{"sweep-seed5", randnet.Config{Seed: 5, Nodes: 24, Commodities: 4}},
+	}
+	for _, inst := range instances {
+		inst := inst
+		t.Run(inst.name, func(t *testing.T) {
+			t.Parallel()
+			p, err := randnet.Generate(inst.cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, shards := range []int{1, 4} {
+				a := solveSharded(t, p, shards, 0.04, 1e-4, 1500)
+				b := solveSharded(t, p, shards, 0.04, 1e-4, 1500)
+				if a.Utility != b.Utility || a.Iterations != b.Iterations || a.Rounds != b.Rounds {
+					t.Fatalf("shards=%d: replay drifted: %+v vs %+v", shards, a, b)
+				}
+				ca := solveShardedCoordinator(t, p, shards, 1500).Commodities()
+				cb := solveShardedCoordinator(t, p, shards, 1500).Commodities()
+				if len(ca) != len(cb) {
+					t.Fatalf("shards=%d: commodity count %d vs %d", shards, len(ca), len(cb))
+				}
+				for gi := range ca {
+					if ca[gi].Admitted != cb[gi].Admitted {
+						t.Fatalf("shards=%d commodity %q: admitted %v vs %v",
+							shards, ca[gi].Name, ca[gi].Admitted, cb[gi].Admitted)
+					}
+				}
+			}
+		})
+	}
+}
+
 func solveShardedCoordinator(t *testing.T, p *stream.Problem, shards, maxIters int) *Coordinator {
 	t.Helper()
 	c := New(Config{Shards: shards, Salt: 7, MaxIters: maxIters, StationaryTol: 1e-4})

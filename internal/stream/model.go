@@ -218,12 +218,34 @@ var errValidate = errors.New("stream: invalid problem")
 //   - Property 1: the product of β along every source→node path is
 //     path-independent (checked via node potentials g_n(j)),
 //   - utilities are concave and increasing on [0, λ_j].
+//
+// Each commodity is checked on a sparse local index of its own
+// subgraph, so the total cost is O(Σ_j member_j), not O(J·(n+m)).
 func (p *Problem) Validate() error {
+	return p.ValidateSubset(nil)
+}
+
+// ValidateSubset runs Validate's checks restricted to the commodities
+// at the given indices into p.Commodities (all of them when incl is
+// nil). Subset builds (sharding) validate only their own commodities,
+// keeping a shard's cost proportional to its own footprint.
+func (p *Problem) ValidateSubset(incl []int) error {
 	if len(p.Commodities) == 0 {
 		return fmt.Errorf("%w: no commodities", errValidate)
 	}
-	for _, c := range p.Commodities {
-		if err := p.validateCommodity(c); err != nil {
+	if incl == nil {
+		for _, c := range p.Commodities {
+			if err := p.validateCommodity(c); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	for _, gi := range incl {
+		if gi < 0 || gi >= len(p.Commodities) {
+			return fmt.Errorf("%w: commodity index %d out of range [0,%d)", errValidate, gi, len(p.Commodities))
+		}
+		if err := p.validateCommodity(p.Commodities[gi]); err != nil {
 			return err
 		}
 	}
@@ -232,22 +254,23 @@ func (p *Problem) Validate() error {
 
 func (p *Problem) validateCommodity(c *Commodity) error {
 	g := p.Net.G
-	keep := func(e graph.EdgeID) bool { return c.UsesEdge(e) }
-	if !g.IsAcyclic(keep) {
+	ci := indexCommodity(g, c)
+	if _, err := ci.topo(); err != nil {
 		return fmt.Errorf("%w: commodity %q subgraph is cyclic", errValidate, c.Name)
 	}
-	for e := range c.Edges {
-		if p.Net.Kinds[g.Edge(e).From] == Sink {
+	for le, e := range ci.edges {
+		if p.Net.Kinds[ci.nodes[ci.tail[le]]] == Sink {
 			return fmt.Errorf("%w: commodity %q: edge %d leaves sink %q",
-				errValidate, c.Name, e, p.Net.name(g.Edge(e).From))
+				errValidate, c.Name, e, p.Net.name(ci.nodes[ci.tail[le]]))
 		}
 	}
-	reach := g.ReachableFrom(c.Source, keep)
-	if !reach[c.SinkID] {
+	sink := ci.localNode(c.SinkID)
+	reach := ci.reachableFrom(ci.localNode(c.Source))
+	if sink < 0 || !reach[sink] {
 		return fmt.Errorf("%w: commodity %q: sink %q unreachable from source %q",
 			errValidate, c.Name, p.Net.name(c.SinkID), p.Net.name(c.Source))
 	}
-	if _, err := p.Potentials(c); err != nil {
+	if _, _, err := ci.potentials(p, c); err != nil {
 		return fmt.Errorf("%w: commodity %q: %v", errValidate, c.Name, err)
 	}
 	if err := utility.Validate(c.Utility, c.MaxRate); err != nil {
@@ -259,11 +282,13 @@ func (p *Problem) validateCommodity(c *Commodity) error {
 // Potentials computes the node potentials g_n(j) of §2: the product of
 // β along any path from the source to n. It returns an error if two
 // paths disagree, i.e. Property 1 is violated. Unreachable nodes get
-// potential 1, matching the paper's convention.
+// potential 1, matching the paper's convention. The sweep runs on a
+// sparse local index of the commodity's subgraph and scatters into the
+// full-width result, so it costs O(member), not O(n+m).
 func (p *Problem) Potentials(c *Commodity) ([]float64, error) {
 	g := p.Net.G
-	keep := func(e graph.EdgeID) bool { return c.UsesEdge(e) }
-	order, err := g.TopoSortFiltered(keep)
+	ci := indexCommodity(g, c)
+	local, reach, err := ci.potentials(p, c)
 	if err != nil {
 		return nil, err
 	}
@@ -271,34 +296,9 @@ func (p *Problem) Potentials(c *Commodity) ([]float64, error) {
 	for i := range pot {
 		pot[i] = 1
 	}
-	reach := g.ReachableFrom(c.Source, keep)
-	assigned := make([]bool, g.NumNodes())
-	assigned[c.Source] = true // g_{s_j}(j) = 1 by definition
-	const tol = 1e-9
-	// In a topological order every in-edge of a node is processed before
-	// the node itself, so each reachable node is assigned exactly once
-	// (first in-edge from a reachable tail) and checked on every later
-	// in-edge.
-	for _, u := range order {
-		if !reach[u] {
-			continue
-		}
-		for _, e := range g.Out(u) {
-			params, ok := c.Edges[e]
-			if !ok {
-				continue
-			}
-			v := g.Edge(e).To
-			want := pot[u] * params.Beta
-			if assigned[v] {
-				if relDiff(pot[v], want) > tol {
-					return nil, fmt.Errorf("property 1 violated at node %q: potentials %g vs %g",
-						p.Net.name(v), pot[v], want)
-				}
-				continue
-			}
-			pot[v] = want
-			assigned[v] = true
+	for l, n := range ci.nodes {
+		if reach[l] {
+			pot[n] = local[l]
 		}
 	}
 	return pot, nil

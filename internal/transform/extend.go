@@ -12,11 +12,17 @@
 //
 // The result is the routing problem min A = Y + ε·D that internal/flow,
 // internal/gradient and internal/backpressure operate on.
+//
+// Per-commodity state is held sparsely: each commodity carries a
+// Subgraph over only its member nodes and edges (local index maps,
+// parameters, topo order, CSR adjacency), so building and iterating J
+// commodities costs O(Σ_j member_j), not O(J·(n+m)).
 package transform
 
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"repro/internal/graph"
 	"repro/internal/stream"
@@ -100,13 +106,12 @@ type Extended struct {
 	// path bitwise-identical to an unsharded build.
 	External []float64
 
-	// Member[j][e] reports whether extended edge e is usable by
-	// commodity j (trimmed to edges on some source→sink path).
-	Member [][]bool
-	// Beta[j][e] and Cost[j][e] are the per-commodity edge parameters;
-	// zero where Member is false.
-	Beta [][]float64
-	Cost [][]float64
+	// Sub[j] is commodity j's member subgraph in compact local
+	// indexing: parameters, topo order, and adjacency over only the
+	// edges the commodity can use, trimmed to dummy→sink paths. This is
+	// the only per-commodity representation; global-indexed queries go
+	// through MemberEdge/MemberEdges/EdgeBeta/EdgeCost.
+	Sub []Subgraph
 
 	// OrigNode maps extended node -> original node (graph.Invalid for
 	// bandwidth and dummy nodes). OrigEdge maps extended edge -> the
@@ -116,26 +121,6 @@ type Extended struct {
 	OrigNode []graph.NodeID
 	OrigEdge []graph.EdgeID
 	Wire     []bool
-
-	// Topo[j] is a topological order of the nodes restricted to
-	// commodity j's member edges; every member subgraph is a DAG, so
-	// routing restricted to member edges is loop-free by construction.
-	Topo [][]graph.NodeID
-
-	// CSR-style member adjacency, built once by Build: for commodity j
-	// the member out-edges of node n are
-	// outEdges[j][outIdx[j][n]:outIdx[j][n+1]], in ascending edge-ID
-	// order (the same order a G.Out(n) scan filtered by Member[j]
-	// produces, so floating-point accumulation over it is bit-identical
-	// to the filtered scan). The hot solver loops iterate these flat
-	// slices through MemberOut/MemberIn instead of re-filtering the
-	// full adjacency every wave. revTopo[j] caches Topo[j] reversed for
-	// the upstream (marginal-cost) waves.
-	outIdx   [][]int32
-	outEdges [][]graph.EdgeID
-	inIdx    [][]int32
-	inEdges  [][]graph.EdgeID
-	revTopo  [][]graph.NodeID
 }
 
 // Options configures the transformation.
@@ -150,23 +135,15 @@ type Options struct {
 	// p.Commodities (ascending, no duplicates). Nil builds all of them.
 	// The shared node prefix (originals + bandwidth nodes) is identical
 	// across subset builds over the same network; only the dummy nodes
-	// and per-commodity tables shrink.
+	// and per-commodity subgraphs shrink. Validation is restricted to
+	// the included commodities, so a subset build's cost is proportional
+	// to the subset's footprint.
 	Commodities []int
 }
 
 // Build constructs the extended problem from a validated stream.Problem.
 // The resulting graph has N+M+J nodes and 2M+2J edges, as stated in §3.
 func Build(p *stream.Problem, opts Options) (*Extended, error) {
-	if err := p.Validate(); err != nil {
-		return nil, err
-	}
-	if opts.Penalty == nil {
-		opts.Penalty = utility.Reciprocal{}
-	}
-	if opts.Epsilon <= 0 {
-		opts.Epsilon = 0.2
-	}
-
 	incl := opts.Commodities
 	if incl != nil {
 		for i, gi := range incl {
@@ -177,6 +154,15 @@ func Build(p *stream.Problem, opts Options) (*Extended, error) {
 				return nil, fmt.Errorf("transform: commodity indices must be strictly ascending")
 			}
 		}
+	}
+	if err := p.ValidateSubset(incl); err != nil {
+		return nil, err
+	}
+	if opts.Penalty == nil {
+		opts.Penalty = utility.Reciprocal{}
+	}
+	if opts.Epsilon <= 0 {
+		opts.Epsilon = 0.2
 	}
 
 	og := p.Net.G
@@ -274,148 +260,200 @@ func Build(p *stream.Problem, opts Options) (*Extended, error) {
 		})
 	}
 
-	// Per-commodity edge parameters. A commodity may use extended edge
-	// (i, n_ik) with the original β and c, and (n_ik, k) with β=1, c=1
-	// (one bandwidth unit transfers one flow unit). Dummy links use
-	// β=1, c=1 so the difference-link usage equals the rejected rate.
-	ext := x.G.NumEdges()
-	x.Member = make([][]bool, j)
-	x.Beta = make([][]float64, j)
-	x.Cost = make([][]float64, j)
+	// Per-commodity sparse subgraphs: parameters, trim, topo order, and
+	// CSR adjacency over only the member edges. A commodity may use
+	// extended edge (i, n_ik) with the original β and c, and (n_ik, k)
+	// with β=1, c=1 (one bandwidth unit transfers one flow unit). Dummy
+	// links use β=1, c=1 so the difference-link usage equals the
+	// rejected rate.
+	x.Sub = make([]Subgraph, j)
 	for ci, gi := range order {
-		c := p.Commodities[gi]
-		member := make([]bool, ext)
-		beta := make([]float64, ext)
-		cost := make([]float64, ext)
-		for e, params := range c.Edges {
-			member[procHalf[e]] = true
-			beta[procHalf[e]] = params.Beta
-			cost[procHalf[e]] = params.Cost
-			member[wireHalf[e]] = true
-			beta[wireHalf[e]] = 1
-			cost[wireHalf[e]] = 1
+		if err := buildSubgraph(x, ci, p.Commodities[gi], procHalf, wireHalf); err != nil {
+			return nil, err
 		}
-		xc := x.Commodities[ci]
-		for _, e := range []graph.EdgeID{xc.InputLink, xc.DiffLink} {
-			member[e] = true
-			beta[e] = 1
-			cost[e] = 1
-		}
-		x.Member[ci] = member
-		x.Beta[ci] = beta
-		x.Cost[ci] = cost
 	}
-
-	x.trimToUseful()
-
-	// Topological orders per commodity member subgraph; Build fails if
-	// any is cyclic, which Validate should already have excluded.
-	x.Topo = make([][]graph.NodeID, j)
-	for ci := range x.Commodities {
-		member := x.Member[ci]
-		order, err := x.G.TopoSortFiltered(func(e graph.EdgeID) bool { return member[e] })
-		if err != nil {
-			return nil, fmt.Errorf("transform: commodity %q: %w", x.Commodities[ci].Name, err)
-		}
-		x.Topo[ci] = order
-	}
-	x.buildMemberAdjacency()
 	return x, nil
 }
 
-// buildMemberAdjacency precomputes the flat per-commodity member
-// adjacency (MemberOut/MemberIn) and the reverse topological orders.
-// Must run after trimToUseful and the Topo construction so the edge
-// sets and orders are final.
-func (x *Extended) buildMemberAdjacency() {
-	nc, nn := len(x.Commodities), x.G.NumNodes()
-	x.outIdx = make([][]int32, nc)
-	x.outEdges = make([][]graph.EdgeID, nc)
-	x.inIdx = make([][]int32, nc)
-	x.inEdges = make([][]graph.EdgeID, nc)
-	x.revTopo = make([][]graph.NodeID, nc)
-	for j := 0; j < nc; j++ {
-		member := x.Member[j]
-		count := 0
-		for e := range member {
-			if member[e] {
-				count++
-			}
-		}
-		outIdx := make([]int32, nn+1)
-		outEdges := make([]graph.EdgeID, 0, count)
-		inIdx := make([]int32, nn+1)
-		inEdges := make([]graph.EdgeID, 0, count)
-		for n := 0; n < nn; n++ {
-			outIdx[n] = int32(len(outEdges))
-			for _, e := range x.G.Out(graph.NodeID(n)) {
-				if member[e] {
-					outEdges = append(outEdges, e)
-				}
-			}
-			inIdx[n] = int32(len(inEdges))
-			for _, e := range x.G.In(graph.NodeID(n)) {
-				if member[e] {
-					inEdges = append(inEdges, e)
-				}
-			}
-		}
-		outIdx[nn] = int32(len(outEdges))
-		inIdx[nn] = int32(len(inEdges))
-		x.outIdx[j], x.outEdges[j] = outIdx, outEdges
-		x.inIdx[j], x.inEdges[j] = inIdx, inEdges
+// buildSubgraph assembles commodity ci's Subgraph from the stream
+// commodity's edge map: candidate member edges in ascending global
+// order, the reach/co-reach trim (edges that cannot carry dummy→sink
+// flow are dropped — flow routed onto them would strand at a dead end
+// and violate flow balance), then local topo order and CSR adjacency.
+// Cost is O(k log k) in the commodity's own edge count.
+func buildSubgraph(x *Extended, ci int, sc *stream.Commodity, procHalf, wireHalf []graph.EdgeID) error {
+	xc := &x.Commodities[ci]
 
-		rev := make([]graph.NodeID, len(x.Topo[j]))
-		for i, n := range x.Topo[j] {
-			rev[len(rev)-1-i] = n
+	phys := make([]graph.EdgeID, 0, len(sc.Edges))
+	for e := range sc.Edges {
+		phys = append(phys, e)
+	}
+	sort.Slice(phys, func(a, b int) bool { return phys[a] < phys[b] })
+
+	// Candidate member edges in ascending extended-ID order: the
+	// (procHalf, wireHalf) pairs follow physical edge order, and the
+	// dummy links have the largest IDs of all.
+	ne := 2*len(phys) + 2
+	s := Subgraph{
+		Edges: make([]graph.EdgeID, 0, ne),
+		Beta:  make([]float64, 0, ne),
+		Cost:  make([]float64, 0, ne),
+	}
+	for _, e := range phys {
+		params := sc.Edges[e]
+		s.Edges = append(s.Edges, procHalf[e], wireHalf[e])
+		s.Beta = append(s.Beta, params.Beta, 1)
+		s.Cost = append(s.Cost, params.Cost, 1)
+	}
+	s.Edges = append(s.Edges, xc.InputLink, xc.DiffLink)
+	s.Beta = append(s.Beta, 1, 1)
+	s.Cost = append(s.Cost, 1, 1)
+
+	if err := finishSubgraph(x, ci, &s); err != nil {
+		return err
+	}
+	x.Sub[ci] = s
+	return nil
+}
+
+// finishSubgraph derives everything past the (Edges, Beta, Cost)
+// candidate arrays: node set, endpoints, trim, final compaction, topo
+// order, CSR, and the distinguished local indexes.
+func finishSubgraph(x *Extended, ci int, s *Subgraph) error {
+	xc := &x.Commodities[ci]
+	s.indexNodes(x.G)
+	s.buildCSR()
+
+	// Trim: keep only edges whose tail is reachable from the dummy and
+	// whose head co-reaches the sink, walking local adjacency only.
+	dummy := s.LocalNode(xc.Dummy)
+	sink := s.LocalNode(xc.Sink)
+	if dummy < 0 || sink < 0 {
+		return fmt.Errorf("transform: commodity %q: dummy or sink not in member subgraph", xc.Name)
+	}
+	reach := s.reachable(dummy, s.Out, s.Head)
+	coreach := s.reachable(sink, s.In, s.Tail)
+	kept := 0
+	for le := range s.Edges {
+		if reach[s.Tail[le]] && coreach[s.Head[le]] {
+			kept++
 		}
-		x.revTopo[j] = rev
+	}
+	if kept != len(s.Edges) {
+		edges := make([]graph.EdgeID, 0, kept)
+		beta := make([]float64, 0, kept)
+		cost := make([]float64, 0, kept)
+		for le := range s.Edges {
+			if reach[s.Tail[le]] && coreach[s.Head[le]] {
+				edges = append(edges, s.Edges[le])
+				beta = append(beta, s.Beta[le])
+				cost = append(cost, s.Cost[le])
+			}
+		}
+		s.Edges, s.Beta, s.Cost = edges, beta, cost
+		s.indexNodes(x.G)
+		s.buildCSR()
+	}
+
+	if err := s.topoSort(); err != nil {
+		return fmt.Errorf("transform: commodity %q: %w", xc.Name, err)
+	}
+
+	s.Dummy = s.LocalNode(xc.Dummy)
+	s.Source = s.LocalNode(xc.Source)
+	s.Sink = s.LocalNode(xc.Sink)
+	s.InputLink = s.LocalEdge(xc.InputLink)
+	s.DiffLink = s.LocalEdge(xc.DiffLink)
+	if s.Dummy < 0 || s.Source < 0 || s.Sink < 0 || s.InputLink < 0 || s.DiffLink < 0 {
+		return fmt.Errorf("transform: commodity %q: dummy links trimmed away (sink unreachable?)", xc.Name)
+	}
+	return nil
+}
+
+// indexNodes (re)derives the sorted member node set and the local
+// Tail/Head arrays from the current edge list.
+func (s *Subgraph) indexNodes(g *graph.Graph) {
+	ends := make([]graph.NodeID, 0, 2*len(s.Edges))
+	for _, ge := range s.Edges {
+		ed := g.Edge(ge)
+		ends = append(ends, ed.From, ed.To)
+	}
+	sort.Slice(ends, func(a, b int) bool { return ends[a] < ends[b] })
+	s.Nodes = s.Nodes[:0]
+	for i, n := range ends {
+		if i == 0 || n != ends[i-1] {
+			s.Nodes = append(s.Nodes, n)
+		}
+	}
+	s.Tail = make([]int32, len(s.Edges))
+	s.Head = make([]int32, len(s.Edges))
+	for le, ge := range s.Edges {
+		ed := g.Edge(ge)
+		s.Tail[le] = s.LocalNode(ed.From)
+		s.Head[le] = s.LocalNode(ed.To)
 	}
 }
 
-// MemberOut returns commodity j's member out-edges of node n in
-// ascending edge-ID order. The slice aliases the precomputed adjacency;
-// callers must not modify it.
-func (x *Extended) MemberOut(j int, n graph.NodeID) []graph.EdgeID {
-	idx := x.outIdx[j]
-	return x.outEdges[j][idx[n]:idx[n+1]]
+// reachable runs a DFS from start over adj (Out with Head, or In with
+// Tail for the co-reachability direction).
+func (s *Subgraph) reachable(start int32, adj func(int32) []int32, to []int32) []bool {
+	seen := make([]bool, len(s.Nodes))
+	stack := []int32{start}
+	seen[start] = true
+	for len(stack) > 0 {
+		l := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, le := range adj(l) {
+			v := to[le]
+			if !seen[v] {
+				seen[v] = true
+				stack = append(stack, v)
+			}
+		}
+	}
+	return seen
 }
 
-// MemberIn returns commodity j's member in-edges of node n in ascending
-// edge-ID order. The slice aliases the precomputed adjacency; callers
+// MemberEdge reports whether extended edge e is usable by commodity j
+// (trimmed to edges on some dummy→sink path). O(log member edges);
+// hot loops iterate Sub[j] locally instead of probing this.
+func (x *Extended) MemberEdge(j int, e graph.EdgeID) bool {
+	return x.Sub[j].LocalEdge(e) >= 0
+}
+
+// MemberEdges returns commodity j's member edges as ascending extended
+// edge IDs. The slice aliases the subgraph's local→global map; callers
 // must not modify it.
-func (x *Extended) MemberIn(j int, n graph.NodeID) []graph.EdgeID {
-	idx := x.inIdx[j]
-	return x.inEdges[j][idx[n]:idx[n+1]]
+func (x *Extended) MemberEdges(j int) []graph.EdgeID { return x.Sub[j].Edges }
+
+// EdgeBeta returns β_e(j), zero when e is not a member edge of j.
+// O(log member edges); hot loops read Sub[j].Beta locally.
+func (x *Extended) EdgeBeta(j int, e graph.EdgeID) float64 {
+	if le := x.Sub[j].LocalEdge(e); le >= 0 {
+		return x.Sub[j].Beta[le]
+	}
+	return 0
 }
 
-// RevTopo returns the cached reverse of Topo[j], the processing order of
-// the upstream marginal-cost wave. Callers must not modify it.
-func (x *Extended) RevTopo(j int) []graph.NodeID { return x.revTopo[j] }
-
-// trimToUseful drops member edges that cannot carry source→sink flow
-// (tail unreachable from the dummy node or head unable to reach the
-// sink). Flow routed onto such an edge would strand at a dead end and
-// violate flow balance, so the optimizers never consider them.
-func (x *Extended) trimToUseful() {
-	for ci := range x.Commodities {
-		c := &x.Commodities[ci]
-		member := x.Member[ci]
-		keep := func(e graph.EdgeID) bool { return member[e] }
-		reach := x.G.ReachableFrom(c.Dummy, keep)
-		coreach := x.G.CoReachableTo(c.Sink, keep)
-		for e := 0; e < x.G.NumEdges(); e++ {
-			if !member[e] {
-				continue
-			}
-			edge := x.G.Edge(graph.EdgeID(e))
-			if !reach[edge.From] || !coreach[edge.To] {
-				member[e] = false
-				x.Beta[ci][e] = 0
-				x.Cost[ci][e] = 0
-			}
-		}
+// EdgeCost returns c_e(j), zero when e is not a member edge of j.
+// O(log member edges); hot loops read Sub[j].Cost locally.
+func (x *Extended) EdgeCost(j int, e graph.EdgeID) float64 {
+	if le := x.Sub[j].LocalEdge(e); le >= 0 {
+		return x.Sub[j].Cost[le]
 	}
+	return 0
+}
+
+// BuildBytes reports the total heap footprint of the per-commodity
+// subgraphs — the quantity behind the streamopt_build_bytes gauge.
+// O(Σ member) builds make this proportional to the commodities'
+// combined path footprint rather than J·(n+m).
+func (x *Extended) BuildBytes() int64 {
+	var total int64
+	for j := range x.Sub {
+		total += x.Sub[j].Bytes()
+	}
+	return total
 }
 
 // NumCommodities reports the number of commodities.

@@ -105,14 +105,14 @@ func TestBandwidthNodes(t *testing.T) {
 			t.Fatalf("bandwidth node %q capacity %g, want %g", x.Names[n], x.Capacity[n], p.Net.Bandwidth[orig])
 		}
 		// The wire half transfers one-for-one: β = c = 1.
-		if x.Beta[0][out] != 1 || x.Cost[0][out] != 1 {
-			t.Fatalf("wire half beta=%g cost=%g, want 1,1", x.Beta[0][out], x.Cost[0][out])
+		if x.EdgeBeta(0, out) != 1 || x.EdgeCost(0, out) != 1 {
+			t.Fatalf("wire half beta=%g cost=%g, want 1,1", x.EdgeBeta(0, out), x.EdgeCost(0, out))
 		}
 		// The processing half inherits the original parameters.
 		edge := og.Edge(orig)
 		want := p.Commodities[0].Edges[orig]
-		if x.Beta[0][in] != want.Beta || x.Cost[0][in] != want.Cost {
-			t.Fatalf("proc half (%d,%d) beta=%g cost=%g, want %+v", edge.From, edge.To, x.Beta[0][in], x.Cost[0][in], want)
+		if x.EdgeBeta(0, in) != want.Beta || x.EdgeCost(0, in) != want.Cost {
+			t.Fatalf("proc half (%d,%d) beta=%g cost=%g, want %+v", edge.From, edge.To, x.EdgeBeta(0, in), x.EdgeCost(0, in), want)
 		}
 	}
 	if count != og.NumEdges() {
@@ -139,8 +139,8 @@ func TestDummyNodes(t *testing.T) {
 		}
 		// Both dummy links carry flow one-for-one.
 		for _, e := range []graph.EdgeID{c.InputLink, c.DiffLink} {
-			if x.Beta[j][e] != 1 || x.Cost[j][e] != 1 {
-				t.Fatalf("dummy link beta=%g cost=%g, want 1,1", x.Beta[j][e], x.Cost[j][e])
+			if x.EdgeBeta(j, e) != 1 || x.EdgeCost(j, e) != 1 {
+				t.Fatalf("dummy link beta=%g cost=%g, want 1,1", x.EdgeBeta(j, e), x.EdgeCost(j, e))
 			}
 		}
 	}
@@ -204,11 +204,10 @@ func TestMemberSubgraphsAreDAGs(t *testing.T) {
 	p := twoPathProblem(t)
 	x := mustBuild(t, p, Options{})
 	for j := range x.Commodities {
-		member := x.Member[j]
-		if !x.G.IsAcyclic(func(e graph.EdgeID) bool { return member[e] }) {
+		if !x.G.IsAcyclic(func(e graph.EdgeID) bool { return x.MemberEdge(j, e) }) {
 			t.Fatalf("commodity %d member subgraph cyclic", j)
 		}
-		if len(x.Topo[j]) != x.G.NumNodes() {
+		if len(x.Sub[j].Topo) != x.Sub[j].NumNodes() {
 			t.Fatalf("commodity %d topo order incomplete", j)
 		}
 	}
@@ -239,7 +238,7 @@ func TestTrimDropsDeadEnds(t *testing.T) {
 	// Find the proc half of the dead-end edge: src -> bw:src>b.
 	deadEnds := 0
 	for e := 0; e < x.G.NumEdges(); e++ {
-		if x.OrigEdge[e] == e3 && x.Member[0][e] {
+		if x.OrigEdge[e] == e3 && x.MemberEdge(0, graph.EdgeID(e)) {
 			deadEnds++
 		}
 	}
@@ -269,32 +268,113 @@ func TestNodeKindString(t *testing.T) {
 	}
 }
 
-func TestMemberAdjacencyMatchesFilteredScan(t *testing.T) {
+func TestSubgraphAdjacencyMatchesFilteredScan(t *testing.T) {
 	p, err := randnet.Generate(randnet.Config{Seed: 7, Nodes: 20, Commodities: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
 	x := mustBuild(t, p, Options{})
 	for j := range x.Commodities {
-		member := x.Member[j]
+		sg := &x.Sub[j]
 		for n := 0; n < x.G.NumNodes(); n++ {
 			node := graph.NodeID(n)
 			var wantOut, wantIn []graph.EdgeID
 			for _, e := range x.G.Out(node) {
-				if member[e] {
+				if x.MemberEdge(j, e) {
 					wantOut = append(wantOut, e)
 				}
 			}
 			for _, e := range x.G.In(node) {
-				if member[e] {
+				if x.MemberEdge(j, e) {
 					wantIn = append(wantIn, e)
 				}
 			}
-			if got := x.MemberOut(j, node); !equalEdges(got, wantOut) {
-				t.Fatalf("commodity %d node %d: MemberOut = %v, filtered scan = %v", j, n, got, wantOut)
+			ln := sg.LocalNode(node)
+			var gotOut, gotIn []graph.EdgeID
+			if ln >= 0 {
+				for _, le := range sg.Out(ln) {
+					gotOut = append(gotOut, sg.Edges[le])
+				}
+				for _, le := range sg.In(ln) {
+					gotIn = append(gotIn, sg.Edges[le])
+				}
+			} else if len(wantOut) > 0 || len(wantIn) > 0 {
+				t.Fatalf("commodity %d node %d: not a member node but has member edges", j, n)
 			}
-			if got := x.MemberIn(j, node); !equalEdges(got, wantIn) {
-				t.Fatalf("commodity %d node %d: MemberIn = %v, filtered scan = %v", j, n, got, wantIn)
+			if !equalEdges(gotOut, wantOut) {
+				t.Fatalf("commodity %d node %d: local out = %v, filtered scan = %v", j, n, gotOut, wantOut)
+			}
+			if !equalEdges(gotIn, wantIn) {
+				t.Fatalf("commodity %d node %d: local in = %v, filtered scan = %v", j, n, gotIn, wantIn)
+			}
+		}
+	}
+}
+
+// TestLocalGlobalRoundTrip checks the local↔global index maps are exact
+// inverses: LocalEdge(Edges[le]) == le and LocalNode(Nodes[ln]) == ln
+// for every member element, and -1 for every non-member element.
+func TestLocalGlobalRoundTrip(t *testing.T) {
+	p, err := randnet.Generate(randnet.Config{Seed: 11, Nodes: 24, Commodities: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := mustBuild(t, p, Options{})
+	for j := range x.Commodities {
+		sg := &x.Sub[j]
+		for le, e := range sg.Edges {
+			if got := sg.LocalEdge(e); got != int32(le) {
+				t.Fatalf("commodity %d: LocalEdge(Edges[%d]=%d) = %d", j, le, e, got)
+			}
+		}
+		for ln, n := range sg.Nodes {
+			if got := sg.LocalNode(n); got != int32(ln) {
+				t.Fatalf("commodity %d: LocalNode(Nodes[%d]=%d) = %d", j, ln, n, got)
+			}
+		}
+		for e := 0; e < x.G.NumEdges(); e++ {
+			le := sg.LocalEdge(graph.EdgeID(e))
+			member := x.MemberEdge(j, graph.EdgeID(e))
+			if (le >= 0) != member {
+				t.Fatalf("commodity %d edge %d: LocalEdge = %d, MemberEdge = %v", j, e, le, member)
+			}
+			if le >= 0 && sg.Edges[le] != graph.EdgeID(e) {
+				t.Fatalf("commodity %d edge %d: round trip gives %d", j, e, sg.Edges[le])
+			}
+		}
+	}
+}
+
+// TestLocalTopoMatchesFilteredSort verifies the ordering contract the
+// bitwise-identity argument rests on: the member-node subsequence of
+// the full-graph min-ID-first filtered topo sort, restricted to nodes
+// that actually appear in the subgraph, equals the local topo order
+// mapped back to global IDs.
+func TestLocalTopoMatchesFilteredSort(t *testing.T) {
+	p, err := randnet.Generate(randnet.Config{Seed: 3, Nodes: 18, Commodities: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := mustBuild(t, p, Options{})
+	for j := range x.Commodities {
+		sg := &x.Sub[j]
+		full, err := x.G.TopoSortFiltered(func(e graph.EdgeID) bool { return x.MemberEdge(j, e) })
+		if err != nil {
+			t.Fatal(err)
+		}
+		var want []graph.NodeID
+		for _, n := range full {
+			if sg.LocalNode(n) >= 0 {
+				want = append(want, n)
+			}
+		}
+		if len(want) != len(sg.Topo) {
+			t.Fatalf("commodity %d: filtered sort has %d member nodes, local topo %d", j, len(want), len(sg.Topo))
+		}
+		for i, ln := range sg.Topo {
+			if sg.Nodes[ln] != want[i] {
+				t.Fatalf("commodity %d: local topo[%d] = node %d, filtered sort = %d",
+					j, i, sg.Nodes[ln], want[i])
 			}
 		}
 	}
@@ -304,7 +384,8 @@ func TestRevTopoIsReversedTopo(t *testing.T) {
 	p := twoPathProblem(t)
 	x := mustBuild(t, p, Options{})
 	for j := range x.Commodities {
-		topo, rev := x.Topo[j], x.RevTopo(j)
+		sg := &x.Sub[j]
+		topo, rev := sg.Topo, sg.RevTopo()
 		if len(rev) != len(topo) {
 			t.Fatalf("commodity %d: RevTopo has %d nodes, Topo has %d", j, len(rev), len(topo))
 		}

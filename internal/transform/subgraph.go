@@ -1,0 +1,261 @@
+package transform
+
+import (
+	"sort"
+
+	"repro/internal/graph"
+)
+
+// Subgraph is one commodity's member subgraph in compact local indexing:
+// every array is sized by the commodity's member node/edge counts
+// (typically O(path length)), never by the full extended graph. Local
+// node and edge indexes are assigned in ascending global-ID order, so
+// Nodes and Edges double as the sorted local→global maps and global→
+// local lookups are binary searches. All hot solver loops (flow
+// forecast, marginal/tag/update waves, back-pressure, the queueing
+// simulator, the LP reference) iterate these local arrays; the dense
+// per-commodity tables the package used to carry (Member/Beta/Cost rows
+// over every extended edge) no longer exist.
+//
+// Determinism contract: Topo orders the member nodes exactly as the
+// member subsequence of a full-graph graph.TopoSortFiltered restricted
+// to this commodity's edges. Both are Kahn's algorithm with a
+// min-node-ID-first frontier, and a non-member node has no kept edges —
+// it can never delay or advance a member node's indegree — so the
+// min-global-ID-first local sort visits member nodes in the same
+// relative order the filtered full-graph sort does. Out lists are in
+// ascending global edge-ID order, matching a filtered G.Out scan.
+// Floating-point accumulation over (Topo, Out) is therefore
+// bit-identical to the dense-table scan it replaced.
+type Subgraph struct {
+	// Nodes maps local node index → extended-graph node ID, strictly
+	// ascending. Only nodes incident to a surviving member edge appear.
+	Nodes []graph.NodeID
+	// Edges maps local edge index → extended-graph edge ID, strictly
+	// ascending. Only edges on some dummy→sink path survive (the trim
+	// the dense representation used to apply in place).
+	Edges []graph.EdgeID
+
+	// Beta and Cost are the per-edge parameters, indexed by local edge.
+	Beta []float64
+	Cost []float64
+
+	// Tail and Head are each local edge's endpoints as local node
+	// indexes.
+	Tail []int32
+	Head []int32
+
+	// Topo is the member-DAG topological order over local node indexes
+	// (see the determinism contract above). revTopo caches its reverse
+	// for the upstream marginal wave.
+	Topo    []int32
+	revTopo []int32
+
+	// CSR adjacency over local indexes: the out-edges of local node l
+	// are outEdges[outIdx[l]:outIdx[l+1]], ascending (global) edge
+	// order; likewise inEdges/inIdx.
+	outIdx   []int32
+	outEdges []int32
+	inIdx    []int32
+	inEdges  []int32
+
+	// Local node indexes of the commodity's distinguished nodes.
+	Dummy  int32
+	Source int32
+	Sink   int32
+	// Local edge indexes of the dummy input and difference links.
+	InputLink int32
+	DiffLink  int32
+}
+
+// NumNodes reports the member node count.
+func (s *Subgraph) NumNodes() int { return len(s.Nodes) }
+
+// NumEdges reports the member edge count.
+func (s *Subgraph) NumEdges() int { return len(s.Edges) }
+
+// Out returns the local out-edge indexes of local node l in ascending
+// global edge-ID order. The slice aliases the CSR arrays; callers must
+// not modify it.
+func (s *Subgraph) Out(l int32) []int32 {
+	return s.outEdges[s.outIdx[l]:s.outIdx[l+1]]
+}
+
+// In returns the local in-edge indexes of local node l in ascending
+// global edge-ID order. The slice aliases the CSR arrays; callers must
+// not modify it.
+func (s *Subgraph) In(l int32) []int32 {
+	return s.inEdges[s.inIdx[l]:s.inIdx[l+1]]
+}
+
+// RevTopo returns the cached reverse of Topo, the processing order of
+// the upstream marginal-cost wave. Callers must not modify it.
+func (s *Subgraph) RevTopo() []int32 { return s.revTopo }
+
+// LocalNode returns the local index of extended node n, or -1 when n is
+// not a member node. O(log member nodes).
+func (s *Subgraph) LocalNode(n graph.NodeID) int32 {
+	i := sort.Search(len(s.Nodes), func(i int) bool { return s.Nodes[i] >= n })
+	if i < len(s.Nodes) && s.Nodes[i] == n {
+		return int32(i)
+	}
+	return -1
+}
+
+// LocalEdge returns the local index of extended edge e, or -1 when e is
+// not a member edge. O(log member edges).
+func (s *Subgraph) LocalEdge(e graph.EdgeID) int32 {
+	i := sort.Search(len(s.Edges), func(i int) bool { return s.Edges[i] >= e })
+	if i < len(s.Edges) && s.Edges[i] == e {
+		return int32(i)
+	}
+	return -1
+}
+
+// Depth returns the number of edges on the longest member path — the L
+// in the paper's O(L) message-round analysis, computed locally in
+// O(member edges).
+func (s *Subgraph) Depth() int {
+	depth := make([]int32, len(s.Nodes))
+	best := int32(0)
+	for _, l := range s.Topo {
+		for _, le := range s.Out(l) {
+			h := s.Head[le]
+			if d := depth[l] + 1; d > depth[h] {
+				depth[h] = d
+				if d > best {
+					best = d
+				}
+			}
+		}
+	}
+	return int(best)
+}
+
+// Bytes reports the heap footprint of this subgraph's arrays — the
+// per-commodity build memory the streamopt_build_bytes gauge surfaces.
+func (s *Subgraph) Bytes() int64 {
+	const (
+		idSize  = 8 // graph.NodeID / graph.EdgeID are int
+		f64Size = 8
+		i32Size = 4
+	)
+	n := int64(len(s.Nodes))*idSize + int64(len(s.Edges))*idSize
+	n += int64(len(s.Beta)+len(s.Cost)) * f64Size
+	n += int64(len(s.Tail)+len(s.Head)+len(s.Topo)+len(s.revTopo)) * i32Size
+	n += int64(len(s.outIdx)+len(s.outEdges)+len(s.inIdx)+len(s.inEdges)) * i32Size
+	return n
+}
+
+// buildCSR fills the CSR adjacency from Tail/Head. Edges are processed
+// in ascending local (= global) order, so each per-node list comes out
+// ascending.
+func (s *Subgraph) buildCSR() {
+	nn, ne := len(s.Nodes), len(s.Edges)
+	s.outIdx = make([]int32, nn+1)
+	s.inIdx = make([]int32, nn+1)
+	for le := 0; le < ne; le++ {
+		s.outIdx[s.Tail[le]+1]++
+		s.inIdx[s.Head[le]+1]++
+	}
+	for l := 0; l < nn; l++ {
+		s.outIdx[l+1] += s.outIdx[l]
+		s.inIdx[l+1] += s.inIdx[l]
+	}
+	s.outEdges = make([]int32, ne)
+	s.inEdges = make([]int32, ne)
+	outNext := append([]int32(nil), s.outIdx[:nn]...)
+	inNext := append([]int32(nil), s.inIdx[:nn]...)
+	for le := 0; le < ne; le++ {
+		t, h := s.Tail[le], s.Head[le]
+		s.outEdges[outNext[t]] = int32(le)
+		outNext[t]++
+		s.inEdges[inNext[h]] = int32(le)
+		inNext[h]++
+	}
+}
+
+// topoSort computes Topo/revTopo with Kahn's algorithm and a min-heap
+// frontier over local indexes. Local index order is global node-ID
+// order, so min-local-first equals the min-global-ID-first tie-break of
+// graph.TopoSortFiltered. Returns graph.ErrCycle on a cyclic member
+// subgraph.
+func (s *Subgraph) topoSort() error {
+	nn := len(s.Nodes)
+	indeg := make([]int32, nn)
+	for _, h := range s.Head {
+		indeg[h]++
+	}
+	// An ascending array satisfies the heap property, so the initial
+	// frontier needs no sift-up pass.
+	var frontier int32Heap
+	for l := 0; l < nn; l++ {
+		if indeg[l] == 0 {
+			frontier = append(frontier, int32(l))
+		}
+	}
+	s.Topo = make([]int32, 0, nn)
+	for len(frontier) > 0 {
+		l := frontier.pop()
+		s.Topo = append(s.Topo, l)
+		for _, le := range s.Out(l) {
+			h := s.Head[le]
+			indeg[h]--
+			if indeg[h] == 0 {
+				frontier.push(h)
+			}
+		}
+	}
+	if len(s.Topo) != nn {
+		return graph.ErrCycle
+	}
+	s.revTopo = make([]int32, nn)
+	for i, l := range s.Topo {
+		s.revTopo[nn-1-i] = l
+	}
+	return nil
+}
+
+// int32Heap is a binary min-heap of local indexes backing the local
+// topological sort's deterministic min-first frontier.
+type int32Heap []int32
+
+func (h *int32Heap) push(v int32) {
+	*h = append(*h, v)
+	s := *h
+	i := len(s) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if s[parent] <= s[i] {
+			break
+		}
+		s[parent], s[i] = s[i], s[parent]
+		i = parent
+	}
+}
+
+func (h *int32Heap) pop() int32 {
+	s := *h
+	top := s[0]
+	last := len(s) - 1
+	s[0] = s[last]
+	s = s[:last]
+	*h = s
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		min := i
+		if l < len(s) && s[l] < s[min] {
+			min = l
+		}
+		if r < len(s) && s[r] < s[min] {
+			min = r
+		}
+		if min == i {
+			break
+		}
+		s[i], s[min] = s[min], s[i]
+		i = min
+	}
+	return top
+}
